@@ -1,0 +1,39 @@
+//! The uncompressed baseline: ship the whole block (Fig. 13's left facet).
+
+use crate::BaselineReport;
+use graphene_blockchain::Block;
+use graphene_wire::messages::{FullBlockMsg, GetDataMsg, InvMsg, Message};
+
+/// Relay `block` in full.
+pub fn full_block_relay(block: &Block) -> BaselineReport {
+    let mut report = BaselineReport { success: true, rounds: 1, ..Default::default() };
+    report.total += Message::Inv(InvMsg { block_id: block.id() }).wire_size();
+    report.total += Message::GetData(GetDataMsg { block_id: block.id(), mempool_count: 0 })
+        .wire_size();
+    let msg = FullBlockMsg { header: *block.header(), txns: block.txns().to_vec() };
+    report.txn_bytes = block.txns().iter().map(|t| t.size()).sum();
+    report.total += Message::FullBlock(msg).wire_size();
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use graphene_blockchain::{Scenario, ScenarioParams, TxProfile};
+    use rand::{rngs::StdRng, SeedableRng};
+
+    #[test]
+    fn size_tracks_payloads() {
+        let params = ScenarioParams {
+            block_size: 100,
+            profile: TxProfile::Fixed(200),
+            ..Default::default()
+        };
+        let s = Scenario::generate(&params, &mut StdRng::seed_from_u64(1));
+        let r = full_block_relay(&s.block);
+        assert!(r.success);
+        assert_eq!(r.txn_bytes, 100 * 200);
+        // Everything except headers/framing is transaction bodies.
+        assert!(r.total_excluding_txns() < 600, "{}", r.total_excluding_txns());
+    }
+}

@@ -1,0 +1,134 @@
+//! Arithmetic in GF(p) with p = 2^61 − 1 (a Mersenne prime).
+//!
+//! Substrate for the CPISync baseline: characteristic polynomials live over
+//! a prime field large enough to embed 8-byte short transaction IDs with
+//! negligible collision probability.
+
+/// The field modulus: the Mersenne prime 2^61 − 1.
+pub const P: u64 = (1u64 << 61) - 1;
+
+/// A field element (always reduced mod [`P`]).
+///
+/// Method names intentionally mirror the `std::ops` traits without
+/// implementing them: all arithmetic here is modular, and keeping the calls
+/// explicit (`a.mul(b)`) avoids accidental use of native operators.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Default, PartialOrd, Ord)]
+#[allow(clippy::should_implement_trait)]
+pub struct Fe(pub u64);
+
+#[allow(clippy::should_implement_trait)]
+impl Fe {
+    /// The additive identity.
+    pub const ZERO: Fe = Fe(0);
+    /// The multiplicative identity.
+    pub const ONE: Fe = Fe(1);
+
+    /// Embed an arbitrary u64 (e.g. a short txid) into the field.
+    #[inline]
+    pub fn embed(v: u64) -> Fe {
+        // Mersenne reduction: v = hi·2^61 + lo ≡ hi + lo (mod p).
+        let r = (v >> 61) + (v & P);
+        Fe(if r >= P { r - P } else { r })
+    }
+
+    /// Addition mod p.
+    #[inline]
+    pub fn add(self, rhs: Fe) -> Fe {
+        let s = self.0 + rhs.0;
+        Fe(if s >= P { s - P } else { s })
+    }
+
+    /// Subtraction mod p.
+    #[inline]
+    pub fn sub(self, rhs: Fe) -> Fe {
+        Fe(if self.0 >= rhs.0 { self.0 - rhs.0 } else { self.0 + P - rhs.0 })
+    }
+
+    /// Negation mod p.
+    #[inline]
+    pub fn neg(self) -> Fe {
+        if self.0 == 0 {
+            Fe(0)
+        } else {
+            Fe(P - self.0)
+        }
+    }
+
+    /// Multiplication mod p (128-bit intermediate, Mersenne fold).
+    #[inline]
+    pub fn mul(self, rhs: Fe) -> Fe {
+        let wide = self.0 as u128 * rhs.0 as u128;
+        let lo = (wide & P as u128) as u64;
+        let hi = (wide >> 61) as u64;
+        Fe::embed(lo).add(Fe::embed(hi))
+    }
+
+    /// Exponentiation by squaring.
+    pub fn pow(self, mut e: u64) -> Fe {
+        let mut base = self;
+        let mut acc = Fe::ONE;
+        while e > 0 {
+            if e & 1 == 1 {
+                acc = acc.mul(base);
+            }
+            base = base.mul(base);
+            e >>= 1;
+        }
+        acc
+    }
+
+    /// Multiplicative inverse (Fermat). Panics on zero.
+    pub fn inv(self) -> Fe {
+        assert!(self.0 != 0, "division by zero in GF(p)");
+        self.pow(P - 2)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn embed_reduces() {
+        assert_eq!(Fe::embed(P), Fe(0));
+        assert_eq!(Fe::embed(P + 5), Fe(5));
+        assert!(Fe::embed(u64::MAX).0 < P);
+    }
+
+    #[test]
+    fn field_axioms_spot_check() {
+        let a = Fe::embed(0x1234_5678_9abc_def0);
+        let b = Fe::embed(0x0fed_cba9_8765_4321);
+        assert_eq!(a.add(b), b.add(a));
+        assert_eq!(a.mul(b), b.mul(a));
+        assert_eq!(a.add(a.neg()), Fe::ZERO);
+        assert_eq!(a.sub(b).add(b), a);
+        // Distributivity.
+        let c = Fe::embed(77);
+        assert_eq!(a.mul(b.add(c)), a.mul(b).add(a.mul(c)));
+    }
+
+    #[test]
+    fn inverse_works() {
+        for v in [1u64, 2, 12345, P - 1] {
+            let a = Fe(v);
+            assert_eq!(a.mul(a.inv()), Fe::ONE, "v = {v}");
+        }
+    }
+
+    #[test]
+    fn pow_matches_repeated_mul() {
+        let a = Fe::embed(987654321);
+        let mut acc = Fe::ONE;
+        for e in 0..20u64 {
+            assert_eq!(a.pow(e), acc, "e = {e}");
+            acc = acc.mul(a);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "division by zero")]
+    fn zero_has_no_inverse() {
+        Fe::ZERO.inv();
+    }
+}

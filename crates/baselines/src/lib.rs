@@ -1,0 +1,66 @@
+//! Baseline block-relay protocols the paper evaluates Graphene against.
+//!
+//! * [`compact`] — Compact Blocks (BIP152): 6-byte SipHash short IDs,
+//!   index-based repair round. Deployed in Bitcoin Core/ABC/Unlimited.
+//! * [`xthin`] — Xtreme Thinblocks (BUIP010): receiver sends a Bloom filter
+//!   of her mempool; sender answers with 8-byte IDs plus whatever misses the
+//!   filter. `XThin*` (Fig. 12) is the same with the receiver-filter bytes
+//!   excluded from the comparison.
+//! * [`fullblock`] — the uncompressed baseline.
+//! * [`diffdigest`] — an IBLT-only reconciliation in the style of Eppstein
+//!   et al.'s Difference Digest (strata estimator + doubled IBLT), the
+//!   alternative §5.3.2 reports as several times costlier than Graphene.
+//! * [`cpisync`] — Characteristic Polynomial Interpolation (Minsky et al.),
+//!   §2.1's smaller-but-slower exact reconciliation, built on from-scratch
+//!   GF(2^61−1) arithmetic ([`gf`]) and polynomial algebra ([`poly`]).
+//!
+//! Every simulator consumes the same inputs (a [`graphene_blockchain::Block`]
+//! and the receiver's [`graphene_blockchain::Mempool`]) and produces a
+//! [`BaselineReport`] with exact wire bytes, so the figures compare like for
+//! like.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod compact;
+pub mod cpisync;
+pub mod diffdigest;
+pub mod fullblock;
+pub mod gf;
+pub mod poly;
+pub mod xthin;
+
+pub use compact::compact_blocks_relay;
+pub use cpisync::{reconcile as cpisync_reconcile, sketch as cpisync_sketch, CpiError, CpiSketch};
+pub use diffdigest::diff_digest_relay;
+pub use fullblock::full_block_relay;
+pub use xthin::{xthin_relay, XthinAccounting};
+
+/// Byte/round accounting common to every baseline.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct BaselineReport {
+    /// Whether the receiver reconstructed the block exactly.
+    pub success: bool,
+    /// Round trips consumed (1 round trip = request + response).
+    pub rounds: u32,
+    /// Total bytes, including transaction bodies.
+    pub total: usize,
+    /// Bytes of transaction bodies shipped (missing/prefilled).
+    pub txn_bytes: usize,
+    /// Bytes of the receiver-side filter, where the protocol has one
+    /// (XThin); separated so Fig. 12's XThin* accounting can exclude it.
+    pub receiver_filter_bytes: usize,
+}
+
+impl BaselineReport {
+    /// Total minus transaction bodies — the encoding-size metric the
+    /// paper's simulation figures plot.
+    pub fn total_excluding_txns(&self) -> usize {
+        self.total - self.txn_bytes
+    }
+
+    /// The Fig. 12 XThin* metric: exclude the receiver's mempool filter too.
+    pub fn total_xthin_star(&self) -> usize {
+        self.total_excluding_txns() - self.receiver_filter_bytes
+    }
+}

@@ -1,0 +1,274 @@
+//! Dense univariate polynomials over GF(2^61 − 1).
+//!
+//! Just enough algebra for CPISync: evaluation, multiplication, division
+//! with remainder, GCD, and modular exponentiation of `x^e mod f` (the core
+//! of Rabin's root-finding).
+
+use crate::gf::{Fe, P};
+
+/// A polynomial as coefficients, lowest degree first. The zero polynomial
+/// is the empty vector; otherwise the leading coefficient is non-zero.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Poly(pub Vec<Fe>);
+
+impl Poly {
+    /// The zero polynomial.
+    pub fn zero() -> Poly {
+        Poly(Vec::new())
+    }
+
+    /// The constant one.
+    pub fn one() -> Poly {
+        Poly(vec![Fe::ONE])
+    }
+
+    /// The monic linear factor `x − root`.
+    pub fn linear(root: Fe) -> Poly {
+        Poly(vec![root.neg(), Fe::ONE])
+    }
+
+    /// True for the zero polynomial.
+    pub fn is_zero(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// Degree (zero polynomial returns `None`).
+    pub fn degree(&self) -> Option<usize> {
+        if self.0.is_empty() {
+            None
+        } else {
+            Some(self.0.len() - 1)
+        }
+    }
+
+    fn trim(mut v: Vec<Fe>) -> Poly {
+        while v.last() == Some(&Fe::ZERO) {
+            v.pop();
+        }
+        Poly(v)
+    }
+
+    /// Horner evaluation.
+    pub fn eval(&self, x: Fe) -> Fe {
+        let mut acc = Fe::ZERO;
+        for &c in self.0.iter().rev() {
+            acc = acc.mul(x).add(c);
+        }
+        acc
+    }
+
+    /// Sum.
+    pub fn add(&self, rhs: &Poly) -> Poly {
+        let n = self.0.len().max(rhs.0.len());
+        let mut out = Vec::with_capacity(n);
+        for i in 0..n {
+            let a = self.0.get(i).copied().unwrap_or(Fe::ZERO);
+            let b = rhs.0.get(i).copied().unwrap_or(Fe::ZERO);
+            out.push(a.add(b));
+        }
+        Poly::trim(out)
+    }
+
+    /// Product (schoolbook; degrees here are ≤ a few hundred).
+    pub fn mul(&self, rhs: &Poly) -> Poly {
+        if self.is_zero() || rhs.is_zero() {
+            return Poly::zero();
+        }
+        let mut out = vec![Fe::ZERO; self.0.len() + rhs.0.len() - 1];
+        for (i, &a) in self.0.iter().enumerate() {
+            if a == Fe::ZERO {
+                continue;
+            }
+            for (j, &b) in rhs.0.iter().enumerate() {
+                out[i + j] = out[i + j].add(a.mul(b));
+            }
+        }
+        Poly::trim(out)
+    }
+
+    /// Scale by a constant.
+    pub fn scale(&self, c: Fe) -> Poly {
+        Poly::trim(self.0.iter().map(|&a| a.mul(c)).collect())
+    }
+
+    /// Division with remainder: `self = q·div + r`, deg r < deg div.
+    /// Panics if `div` is zero.
+    pub fn divmod(&self, div: &Poly) -> (Poly, Poly) {
+        assert!(!div.is_zero(), "polynomial division by zero");
+        let dd = div.degree().expect("non-zero");
+        if self.degree().is_none_or(|d| d < dd) {
+            return (Poly::zero(), self.clone());
+        }
+        let lead_inv = div.0[dd].inv();
+        let mut rem = self.0.clone();
+        let mut quot = vec![Fe::ZERO; rem.len() - dd];
+        for i in (dd..rem.len()).rev() {
+            let coef = rem[i].mul(lead_inv);
+            if coef == Fe::ZERO {
+                continue;
+            }
+            quot[i - dd] = coef;
+            for (j, &dc) in div.0.iter().enumerate() {
+                rem[i - dd + j] = rem[i - dd + j].sub(coef.mul(dc));
+            }
+        }
+        (Poly::trim(quot), Poly::trim(rem))
+    }
+
+    /// Monic GCD.
+    pub fn gcd(&self, rhs: &Poly) -> Poly {
+        let mut a = self.clone();
+        let mut b = rhs.clone();
+        while !b.is_zero() {
+            let (_, r) = a.divmod(&b);
+            a = b;
+            b = r;
+        }
+        if a.is_zero() {
+            return a;
+        }
+        let lead = *a.0.last().expect("non-zero");
+        a.scale(lead.inv())
+    }
+
+    /// `(base^e) mod f` by square-and-multiply in the quotient ring.
+    pub fn powmod(base: &Poly, mut e: u64, f: &Poly) -> Poly {
+        let (_, mut b) = base.divmod(f);
+        let mut acc = Poly::one();
+        while e > 0 {
+            if e & 1 == 1 {
+                acc = acc.mul(&b).divmod(f).1;
+            }
+            b = b.mul(&b).divmod(f).1;
+            e >>= 1;
+        }
+        acc
+    }
+
+    /// Build `Π (x − r)` for the given roots.
+    pub fn from_roots(roots: &[Fe]) -> Poly {
+        let mut acc = Poly::one();
+        for &r in roots {
+            acc = acc.mul(&Poly::linear(r));
+        }
+        acc
+    }
+
+    /// Find all roots of a square-free polynomial whose roots all lie in
+    /// GF(p), via Rabin's randomized splitting:
+    /// `gcd(f(x), (x+δ)^((p−1)/2) − 1)` separates roots by quadratic
+    /// residuosity of `r+δ`.
+    pub fn roots(&self, rng_seed: u64) -> Vec<Fe> {
+        let mut out = Vec::new();
+        let mut stack = vec![self.clone()];
+        let mut seed = rng_seed | 1;
+        let mut next = move || {
+            // xorshift64*; cheap, deterministic splitting offsets.
+            seed ^= seed << 13;
+            seed ^= seed >> 7;
+            seed ^= seed << 17;
+            Fe::embed(seed)
+        };
+        while let Some(f) = stack.pop() {
+            match f.degree() {
+                None | Some(0) => continue,
+                Some(1) => {
+                    // Monicize: root = -c0 / c1.
+                    out.push(f.0[0].neg().mul(f.0[1].inv()));
+                    continue;
+                }
+                _ => {}
+            }
+            // Random shift: g = gcd(f, (x+δ)^((p−1)/2) − 1).
+            let delta = next();
+            let shifted = Poly(vec![delta, Fe::ONE]); // x + δ
+            let mut h = Poly::powmod(&shifted, (P - 1) / 2, &f);
+            // h - 1
+            if h.0.is_empty() {
+                h.0.push(Fe::ZERO);
+            }
+            h.0[0] = h.0[0].sub(Fe::ONE);
+            let h = Poly::trim(h.0);
+            let g = f.gcd(&h);
+            match g.degree() {
+                None | Some(0) => {
+                    // Unlucky split (or δ hit a root); retry with new δ.
+                    stack.push(f);
+                }
+                Some(d) if d == f.degree().expect("deg ≥ 2") => {
+                    stack.push(f);
+                }
+                _ => {
+                    let (q, _r) = f.divmod(&g);
+                    stack.push(g);
+                    stack.push(q);
+                }
+            }
+        }
+        out.sort();
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fe(v: u64) -> Fe {
+        Fe::embed(v)
+    }
+
+    #[test]
+    fn eval_and_roots_of_linear() {
+        let f = Poly::linear(fe(42)); // x - 42
+        assert_eq!(f.eval(fe(42)), Fe::ZERO);
+        assert_ne!(f.eval(fe(43)), Fe::ZERO);
+    }
+
+    #[test]
+    fn divmod_identity() {
+        let a = Poly::from_roots(&[fe(1), fe(2), fe(3), fe(4)]);
+        let b = Poly::from_roots(&[fe(2), fe(4)]);
+        let (q, r) = a.divmod(&b);
+        assert!(r.is_zero());
+        assert_eq!(q.mul(&b), a);
+    }
+
+    #[test]
+    fn gcd_finds_common_roots() {
+        let a = Poly::from_roots(&[fe(10), fe(20), fe(30)]);
+        let b = Poly::from_roots(&[fe(20), fe(30), fe(40)]);
+        let g = a.gcd(&b);
+        assert_eq!(g, Poly::from_roots(&[fe(20), fe(30)]));
+    }
+
+    #[test]
+    fn roots_recovers_all() {
+        let roots: Vec<Fe> = [7u64, 1_000_003, 0xdead_beef, 0x1234_5678_9abc, 999]
+            .iter()
+            .map(|&v| fe(v))
+            .collect();
+        let f = Poly::from_roots(&roots);
+        let mut expect = roots.clone();
+        expect.sort();
+        assert_eq!(f.roots(0xabc), expect);
+    }
+
+    #[test]
+    fn roots_of_many() {
+        let roots: Vec<Fe> = (0..80u64).map(|i| fe(i * 7919 + 13)).collect();
+        let f = Poly::from_roots(&roots);
+        let mut expect = roots.clone();
+        expect.sort();
+        assert_eq!(f.roots(0x5eed), expect);
+    }
+
+    #[test]
+    fn powmod_small_case() {
+        // x^2 mod (x - 3) = 9.
+        let f = Poly::linear(fe(3));
+        let x = Poly(vec![Fe::ZERO, Fe::ONE]);
+        let r = Poly::powmod(&x, 2, &f);
+        assert_eq!(r, Poly(vec![fe(9)]));
+    }
+}

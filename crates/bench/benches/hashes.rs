@@ -1,0 +1,45 @@
+//! Substrate throughput: SHA-256, SipHash-2-4, Merkle roots.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use graphene_hashes::{merkle_root, sha256, sha256d, siphash24, Digest, SipKey};
+use std::hint::black_box;
+
+fn bench_sha256(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sha256");
+    for size in [32usize, 256, 4096] {
+        let data = vec![0xabu8; size];
+        g.throughput(Throughput::Bytes(size as u64));
+        g.bench_function(format!("{size}B"), |b| b.iter(|| sha256(black_box(&data))));
+    }
+    g.bench_function("sha256d_32B", |b| {
+        let data = [7u8; 32];
+        b.iter(|| sha256d(black_box(&data)))
+    });
+    g.finish();
+}
+
+fn bench_siphash(c: &mut Criterion) {
+    let mut g = c.benchmark_group("siphash24");
+    let key = SipKey::new(1, 2);
+    for size in [8usize, 32, 256] {
+        let data = vec![0x5au8; size];
+        g.throughput(Throughput::Bytes(size as u64));
+        g.bench_function(format!("{size}B"), |b| {
+            b.iter(|| siphash24(black_box(key), black_box(&data)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_merkle(c: &mut Criterion) {
+    let mut g = c.benchmark_group("merkle_root");
+    for n in [200usize, 2000] {
+        let ids: Vec<Digest> = (0..n as u64).map(|i| sha256(&i.to_le_bytes())).collect();
+        g.throughput(Throughput::Elements(n as u64));
+        g.bench_function(format!("{n}_txns"), |b| b.iter(|| merkle_root(black_box(&ids))));
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_sha256, bench_siphash, bench_merkle);
+criterion_main!(benches);

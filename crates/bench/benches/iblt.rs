@@ -1,0 +1,97 @@
+//! IBLT operations: insert, subtract, peel, ping-pong.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use graphene_iblt::{ping_pong_decode, Iblt};
+use graphene_iblt_params::params_for;
+use std::hint::black_box;
+
+fn filled(j: usize, salt: u64) -> Iblt {
+    let p = params_for(j, 240);
+    let mut t = Iblt::new(p.c, p.k, salt);
+    for v in 0..j as u64 {
+        t.insert(v.wrapping_mul(0x9e37_79b9) ^ salt);
+    }
+    t
+}
+
+fn bench_insert(c: &mut Criterion) {
+    let mut g = c.benchmark_group("iblt_insert");
+    for j in [50usize, 500, 5000] {
+        let p = params_for(j, 240);
+        g.throughput(Throughput::Elements(j as u64));
+        g.bench_function(format!("j{j}"), |b| {
+            b.iter(|| {
+                let mut t = Iblt::new(p.c, p.k, 1);
+                for v in 0..j as u64 {
+                    t.insert(black_box(v));
+                }
+                t
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_peel(c: &mut Criterion) {
+    let mut g = c.benchmark_group("iblt_peel");
+    for j in [50usize, 500, 5000] {
+        g.throughput(Throughput::Elements(j as u64));
+        g.bench_function(format!("j{j}"), |b| {
+            b.iter_batched(
+                || filled(j, 2),
+                |mut t| t.peel().unwrap(),
+                criterion::BatchSize::SmallInput,
+            )
+        });
+    }
+    g.finish();
+}
+
+fn bench_subtract_decode(c: &mut Criterion) {
+    // The Graphene receiver hot path: build I′, subtract, peel a small
+    // difference out of two large-ish IBLTs.
+    let mut g = c.benchmark_group("iblt_subtract_peel_diff50");
+    let p = params_for(50, 240);
+    let mut a = Iblt::new(p.c, p.k, 3);
+    let mut b = Iblt::new(p.c, p.k, 3);
+    for v in 0..2000u64 {
+        a.insert(v);
+        if v >= 50 {
+            b.insert(v);
+        }
+    }
+    g.bench_function("n2000", |bch| {
+        bch.iter(|| {
+            let mut d = black_box(&a).subtract(black_box(&b)).unwrap();
+            d.peel().unwrap()
+        })
+    });
+    g.finish();
+}
+
+fn bench_pingpong(c: &mut Criterion) {
+    let mut g = c.benchmark_group("iblt_pingpong");
+    for j in [20usize, 100] {
+        g.bench_function(format!("j{j}"), |bch| {
+            bch.iter_batched(
+                || {
+                    let pa = params_for(j, 240);
+                    let pb = params_for(j / 2 + 1, 240);
+                    let mut a = Iblt::new(pa.c, pa.k, 10);
+                    let mut b = Iblt::new(pb.c, pb.k, 20);
+                    for v in 0..j as u64 {
+                        a.insert(v);
+                        b.insert(v);
+                    }
+                    (a, b)
+                },
+                |(mut a, mut b)| ping_pong_decode(&mut a, &mut b),
+                criterion::BatchSize::SmallInput,
+            )
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_insert, bench_peel, bench_subtract_decode, bench_pingpong);
+criterion_main!(benches);

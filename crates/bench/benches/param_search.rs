@@ -1,0 +1,45 @@
+//! Algorithm 1 performance: the paper reports the hypergraph formulation
+//! being an order of magnitude faster than searching with real IBLTs. This
+//! bench measures one decode trial under both representations, plus a full
+//! (reduced-trial) search.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use graphene_iblt::Iblt;
+use graphene_iblt_params::hypergraph::{decode_trial_with, Scratch};
+use graphene_iblt_params::{search_c, FailureRate, SearchConfig};
+use rand::{rngs::StdRng, RngExt, SeedableRng};
+use std::hint::black_box;
+
+fn bench_trial_representations(c: &mut Criterion) {
+    let mut g = c.benchmark_group("decode_trial");
+    for j in [100usize, 1000] {
+        let k = 4u32;
+        let cells = (j * 3 / 2).div_ceil(4) * 4;
+        g.bench_function(format!("hypergraph_j{j}"), |b| {
+            let mut rng = StdRng::seed_from_u64(1);
+            let mut scratch = Scratch::default();
+            b.iter(|| decode_trial_with(black_box(j), k, cells, &mut rng, &mut scratch))
+        });
+        g.bench_function(format!("real_iblt_j{j}"), |b| {
+            let mut rng = StdRng::seed_from_u64(1);
+            b.iter(|| {
+                let mut t = Iblt::new(cells, k, rng.random());
+                for v in 0..j as u64 {
+                    t.insert(v);
+                }
+                t.peel().unwrap().complete
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_search(c: &mut Criterion) {
+    let cfg = SearchConfig { max_trials: 2000, ..SearchConfig::default() };
+    c.bench_function("search_c_j50_rate24", |b| {
+        b.iter(|| search_c(black_box(50), 4, FailureRate(1.0 / 24.0), &cfg))
+    });
+}
+
+criterion_group!(benches, bench_trial_representations, bench_search);
+criterion_main!(benches);

@@ -1,0 +1,58 @@
+//! Whole-protocol benchmarks: encode/decode cost for Graphene vs the
+//! baselines at the paper's canonical block sizes.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use graphene::config::GrapheneConfig;
+use graphene::protocol1;
+use graphene::session::relay_block;
+use graphene_baselines::{compact_blocks_relay, full_block_relay, xthin_relay};
+use graphene_baselines::xthin::XthinAccounting;
+use graphene_bench::bench_scenario;
+use std::hint::black_box;
+
+fn bench_sender_encode(c: &mut Criterion) {
+    let cfg = GrapheneConfig::default();
+    let mut g = c.benchmark_group("graphene_sender_encode");
+    for n in [200usize, 2000] {
+        let s = bench_scenario(n, 1);
+        let m = s.receiver_mempool.len() as u64;
+        g.bench_function(format!("n{n}"), |b| {
+            b.iter(|| protocol1::sender_encode(black_box(&s.block), m, None, &cfg))
+        });
+    }
+    g.finish();
+}
+
+#[allow(clippy::result_large_err)]
+fn bench_receiver_decode(c: &mut Criterion) {
+    let cfg = GrapheneConfig::default();
+    let mut g = c.benchmark_group("graphene_receiver_decode");
+    for n in [200usize, 2000] {
+        let s = bench_scenario(n, 2);
+        let (msg, _) = protocol1::sender_encode(&s.block, s.receiver_mempool.len() as u64, None, &cfg);
+        g.bench_function(format!("n{n}"), |b| {
+            b.iter(|| protocol1::receiver_decode(black_box(&msg), &s.receiver_mempool, &cfg))
+        });
+    }
+    g.finish();
+}
+
+fn bench_full_relay_comparison(c: &mut Criterion) {
+    let cfg = GrapheneConfig::default();
+    let s = bench_scenario(2000, 3);
+    let mut g = c.benchmark_group("relay_n2000");
+    g.bench_function("graphene", |b| {
+        b.iter(|| relay_block(black_box(&s.block), None, &s.receiver_mempool, &cfg))
+    });
+    g.bench_function("compact_blocks", |b| {
+        b.iter(|| compact_blocks_relay(black_box(&s.block), &s.receiver_mempool))
+    });
+    g.bench_function("xthin", |b| {
+        b.iter(|| xthin_relay(black_box(&s.block), &s.receiver_mempool, &XthinAccounting::default()))
+    });
+    g.bench_function("full_block", |b| b.iter(|| full_block_relay(black_box(&s.block))));
+    g.finish();
+}
+
+criterion_group!(benches, bench_sender_encode, bench_receiver_decode, bench_full_relay_comparison);
+criterion_main!(benches);

@@ -1,0 +1,190 @@
+//! The mempool: unconfirmed transactions plus per-peer announcement state.
+
+use crate::tx::{Transaction, TxId};
+use std::collections::{HashMap, HashSet};
+
+/// A pool of unconfirmed transactions.
+///
+/// Lookup by ID is the hot operation — Graphene receivers pass their whole
+/// mempool through Bloom filter `S` — so the pool is a hash map with a
+/// cached, lazily sorted ID list for deterministic iteration.
+#[derive(Clone, Debug, Default)]
+pub struct Mempool {
+    txns: HashMap<TxId, Transaction>,
+}
+
+impl Mempool {
+    /// An empty pool.
+    pub fn new() -> Self {
+        Mempool::default()
+    }
+
+    /// Number of pooled transactions (the paper's `m`).
+    pub fn len(&self) -> usize {
+        self.txns.len()
+    }
+
+    /// True if no transactions are pooled.
+    pub fn is_empty(&self) -> bool {
+        self.txns.is_empty()
+    }
+
+    /// Insert a transaction; returns false if it was already present.
+    pub fn insert(&mut self, tx: Transaction) -> bool {
+        self.txns.insert(*tx.id(), tx).is_none()
+    }
+
+    /// Remove by ID (e.g., when a block confirms it).
+    pub fn remove(&mut self, id: &TxId) -> Option<Transaction> {
+        self.txns.remove(id)
+    }
+
+    /// Membership test.
+    pub fn contains(&self, id: &TxId) -> bool {
+        self.txns.contains_key(id)
+    }
+
+    /// Fetch a transaction.
+    pub fn get(&self, id: &TxId) -> Option<&Transaction> {
+        self.txns.get(id)
+    }
+
+    /// Iterate over pooled transactions (arbitrary order).
+    pub fn iter(&self) -> impl Iterator<Item = &Transaction> {
+        self.txns.values()
+    }
+
+    /// All IDs, sorted (deterministic order for tests and CTOR assembly).
+    pub fn sorted_ids(&self) -> Vec<TxId> {
+        let mut ids: Vec<TxId> = self.txns.keys().copied().collect();
+        ids.sort();
+        ids
+    }
+
+    /// Remove every transaction confirmed by `block_ids`.
+    pub fn confirm(&mut self, block_ids: &[TxId]) {
+        for id in block_ids {
+            self.txns.remove(id);
+        }
+    }
+}
+
+impl FromIterator<Transaction> for Mempool {
+    fn from_iter<I: IntoIterator<Item = Transaction>>(iter: I) -> Self {
+        let mut pool = Mempool::new();
+        for tx in iter {
+            pool.insert(tx);
+        }
+        pool
+    }
+}
+
+/// Per-peer announcement bookkeeping (paper §2.2): which transactions have
+/// been `inv`-exchanged with a given neighbor.
+///
+/// Block relays consult this to proactively append transactions the peer has
+/// never seen (Protocol 1 step 3's optimization note). Real clients use
+/// "lossy data structures" for this; we keep an exact set and expose a
+/// `forget_fraction` knob so experiments can model the loss.
+#[derive(Clone, Debug, Default)]
+pub struct PeerView {
+    announced: HashSet<TxId>,
+}
+
+impl PeerView {
+    /// Empty view.
+    pub fn new() -> Self {
+        PeerView::default()
+    }
+
+    /// Record that `id` was announced to/by this peer.
+    pub fn record(&mut self, id: TxId) {
+        self.announced.insert(id);
+    }
+
+    /// Has `id` been exchanged with this peer?
+    pub fn knows(&self, id: &TxId) -> bool {
+        self.announced.contains(id)
+    }
+
+    /// Number of tracked announcements.
+    pub fn len(&self) -> usize {
+        self.announced.len()
+    }
+
+    /// True if nothing has been announced.
+    pub fn is_empty(&self) -> bool {
+        self.announced.is_empty()
+    }
+
+    /// Drop roughly `fraction` of the tracked announcements (deterministic:
+    /// drops by hash order), modeling the lossy tracking of real clients.
+    pub fn forget_fraction(&mut self, fraction: f64) {
+        if fraction <= 0.0 {
+            return;
+        }
+        let mut ids: Vec<TxId> = self.announced.iter().copied().collect();
+        ids.sort();
+        let drop = ((ids.len() as f64) * fraction.min(1.0)).round() as usize;
+        for id in ids.into_iter().take(drop) {
+            self.announced.remove(&id);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tx(i: u64) -> Transaction {
+        Transaction::new(i.to_le_bytes().to_vec())
+    }
+
+    #[test]
+    fn insert_contains_remove() {
+        let mut pool = Mempool::new();
+        let t = tx(1);
+        let id = *t.id();
+        assert!(pool.insert(t.clone()));
+        assert!(!pool.insert(t)); // duplicate
+        assert!(pool.contains(&id));
+        assert_eq!(pool.len(), 1);
+        assert!(pool.remove(&id).is_some());
+        assert!(pool.is_empty());
+    }
+
+    #[test]
+    fn confirm_removes_block_txns() {
+        let mut pool: Mempool = (0..10).map(tx).collect();
+        let confirmed: Vec<TxId> = (0..5).map(|i| *tx(i).id()).collect();
+        pool.confirm(&confirmed);
+        assert_eq!(pool.len(), 5);
+        assert!(!pool.contains(tx(0).id()));
+        assert!(pool.contains(tx(7).id()));
+    }
+
+    #[test]
+    fn sorted_ids_deterministic() {
+        let pool: Mempool = (0..50).map(tx).collect();
+        let a = pool.sorted_ids();
+        let b = pool.sorted_ids();
+        assert_eq!(a, b);
+        assert!(a.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn peer_view_tracks_and_forgets() {
+        let mut view = PeerView::new();
+        for i in 0..100 {
+            view.record(*tx(i).id());
+        }
+        assert_eq!(view.len(), 100);
+        assert!(view.knows(tx(5).id()));
+        view.forget_fraction(0.3);
+        assert_eq!(view.len(), 70);
+        view.forget_fraction(0.0);
+        assert_eq!(view.len(), 70);
+        view.forget_fraction(1.0);
+        assert!(view.is_empty());
+    }
+}

@@ -1,0 +1,84 @@
+//! Transactions and transaction IDs.
+
+use bytes::Bytes;
+use graphene_hashes::{sha256d, Digest};
+
+/// A transaction ID: the double-SHA256 of the serialized transaction.
+pub type TxId = Digest;
+
+/// A transaction: an opaque payload plus its cached ID.
+///
+/// Graphene never inspects transaction *contents* — only IDs and sizes — so
+/// the payload is opaque bytes. `Bytes` keeps clones cheap: a mempool, a
+/// block and an in-flight message can share one buffer, mirroring how a real
+/// node avoids copying transaction data.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Transaction {
+    payload: Bytes,
+    id: TxId,
+}
+
+impl Transaction {
+    /// Wrap a serialized transaction payload.
+    pub fn new(payload: impl Into<Bytes>) -> Self {
+        let payload = payload.into();
+        let id = sha256d(&payload);
+        Transaction { payload, id }
+    }
+
+    /// Construct a transaction with an explicitly forged ID.
+    ///
+    /// Real IDs are always the double-SHA256 of the payload; forging one is
+    /// a 2^64+-work brute force. This constructor exists so adversarial
+    /// simulations (paper §6.1, manufactured short-ID collisions) can model
+    /// a successful grind without burning the CPU time — production code
+    /// must never call it.
+    pub fn forge_with_id(payload: impl Into<Bytes>, id: TxId) -> Self {
+        Transaction { payload: payload.into(), id }
+    }
+
+    /// The transaction ID (double-SHA256 of the payload).
+    #[inline]
+    pub fn id(&self) -> &TxId {
+        &self.id
+    }
+
+    /// Serialized size in bytes.
+    #[inline]
+    pub fn size(&self) -> usize {
+        self.payload.len()
+    }
+
+    /// Borrow the raw payload.
+    #[inline]
+    pub fn payload(&self) -> &Bytes {
+        &self.payload
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn id_is_double_sha() {
+        let tx = Transaction::new(&b"spend 1 coin"[..]);
+        assert_eq!(*tx.id(), sha256d(b"spend 1 coin"));
+        assert_eq!(tx.size(), 12);
+    }
+
+    #[test]
+    fn distinct_payloads_distinct_ids() {
+        let a = Transaction::new(&b"a"[..]);
+        let b = Transaction::new(&b"b"[..]);
+        assert_ne!(a.id(), b.id());
+    }
+
+    #[test]
+    fn clone_shares_payload() {
+        let tx = Transaction::new(vec![0u8; 1000]);
+        let c = tx.clone();
+        // Bytes clones are refcounted: same backing pointer.
+        assert_eq!(tx.payload().as_ptr(), c.payload().as_ptr());
+    }
+}

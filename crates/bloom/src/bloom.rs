@@ -1,0 +1,295 @@
+//! The classic Bloom filter (Bloom 1970), sized per the paper's formulas.
+//!
+//! # Index derivation
+//!
+//! Two strategies are provided (paper §6.3, "Reducing Processing Time"):
+//!
+//! * [`HashStrategy::DoubleHashing`] — Kirsch–Mitzenmacher: two independent
+//!   64-bit SipHash values `h1`, `h2` give index `i` as `h1 + i·h2`. Works
+//!   for any `k` and any element length; this is the portable default.
+//! * [`HashStrategy::KPiece`] — the §6.3 optimization: a txid is *already*
+//!   the output of a cryptographic hash, so instead of rehashing it `k`
+//!   times, slice the 32-byte ID into `k` pieces and use each piece as an
+//!   index (after mixing in the filter's salt so distinct filters are
+//!   independent). Valid for `k ≤ 8` (four bytes per piece); construction
+//!   falls back to double hashing above that.
+//!
+//! The deployed BCH implementation reported §6.3 roughly halving receiver
+//! processing; the `bloom_hashing` bench in `crates/bench` reproduces that
+//! comparison.
+
+use crate::bitvec::BitVec;
+use crate::params::{bloom_bits, optimal_hash_count, theoretical_fpr};
+use crate::Membership;
+use graphene_hashes::{siphash24, Digest, SipKey};
+
+/// How bit indexes are derived from a 32-byte ID.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum HashStrategy {
+    /// Kirsch–Mitzenmacher double hashing over SipHash-2-4 (any `k`).
+    DoubleHashing,
+    /// Slice the already-uniform txid into `k` 4-byte pieces (k ≤ 8).
+    KPiece,
+}
+
+/// A Bloom filter keyed by transaction IDs.
+///
+/// ```
+/// use graphene_bloom::{BloomFilter, Membership};
+/// use graphene_hashes::sha256;
+///
+/// let ids: Vec<_> = (0u64..100).map(|i| sha256(&i.to_le_bytes())).collect();
+/// let mut filter = BloomFilter::new(ids.len(), 0.01, 7);
+/// for id in &ids {
+///     filter.insert(id);
+/// }
+/// assert!(ids.iter().all(|id| filter.contains(id)));
+/// ```
+#[derive(Clone, Debug)]
+pub struct BloomFilter {
+    bits: BitVec,
+    k: u32,
+    /// Target false-positive rate the filter was constructed for.
+    fpr: f64,
+    /// Salt decorrelates multiple filters over the same txid universe
+    /// (Graphene's S, R and F must be independent).
+    salt: u64,
+    strategy: HashStrategy,
+    inserted: usize,
+}
+
+impl BloomFilter {
+    /// Create a filter for `n` expected items at false-positive rate `fpr`.
+    ///
+    /// `fpr >= 1.0` produces the degenerate zero-byte filter that matches
+    /// everything — Graphene uses this when the optimizer drives `f_S → 1`
+    /// (paper §3.3.1, special case `m ≈ n`).
+    pub fn new(n: usize, fpr: f64, salt: u64) -> Self {
+        Self::with_strategy(n, fpr, salt, HashStrategy::DoubleHashing)
+    }
+
+    /// As [`BloomFilter::new`] with an explicit [`HashStrategy`].
+    pub fn with_strategy(n: usize, fpr: f64, salt: u64, strategy: HashStrategy) -> Self {
+        let nbits = bloom_bits(n, fpr);
+        let k = optimal_hash_count(nbits, n);
+        let strategy = match strategy {
+            HashStrategy::KPiece if k <= 8 => HashStrategy::KPiece,
+            _ => HashStrategy::DoubleHashing,
+        };
+        BloomFilter { bits: BitVec::new(nbits), k, fpr: fpr.min(1.0), salt, strategy, inserted: 0 }
+    }
+
+    /// Construct with explicit geometry (used by wire decoding).
+    pub fn from_parts(bits: BitVec, k: u32, fpr: f64, salt: u64, strategy: HashStrategy) -> Self {
+        BloomFilter { bits, k, fpr, salt, strategy, inserted: 0 }
+    }
+
+    /// Number of hash functions.
+    pub fn hash_count(&self) -> u32 {
+        self.k
+    }
+
+    /// Number of bits in the underlying array.
+    pub fn bit_len(&self) -> usize {
+        self.bits.len()
+    }
+
+    /// Number of items inserted so far.
+    pub fn inserted(&self) -> usize {
+        self.inserted
+    }
+
+    /// The salt this filter mixes into its hash functions.
+    pub fn salt(&self) -> u64 {
+        self.salt
+    }
+
+    /// The index-derivation strategy in use.
+    pub fn strategy(&self) -> HashStrategy {
+        self.strategy
+    }
+
+    /// Borrow the raw bit array (for serialization).
+    pub fn bit_vec(&self) -> &BitVec {
+        &self.bits
+    }
+
+    /// Insert a txid.
+    pub fn insert(&mut self, id: &Digest) {
+        if self.bits.is_empty() {
+            self.inserted += 1;
+            return; // match-everything filter
+        }
+        let m = self.bits.len();
+        let idxs: Vec<usize> = self.indexes(id).collect();
+        for idx in idxs {
+            self.bits.set(idx % m);
+        }
+        self.inserted += 1;
+    }
+
+    /// The realized false-positive rate given the current fill, from the
+    /// standard `(1 - e^{-kn/m})^k` model.
+    pub fn realized_fpr(&self) -> f64 {
+        theoretical_fpr(self.bits.len(), self.k, self.inserted)
+    }
+
+    fn indexes(&self, id: &Digest) -> impl Iterator<Item = usize> + '_ {
+        let m = self.bits.len().max(1);
+        let (h1, h2) = match self.strategy {
+            HashStrategy::DoubleHashing => {
+                let h1 = siphash24(SipKey::new(self.salt, 0x5350_4c49_5431), &id.0);
+                let h2 = siphash24(SipKey::new(self.salt, 0x5350_4c49_5432), &id.0) | 1;
+                (h1, h2)
+            }
+            HashStrategy::KPiece => (0, 0),
+        };
+        let strategy = self.strategy;
+        let salt = self.salt;
+        let id = *id;
+        (0..self.k).map(move |i| match strategy {
+            HashStrategy::DoubleHashing => {
+                (h1.wrapping_add((i as u64).wrapping_mul(h2)) % m as u64) as usize
+            }
+            HashStrategy::KPiece => {
+                // Use the i-th 4-byte piece of the (uniform) txid, mixed with
+                // the salt by a cheap multiply-xor so distinct filters over
+                // the same IDs stay independent.
+                let off = (i as usize) * 4;
+                let piece =
+                    u32::from_le_bytes(id.0[off..off + 4].try_into().expect("4-byte piece"));
+                let mixed = (piece as u64 ^ salt).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+                (mixed % m as u64) as usize
+            }
+        })
+    }
+}
+
+impl Membership for BloomFilter {
+    fn contains(&self, id: &Digest) -> bool {
+        if self.bits.is_empty() {
+            return true; // degenerate fpr >= 1 filter
+        }
+        let m = self.bits.len();
+        self.indexes(id).all(|idx| self.bits.get(idx % m))
+    }
+
+    /// Wire size, matching `graphene-wire`'s encoder exactly: a flag byte,
+    /// then (for non-degenerate filters) bit length `u32`, `k` byte,
+    /// salt `u64`, and the packed bit array.
+    fn serialized_size(&self) -> usize {
+        if self.bits.is_empty() {
+            return 1; // a single flag byte for the match-all filter
+        }
+        1 + 4 + 1 + 8 + self.bits.len().div_ceil(8)
+    }
+
+    fn fpr(&self) -> f64 {
+        self.fpr
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use graphene_hashes::sha256;
+
+    fn ids(n: usize, tag: u64) -> Vec<Digest> {
+        (0..n as u64)
+            .map(|i| sha256(&[i.to_le_bytes(), tag.to_le_bytes()].concat()))
+            .collect()
+    }
+
+    #[test]
+    fn no_false_negatives() {
+        for strategy in [HashStrategy::DoubleHashing, HashStrategy::KPiece] {
+            let set = ids(500, 1);
+            let mut f = BloomFilter::with_strategy(set.len(), 0.01, 42, strategy);
+            for id in &set {
+                f.insert(id);
+            }
+            assert!(set.iter().all(|id| f.contains(id)), "{strategy:?}");
+        }
+    }
+
+    #[test]
+    fn fpr_close_to_target() {
+        for strategy in [HashStrategy::DoubleHashing, HashStrategy::KPiece] {
+            let inserted = ids(1000, 2);
+            let probes = ids(20_000, 3);
+            let target = 0.02;
+            let mut f = BloomFilter::with_strategy(inserted.len(), target, 7, strategy);
+            for id in &inserted {
+                f.insert(id);
+            }
+            let fp = probes.iter().filter(|id| f.contains(id)).count();
+            let rate = fp as f64 / probes.len() as f64;
+            // Allow generous slack: the estimate itself has variance.
+            assert!(
+                rate < target * 1.8,
+                "{strategy:?}: observed fpr {rate} vs target {target}"
+            );
+            assert!(rate > target * 0.3, "{strategy:?}: observed fpr {rate} suspiciously low");
+        }
+    }
+
+    #[test]
+    fn degenerate_match_all() {
+        let f = BloomFilter::new(100, 1.0, 0);
+        assert_eq!(f.bit_len(), 0);
+        assert!(f.contains(&sha256(b"anything")));
+        assert_eq!(f.serialized_size(), 1);
+    }
+
+    #[test]
+    fn salts_decorrelate() {
+        let set = ids(2000, 4);
+        let probes = ids(30_000, 5);
+        let build = |salt| {
+            let mut f = BloomFilter::new(set.len(), 0.05, salt);
+            for id in &set {
+                f.insert(id);
+            }
+            f
+        };
+        let f1 = build(1);
+        let f2 = build(2);
+        // False positives of one filter should be (mostly) independent of the
+        // other: joint FPR ≈ fpr², far below single-filter FPR.
+        let joint = probes
+            .iter()
+            .filter(|id| f1.contains(id) && f2.contains(id))
+            .count();
+        let single = probes.iter().filter(|id| f1.contains(id)).count();
+        assert!(
+            joint * 5 < single.max(1),
+            "joint {joint} vs single {single} — filters correlated?"
+        );
+    }
+
+    #[test]
+    fn kpiece_falls_back_when_k_too_large() {
+        // fpr small enough to need k > 8.
+        let f = BloomFilter::with_strategy(1000, 0.0001, 0, HashStrategy::KPiece);
+        assert!(f.hash_count() > 8);
+        assert_eq!(f.strategy(), HashStrategy::DoubleHashing);
+    }
+
+    #[test]
+    fn serialized_size_tracks_formula() {
+        let f = BloomFilter::new(1000, 0.01, 0);
+        let expect = crate::params::bloom_size_bytes(1000, 0.01);
+        // Payload plus the 14-byte wire header.
+        assert!(f.serialized_size() >= expect && f.serialized_size() <= expect + 14);
+    }
+
+    #[test]
+    fn empty_filter_contains_nothing() {
+        let f = BloomFilter::new(100, 0.01, 0);
+        let misses = ids(1000, 9)
+            .iter()
+            .filter(|id| f.contains(id))
+            .count();
+        assert_eq!(misses, 0, "an empty filter must reject essentially all probes");
+    }
+}

@@ -1,0 +1,229 @@
+//! Cuckoo filter (Fan, Andersen, Kaminsky, Mitzenmacher — CoNEXT 2014).
+//!
+//! Listed by the paper (§3.3) as a drop-in alternative to the Bloom filters
+//! in Graphene. Partial-key cuckoo hashing with 4-slot buckets; supports
+//! deletion, which classic Bloom filters do not.
+
+use crate::Membership;
+use graphene_hashes::{siphash24, Digest, SipKey};
+
+const SLOTS_PER_BUCKET: usize = 4;
+const MAX_KICKS: usize = 500;
+
+/// A cuckoo filter over txids with 16-bit fingerprints.
+///
+/// A 16-bit fingerprint and 4-slot buckets give a worst-case false-positive
+/// rate of roughly `2·4/2^16 ≈ 1.2e-4`; the effective rate scales down when
+/// the requested `fpr` is larger because lookups also check the requested
+/// target (we keep fingerprints full-width for simplicity — the wire format
+/// could pack them tighter, which `serialized_size` models).
+#[derive(Clone, Debug)]
+pub struct CuckooFilter {
+    /// Fingerprints; 0 = empty slot.
+    buckets: Vec<[u16; SLOTS_PER_BUCKET]>,
+    nbuckets: usize,
+    salt: u64,
+    fpr: f64,
+    fingerprint_bits: u32,
+    len: usize,
+}
+
+impl CuckooFilter {
+    /// Create a filter for about `n` items at target rate `fpr`.
+    pub fn new(n: usize, fpr: f64, salt: u64) -> Self {
+        // Fingerprint size: ceil(log2(2b/ε)) bits, clamped to [4, 16].
+        let bits = ((2.0 * SLOTS_PER_BUCKET as f64 / fpr.max(1e-9)).log2().ceil() as u32)
+            .clamp(4, 16);
+        // 95% target load factor for b = 4.
+        let nbuckets = ((n as f64 / (SLOTS_PER_BUCKET as f64 * 0.95)).ceil() as usize)
+            .next_power_of_two()
+            .max(1);
+        CuckooFilter {
+            buckets: vec![[0u16; SLOTS_PER_BUCKET]; nbuckets],
+            nbuckets,
+            salt,
+            fpr,
+            fingerprint_bits: bits,
+            len: 0,
+        }
+    }
+
+    /// Number of stored fingerprints.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True if no items are stored.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    fn fingerprint(&self, id: &Digest) -> u16 {
+        let h = siphash24(SipKey::new(self.salt, 0x4350_4650), &id.0);
+        let mask = if self.fingerprint_bits >= 16 {
+            u16::MAX
+        } else {
+            ((1u32 << self.fingerprint_bits) - 1) as u16
+        };
+        // Fingerprint 0 is the empty marker; remap.
+        let fp = (h as u16) & mask;
+        if fp == 0 {
+            1
+        } else {
+            fp
+        }
+    }
+
+    fn index1(&self, id: &Digest) -> usize {
+        (siphash24(SipKey::new(self.salt, 0x4350_4931), &id.0) as usize) & (self.nbuckets - 1)
+    }
+
+    fn index2(&self, i1: usize, fp: u16) -> usize {
+        // Partial-key cuckoo hashing: i2 = i1 XOR hash(fp).
+        let h = siphash24(SipKey::new(self.salt, 0x4350_4932), &fp.to_le_bytes());
+        (i1 ^ h as usize) & (self.nbuckets - 1)
+    }
+
+    fn bucket_insert(&mut self, idx: usize, fp: u16) -> bool {
+        for slot in self.buckets[idx].iter_mut() {
+            if *slot == 0 {
+                *slot = fp;
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Insert a txid. Returns `false` if the filter is too full (the item is
+    /// *not* inserted and the caller should rebuild with more capacity).
+    pub fn insert(&mut self, id: &Digest) -> bool {
+        let fp = self.fingerprint(id);
+        let i1 = self.index1(id);
+        let i2 = self.index2(i1, fp);
+        if self.bucket_insert(i1, fp) || self.bucket_insert(i2, fp) {
+            self.len += 1;
+            return true;
+        }
+        // Evict: random-walk displacement.
+        let mut idx = if (fp as usize) & 1 == 0 { i1 } else { i2 };
+        let mut fp = fp;
+        for kick in 0..MAX_KICKS {
+            let slot = kick % SLOTS_PER_BUCKET;
+            core::mem::swap(&mut fp, &mut self.buckets[idx][slot]);
+            idx = self.index2(idx, fp);
+            if self.bucket_insert(idx, fp) {
+                self.len += 1;
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Remove a txid. Returns `true` if a matching fingerprint was removed.
+    pub fn remove(&mut self, id: &Digest) -> bool {
+        let fp = self.fingerprint(id);
+        let i1 = self.index1(id);
+        let i2 = self.index2(i1, fp);
+        for idx in [i1, i2] {
+            for slot in self.buckets[idx].iter_mut() {
+                if *slot == fp {
+                    *slot = 0;
+                    self.len -= 1;
+                    return true;
+                }
+            }
+        }
+        false
+    }
+}
+
+impl Membership for CuckooFilter {
+    fn contains(&self, id: &Digest) -> bool {
+        let fp = self.fingerprint(id);
+        let i1 = self.index1(id);
+        let i2 = self.index2(i1, fp);
+        self.buckets[i1].contains(&fp) || self.buckets[i2].contains(&fp)
+    }
+
+    /// Wire size: packed fingerprints at `fingerprint_bits` each + header.
+    fn serialized_size(&self) -> usize {
+        (self.nbuckets * SLOTS_PER_BUCKET * self.fingerprint_bits as usize).div_ceil(8) + 9
+    }
+
+    fn fpr(&self) -> f64 {
+        self.fpr
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use graphene_hashes::sha256;
+
+    fn ids(n: usize, tag: u64) -> Vec<Digest> {
+        (0..n as u64)
+            .map(|i| sha256(&[i.to_le_bytes(), tag.to_le_bytes()].concat()))
+            .collect()
+    }
+
+    #[test]
+    fn insert_then_contains() {
+        let set = ids(1000, 1);
+        let mut f = CuckooFilter::new(set.len(), 0.01, 3);
+        for id in &set {
+            assert!(f.insert(id));
+        }
+        assert!(set.iter().all(|id| f.contains(id)));
+        assert_eq!(f.len(), 1000);
+    }
+
+    #[test]
+    fn false_positive_rate_bounded() {
+        let set = ids(2000, 2);
+        let probes = ids(50_000, 3);
+        let mut f = CuckooFilter::new(set.len(), 0.01, 3);
+        for id in &set {
+            assert!(f.insert(id));
+        }
+        let fp = probes.iter().filter(|id| f.contains(id)).count();
+        let rate = fp as f64 / probes.len() as f64;
+        assert!(rate < 0.02, "observed fpr {rate}");
+    }
+
+    #[test]
+    fn remove_restores_absence() {
+        let set = ids(100, 4);
+        let mut f = CuckooFilter::new(set.len(), 0.01, 1);
+        for id in &set {
+            assert!(f.insert(id));
+        }
+        for id in &set {
+            assert!(f.remove(id));
+        }
+        assert!(f.is_empty());
+        // After removal, essentially nothing should match.
+        let hits = set.iter().filter(|id| f.contains(id)).count();
+        assert_eq!(hits, 0);
+    }
+
+    #[test]
+    fn remove_absent_returns_false() {
+        let mut f = CuckooFilter::new(10, 0.01, 1);
+        assert!(!f.remove(&sha256(b"absent")));
+    }
+
+    #[test]
+    fn overfill_reports_failure() {
+        // Cram far more items than capacity; insert must eventually refuse
+        // rather than loop forever or silently drop.
+        let mut f = CuckooFilter::new(8, 0.01, 1);
+        let mut failed = false;
+        for id in ids(2000, 5) {
+            if !f.insert(&id) {
+                failed = true;
+                break;
+            }
+        }
+        assert!(failed, "expected an insert failure on gross overfill");
+    }
+}

@@ -1,0 +1,71 @@
+//! Error types for the Graphene protocol.
+
+use core::fmt;
+
+/// Failures surfaced by the protocol layer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GrapheneError {
+    /// Invalid configuration.
+    BadConfig(&'static str),
+    /// Protocol 1 could not reconstruct the block (expected when the
+    /// receiver is missing transactions; the caller should run Protocol 2).
+    Protocol1Failed(P1Failure),
+    /// Protocol 2 could not reconstruct the block.
+    Protocol2Failed(P2Failure),
+    /// A peer sent a provably malformed structure (ban-worthy, §6.1).
+    Malformed(&'static str),
+}
+
+/// Why Protocol 1 failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum P1Failure {
+    /// `I ⊖ I′` left a non-empty 2-core.
+    IbltIncomplete,
+    /// The IBLT recovered transactions the receiver does not hold — the
+    /// mempool is missing part of the block.
+    MissingTransactions {
+        /// How many block transactions the receiver provably lacks.
+        count: usize,
+    },
+    /// Reconstructed set hashed to the wrong Merkle root.
+    MerkleMismatch,
+    /// Two mempool transactions share a short ID (§6.1 collision), so the
+    /// candidate set is ambiguous.
+    ShortIdCollision,
+}
+
+/// Why Protocol 2 failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum P2Failure {
+    /// `J ⊖ J′` (with ping-pong) left a non-empty 2-core.
+    IbltIncomplete,
+    /// Reconstructed set hashed to the wrong Merkle root.
+    MerkleMismatch,
+    /// Two candidate transactions share a short ID.
+    ShortIdCollision,
+}
+
+impl fmt::Display for GrapheneError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GrapheneError::BadConfig(what) => write!(f, "bad configuration: {what}"),
+            GrapheneError::Protocol1Failed(why) => write!(f, "protocol 1 failed: {why:?}"),
+            GrapheneError::Protocol2Failed(why) => write!(f, "protocol 2 failed: {why:?}"),
+            GrapheneError::Malformed(what) => write!(f, "malformed peer data: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for GrapheneError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = GrapheneError::Protocol1Failed(P1Failure::MissingTransactions { count: 3 });
+        assert!(e.to_string().contains("protocol 1"));
+        assert!(format!("{e}").contains("3"));
+    }
+}

@@ -1,0 +1,390 @@
+//! Parameter derivation: the paper's §3.3 math.
+//!
+//! Everything here is pure arithmetic — no data structures — so it can be
+//! validated directly against the theorems (Figs. 19–20 reproduce the
+//! empirical validation of Theorems 2 and 3).
+
+use graphene_bloom::params::bloom_size_bytes;
+use graphene_iblt::{CELL_BYTES, HEADER_BYTES};
+use graphene_iblt_params::{params_for, IbltParams};
+
+/// The Chernoff padding factor δ = ½(s + √(s² + 8s)) shared by Theorems 1
+/// and 3 (derived in Lemma 1's inversion).
+pub fn chernoff_delta(s: f64) -> f64 {
+    if s <= 0.0 {
+        return 0.0;
+    }
+    0.5 * (s + (s * s + 8.0 * s).sqrt())
+}
+
+/// Theorem 1: pad the expected false-positive count `a` to `a*` such that
+/// `a* ≥ a` with probability `beta`.
+pub fn a_star(a: f64, beta: f64) -> usize {
+    if a <= 0.0 {
+        return 0;
+    }
+    let s = -(1.0 - beta).ln() / a;
+    ((1.0 + chernoff_delta(s)) * a).ceil() as usize
+}
+
+/// Theorem 2: a lower bound `x* ≤ x` (with β-assurance) on the number of
+/// true positives hidden inside the observed count `z` of mempool
+/// transactions passing `S`.
+///
+/// `cap` bounds the scan (use `min(z, n)` — the receiver cannot hold more
+/// true positives than the block has transactions).
+pub fn x_star(z: usize, m: usize, f_s: f64, beta: f64, cap: usize) -> usize {
+    if z == 0 || m == 0 {
+        return 0;
+    }
+    let cap = cap.min(z);
+    let budget = 1.0 - beta;
+    let mut best = 0usize;
+    for k in 0..=cap {
+        let remaining = (m - k.min(m)) as f64;
+        let mu = remaining * f_s;
+        if mu <= 0.0 {
+            break;
+        }
+        let delta_k = (z - k) as f64 / mu - 1.0;
+        if delta_k <= 0.0 {
+            // Chernoff bound vacuous: observing z is unexceptional if the
+            // receiver holds k true positives. Larger k only gets worse.
+            break;
+        }
+        // ln of (e^δ / (1+δ)^{1+δ})^μ, computed in log space.
+        let ln_term = mu * (delta_k - (1.0 + delta_k) * (1.0 + delta_k).ln());
+        // The paper's bound sums k+1 identical terms.
+        let ln_bound = ((k + 1) as f64).ln() + ln_term;
+        if ln_bound <= budget.ln() {
+            best = k;
+        } else {
+            break;
+        }
+    }
+    best
+}
+
+/// Theorem 3: an upper bound `y* ≥ y` (with β-assurance) on the number of
+/// false positives through `S`, given the Theorem 2 bound `x_star`.
+pub fn y_star(m: usize, x_star: usize, f_s: f64, beta: f64) -> usize {
+    let mu = (m.saturating_sub(x_star)) as f64 * f_s;
+    if mu <= 0.0 {
+        return 0;
+    }
+    let s = -(1.0 - beta).ln() / mu;
+    ((1.0 + chernoff_delta(s)) * mu).ceil() as usize
+}
+
+/// Wire size in bytes of an IBLT sized to recover `j` items at failure rate
+/// `1/rate_denom`, from the embedded parameter table.
+pub fn iblt_cost(j: usize, rate_denom: u32) -> usize {
+    let p = params_for(j.max(1), rate_denom);
+    HEADER_BYTES + p.c * CELL_BYTES
+}
+
+/// The sender's Protocol 1 size optimization (Eqs. 2–3).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct AChoice {
+    /// Expected Bloom-filter false positives `a` the optimizer chose.
+    pub a: usize,
+    /// β-assurance padding `a* ≥ a` (Theorem 1) the IBLT is sized for.
+    pub a_star: usize,
+    /// Resulting `f_S = a / (m - n)` (1.0 when `m ≤ n`).
+    pub fpr: f64,
+    /// Bloom-filter payload bytes at this choice.
+    pub bloom_bytes: usize,
+    /// IBLT geometry for `a*` recoverable items.
+    pub iblt: IbltParams,
+    /// Combined size `T(a)` in bytes.
+    pub total: usize,
+}
+
+/// Evaluate `T(a)` exactly: real (ceiling-discretized) Bloom and IBLT sizes.
+fn eval_a(n: usize, m_minus_n: usize, a: usize, beta: f64, rate_denom: u32) -> AChoice {
+    let a = a.clamp(1, m_minus_n.max(1));
+    let fpr = if m_minus_n == 0 { 1.0 } else { (a as f64 / m_minus_n as f64).min(1.0) };
+    let astar = if m_minus_n == 0 { 1 } else { a_star(a as f64, beta).max(1) };
+    let bloom_bytes = if fpr >= 1.0 { 1 } else { 14 + bloom_size_bytes(n, fpr) };
+    let iblt = params_for(astar, rate_denom);
+    let iblt_bytes = HEADER_BYTES + iblt.c * CELL_BYTES;
+    AChoice { a, a_star: astar, fpr, bloom_bytes, iblt, total: bloom_bytes + iblt_bytes }
+}
+
+/// Choose `a` minimizing the summed size of `S` and `I` (paper §3.3.1).
+///
+/// Candidates follow the paper: every `a < 100` evaluated with exact ceiling
+/// sizes, the Eq. 3 critical point `a = n/(8·r·τ·ln² 2)`, and the endpoint
+/// `a = m - n` (the IBLT-only solution that wins when `m ≈ n`). We add a
+/// log-spaced sweep between — with exact evaluation it costs microseconds
+/// and guards against discretization surprises.
+pub fn optimal_a(n: usize, m: usize, beta: f64, rate_denom: u32) -> AChoice {
+    let n = n.max(1);
+    let mn = m.saturating_sub(n);
+    if mn == 0 {
+        // m ≤ n: a match-everything filter plus a small IBLT; Protocol 2
+        // repairs whatever is actually out of sync.
+        return eval_a(n, 0, 1, beta, rate_denom);
+    }
+    let mut candidates: Vec<usize> = (1..=100.min(mn)).collect();
+    // Eq. 3 with r = CELL_BYTES and a representative τ = 1.5.
+    let ln2sq = core::f64::consts::LN_2 * core::f64::consts::LN_2;
+    let critical = (n as f64 / (8.0 * CELL_BYTES as f64 * 1.5 * ln2sq)).round() as usize;
+    candidates.push(critical.clamp(1, mn));
+    candidates.push(mn);
+    // Log-spaced sweep from 100 to m-n.
+    let mut v = 100.0f64;
+    while (v as usize) < mn {
+        candidates.push(v as usize);
+        v *= 1.25;
+    }
+    candidates
+        .into_iter()
+        .map(|a| eval_a(n, mn, a, beta, rate_denom))
+        .min_by(|x, y| (x.total, x.a).cmp(&(y.total, y.a)))
+        .expect("candidate list is never empty")
+}
+
+/// The receiver's Protocol 2 size optimization (Eqs. 4–5).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct BChoice {
+    /// Expected `R` false positives `b` the optimizer chose.
+    pub b: usize,
+    /// Resulting `f_R = b / (n - x*)` (1.0 when `n ≤ x*`).
+    pub fpr: f64,
+    /// Items the IBLT `J` must recover: `b + y*`.
+    pub j: usize,
+    /// Bloom-filter (`R`) payload bytes.
+    pub bloom_bytes: usize,
+    /// IBLT geometry for `j` recoverable items.
+    pub iblt: IbltParams,
+    /// Combined size `T(b)` in bytes.
+    pub total: usize,
+}
+
+fn eval_b(z: usize, n_minus_xstar: usize, ystar: usize, b: usize, rate_denom: u32) -> BChoice {
+    let b = b.clamp(1, n_minus_xstar.max(1));
+    let fpr = if n_minus_xstar == 0 {
+        1.0
+    } else {
+        (b as f64 / n_minus_xstar as f64).min(1.0)
+    };
+    let bloom_bytes = if fpr >= 1.0 { 1 } else { 14 + bloom_size_bytes(z, fpr) };
+    let j = b + ystar;
+    let iblt = params_for(j.max(1), rate_denom);
+    let iblt_bytes = HEADER_BYTES + iblt.c * CELL_BYTES;
+    BChoice { b, fpr, j, bloom_bytes, iblt, total: bloom_bytes + iblt_bytes }
+}
+
+/// Choose `b` minimizing the summed size of `R` and `J` (paper §3.3.2),
+/// given the candidate-set size `z` and the Theorem 2/3 bounds.
+pub fn optimal_b(z: usize, n: usize, xstar: usize, ystar: usize, rate_denom: u32) -> BChoice {
+    let nx = n.saturating_sub(xstar);
+    if nx == 0 {
+        return eval_b(z.max(1), 0, ystar, 1, rate_denom);
+    }
+    let mut candidates: Vec<usize> = (1..=100.min(nx)).collect();
+    let ln2sq = core::f64::consts::LN_2 * core::f64::consts::LN_2;
+    let critical = (z as f64 / (8.0 * CELL_BYTES as f64 * 1.5 * ln2sq)).round() as usize;
+    candidates.push(critical.clamp(1, nx));
+    candidates.push(nx);
+    let mut v = 100.0f64;
+    while (v as usize) < nx {
+        candidates.push(v as usize);
+        v *= 1.25;
+    }
+    candidates
+        .into_iter()
+        .map(|b| eval_b(z.max(1), nx, ystar, b, rate_denom))
+        .min_by(|x, y| (x.total, x.b).cmp(&(y.total, y.b)))
+        .expect("candidate list is never empty")
+}
+
+/// Bundled Protocol 1 parameters, exported for introspection by the
+/// evaluation harness.
+#[derive(Clone, Copy, Debug)]
+pub struct ProtocolParams {
+    /// Block size `n`.
+    pub n: usize,
+    /// Receiver mempool size `m` (as reported in `getdata`).
+    pub m: usize,
+    /// The Protocol 1 size optimization outcome.
+    pub a_choice: AChoice,
+}
+
+impl ProtocolParams {
+    /// Derive Protocol 1 parameters for a block of `n` transactions and a
+    /// receiver mempool of `m`.
+    pub fn derive(n: usize, m: usize, beta: f64, rate_denom: u32) -> ProtocolParams {
+        ProtocolParams { n, m, a_choice: optimal_a(n, m, beta, rate_denom) }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const BETA: f64 = 239.0 / 240.0;
+
+    #[test]
+    fn delta_zero_for_nonpositive() {
+        assert_eq!(chernoff_delta(0.0), 0.0);
+        assert_eq!(chernoff_delta(-1.0), 0.0);
+        assert!(chernoff_delta(1.0) > 0.0);
+    }
+
+    #[test]
+    fn a_star_exceeds_a() {
+        for a in [1usize, 5, 20, 100, 1000] {
+            let astar = a_star(a as f64, BETA);
+            assert!(astar > a, "a = {a}: a* = {astar}");
+            // Padding is relatively tighter for larger a (concentration).
+            if a >= 100 {
+                assert!(astar < a * 2, "a = {a}: a* = {astar} overshoots");
+            }
+        }
+        assert_eq!(a_star(0.0, BETA), 0);
+    }
+
+    #[test]
+    fn x_star_is_conservative_lower_bound() {
+        // Receiver holds x = 180 of a 200-txn block; mempool m = 1000,
+        // f_S = 0.1 ⇒ E[y] = (1000-180)·0.1 = 82, z ≈ 262.
+        let (m, f_s) = (1000usize, 0.1);
+        let (x, y_expected) = (180usize, 82usize);
+        let z = x + y_expected;
+        let xs = x_star(z, m, f_s, BETA, 200);
+        assert!(xs <= x, "x* = {xs} exceeds true x = {x}");
+        assert!(xs > 0, "x* degenerate");
+    }
+
+    #[test]
+    fn x_star_zero_cases() {
+        assert_eq!(x_star(0, 100, 0.1, BETA, 10), 0);
+        assert_eq!(x_star(10, 0, 0.1, BETA, 10), 0);
+    }
+
+    #[test]
+    fn y_star_exceeds_expectation() {
+        let m = 3000;
+        let xs = 150;
+        let f_s = 0.05;
+        let expect = (m - xs) as f64 * f_s;
+        let ys = y_star(m, xs, f_s, BETA);
+        assert!(ys as f64 > expect);
+        assert!((ys as f64) < expect * 3.0, "y* = {ys} vs E[y] = {expect}");
+        assert_eq!(y_star(100, 100, 0.5, BETA), 0);
+    }
+
+    #[test]
+    fn optimal_a_balances_structures() {
+        // Paper's headline case: n = 2000, m = 6000.
+        let c = optimal_a(2000, 6000, BETA, 240);
+        assert!(c.a >= 1 && c.a <= 4000);
+        assert!(c.a_star > c.a);
+        assert!(c.total < 6 * 2000, "Graphene should beat Compact Blocks: {}", c.total);
+        // The combined structure must be smaller than either extreme.
+        let tiny_a = {
+            let fpr = 1.0 / 4000.0;
+            14 + bloom_size_bytes(2000, fpr) + iblt_cost(a_star(1.0, BETA), 240)
+        };
+        let huge_a = 1 + iblt_cost(a_star(4000.0, BETA), 240);
+        assert!(c.total <= tiny_a, "optimizer worse than a=1: {} vs {tiny_a}", c.total);
+        assert!(c.total <= huge_a, "optimizer worse than a=m-n: {} vs {huge_a}", c.total);
+    }
+
+    #[test]
+    fn optimal_a_m_equals_n() {
+        let c = optimal_a(500, 500, BETA, 240);
+        assert_eq!(c.fpr, 1.0);
+        assert_eq!(c.bloom_bytes, 1);
+    }
+
+    #[test]
+    fn optimal_a_scales_sublinearly_in_mempool() {
+        // Fig. 14's observation: Graphene grows sublinearly as the mempool
+        // grows.
+        let t1 = optimal_a(2000, 4000, BETA, 240).total;
+        let t4 = optimal_a(2000, 10_000, BETA, 240).total;
+        assert!(t4 > t1);
+        assert!(
+            (t4 as f64) < (t1 as f64) * 2.5,
+            "mempool 4x extra txns ballooned size: {t1} -> {t4}"
+        );
+    }
+
+    #[test]
+    fn optimal_b_basic() {
+        let c = optimal_b(2200, 2000, 1800, 120, 240);
+        assert!(c.b >= 1);
+        assert_eq!(c.j, c.b + 120);
+        assert!(c.total > 0);
+    }
+
+    #[test]
+    fn optimal_b_receiver_has_everything() {
+        let c = optimal_b(2000, 2000, 2000, 50, 240);
+        assert_eq!(c.fpr, 1.0);
+        assert_eq!(c.bloom_bytes, 1);
+    }
+
+    #[test]
+    fn protocol_params_derive() {
+        let p = ProtocolParams::derive(200, 600, BETA, 240);
+        assert_eq!(p.n, 200);
+        assert_eq!(p.m, 600);
+        assert!(p.a_choice.total > 0);
+    }
+
+    #[test]
+    fn x_star_monotone_in_z() {
+        // More observed positives can only raise the certified lower bound.
+        let (m, f_s) = (5000usize, 0.05);
+        let mut prev = 0usize;
+        for z in (100..2000).step_by(100) {
+            let xs = x_star(z, m, f_s, BETA, z);
+            assert!(xs >= prev, "x*({z}) = {xs} < x*({}) = {prev}", z - 100);
+            prev = xs;
+        }
+    }
+
+    #[test]
+    fn y_star_decreases_with_x_star() {
+        // A better lower bound on true positives shrinks the FP bound.
+        let (m, f_s) = (5000usize, 0.05);
+        let lo = y_star(m, 100, f_s, BETA);
+        let hi = y_star(m, 2000, f_s, BETA);
+        assert!(hi < lo, "y*(x*=2000) = {hi} !< y*(x*=100) = {lo}");
+    }
+
+    #[test]
+    fn optimal_b_grows_with_y_star() {
+        // Larger y* forces a larger IBLT J (total size monotone).
+        let a = optimal_b(2000, 2000, 1000, 50, 240).total;
+        let b = optimal_b(2000, 2000, 1000, 500, 240).total;
+        assert!(b > a, "T(y*=500) = {b} !> T(y*=50) = {a}");
+    }
+
+    #[test]
+    fn iblt_cost_monotone() {
+        let mut prev = 0usize;
+        for j in [1usize, 5, 20, 100, 500, 2000, 10_000] {
+            let c = iblt_cost(j, 240);
+            assert!(c >= prev, "iblt_cost({j}) = {c} < previous {prev}");
+            prev = c;
+        }
+    }
+
+    #[test]
+    fn graphene_smaller_than_bloom_alone() {
+        // Theorem 4's comparison: a Bloom filter alone at f = 1/(144(m-n))
+        // vs Graphene's optimized pair, for a large block.
+        let (n, m) = (10_000usize, 30_000usize);
+        let bloom_alone = bloom_size_bytes(n, 1.0 / (144.0 * (m - n) as f64));
+        let graphene = optimal_a(n, m, BETA, 240).total;
+        assert!(
+            graphene < bloom_alone,
+            "graphene {graphene} >= bloom-alone {bloom_alone}"
+        );
+    }
+}

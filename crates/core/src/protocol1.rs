@@ -1,0 +1,374 @@
+//! Protocol 1: relay a block whose transactions the receiver (probably)
+//! already has (paper §3.1, Fig. 2).
+
+use crate::config::GrapheneConfig;
+use crate::error::P1Failure;
+use crate::ordering::{decode_order, encode_order};
+use crate::params::{optimal_a, AChoice};
+use graphene_blockchain::{Block, Mempool, OrderingScheme, PeerView, TxId};
+use graphene_bloom::{params::theoretical_fpr, BloomFilter, Membership};
+use graphene_hashes::short_id_8;
+use graphene_iblt::Iblt;
+use graphene_wire::messages::GrapheneBlockMsg;
+use std::collections::HashMap;
+
+/// Salt-domain constants so S, I, R, J and F are mutually independent even
+/// though all are derived from the block ID.
+pub(crate) const SALT_S: u64 = 0x5331;
+pub(crate) const SALT_I: u64 = 0x4931;
+pub(crate) const SALT_R: u64 = 0x5232;
+pub(crate) const SALT_J: u64 = 0x4a32;
+pub(crate) const SALT_F: u64 = 0x4633;
+
+/// Build Protocol 1's `S` + `I` message for `block`, given the receiver's
+/// reported mempool size `m` (from `getdata`).
+///
+/// `peer` (when [`GrapheneConfig::prefill`] is set) supplies the per-peer
+/// inv log: block transactions never announced to this peer are attached in
+/// full, since they cannot be in the receiver's mempool.
+pub fn sender_encode(
+    block: &Block,
+    mempool_count: u64,
+    peer: Option<&PeerView>,
+    cfg: &GrapheneConfig,
+) -> (GrapheneBlockMsg, AChoice) {
+    let n = block.len();
+    let choice = optimal_a(n, mempool_count as usize, cfg.beta, cfg.iblt_rate_denom);
+    let salt_base = block.id().low_u64();
+
+    let mut bloom_s =
+        BloomFilter::with_strategy(n.max(1), choice.fpr, salt_base ^ SALT_S, cfg.bloom_strategy);
+    let mut iblt_i = Iblt::new(choice.iblt.c, choice.iblt.k, salt_base ^ SALT_I);
+    for tx in block.txns() {
+        bloom_s.insert(tx.id());
+        iblt_i.insert(short_id_8(tx.id()));
+    }
+
+    let prefilled = match (cfg.prefill, peer) {
+        (true, Some(view)) => block
+            .txns()
+            .iter()
+            .filter(|tx| !view.knows(tx.id()))
+            .cloned()
+            .collect(),
+        _ => Vec::new(),
+    };
+
+    let order_bytes = match cfg.ordering {
+        OrderingScheme::Ctor => Vec::new(),
+        OrderingScheme::MinerChosen => encode_order(&block.ids()),
+    };
+
+    let msg = GrapheneBlockMsg {
+        header: *block.header(),
+        block_tx_count: n as u64,
+        bloom_s,
+        iblt_i,
+        prefilled,
+        order_bytes,
+    };
+    (msg, choice)
+}
+
+/// Receiver-side candidate state, preserved for Protocol 2 when Protocol 1
+/// fails.
+#[derive(Debug)]
+pub struct CandidateSet {
+    /// Short ID → full txid for every candidate (mempool survivors of `S`
+    /// plus prefilled transactions).
+    pub by_short: HashMap<u64, TxId>,
+    /// `z = |Z|`: number of candidates.
+    pub z: usize,
+    /// The receiver's estimate of `f_S`, recomputed from the filter geometry
+    /// (`f_S` is not transmitted).
+    pub fpr_s: f64,
+    /// The partially peeled `I ⊖ I′`, kept for §4.2 ping-pong decoding.
+    pub i_delta: Option<Iblt>,
+    /// Short IDs already peeled out of `I ⊖ I′` on the "in block, not in
+    /// candidates" side. Ping-pong alignment in Protocol 2 must account for
+    /// these — they are no longer inside `i_delta`'s cells.
+    pub partial_left: Vec<u64>,
+    /// Short IDs already peeled on the "candidate, not in block" side
+    /// (known S false positives).
+    pub partial_right: Vec<u64>,
+}
+
+/// Outcome of a successful Protocol 1 decode.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct P1Success {
+    /// The block's transaction IDs in block order (Merkle-validated).
+    pub ordered_ids: Vec<TxId>,
+}
+
+/// Attempt to decode a Graphene block against the local mempool.
+///
+/// On failure returns the failure reason *and* the candidate state that
+/// Protocol 2 builds on ([`crate::protocol2::receiver_request`]).
+#[allow(clippy::result_large_err)] // the Err carries Protocol 2's working state by design
+pub fn receiver_decode(
+    msg: &GrapheneBlockMsg,
+    mempool: &Mempool,
+    cfg: &GrapheneConfig,
+) -> Result<P1Success, (P1Failure, CandidateSet)> {
+    let n = msg.block_tx_count as usize;
+
+    // Step 4a: the candidate set Z — mempool IDs that pass S, then the
+    // prefilled bodies. Prefilled transactions are authoritative (the
+    // sender put them in the block), so on a short-ID collision they
+    // displace a mempool candidate silently; only candidate-vs-candidate
+    // collisions are unresolvable (§6.1).
+    let mut by_short: HashMap<u64, TxId> = HashMap::new();
+    let mut collision = false;
+    let mut add = |id: &TxId, collision: &mut bool| {
+        if let Some(prev) = by_short.insert(short_id_8(id), *id) {
+            if prev != *id {
+                *collision = true;
+            }
+        }
+    };
+    for tx in mempool.iter() {
+        if msg.bloom_s.contains(tx.id()) {
+            add(tx.id(), &mut collision);
+        }
+    }
+    for tx in msg.prefilled.iter() {
+        by_short.insert(short_id_8(tx.id()), *tx.id());
+    }
+    let z = by_short.len();
+    let fpr_s = if msg.bloom_s.bit_len() == 0 {
+        1.0
+    } else {
+        theoretical_fpr(msg.bloom_s.bit_len(), msg.bloom_s.hash_count(), n)
+    };
+
+    let mut state = CandidateSet {
+        by_short,
+        z,
+        fpr_s,
+        i_delta: None,
+        partial_left: Vec::new(),
+        partial_right: Vec::new(),
+    };
+    if collision {
+        // Two distinct txids share a short ID: the IBLT algebra over short
+        // IDs is no longer injective (§6.1). Bail out to recovery.
+        return Err((P1Failure::ShortIdCollision, state));
+    }
+
+    // Step 4b: I′ over the candidates' short IDs, then peel I ⊖ I′.
+    let mut iblt_prime = Iblt::new(
+        msg.iblt_i.cell_count(),
+        msg.iblt_i.hash_count(),
+        msg.iblt_i.salt(),
+    );
+    for short in state.by_short.keys() {
+        iblt_prime.insert(*short);
+    }
+    let Ok(mut delta) = msg.iblt_i.subtract(&iblt_prime) else {
+        // Geometry mismatch can only mean a hostile message.
+        return Err((P1Failure::IbltIncomplete, state));
+    };
+    let peeled = match delta.peel() {
+        Ok(r) => r,
+        Err(_) => {
+            // Malformed IBLT (§6.1): report as incomplete; the session layer
+            // escalates to a full-block fetch and may ban the peer. The
+            // half-mutated difference is useless for ping-pong — drop it.
+            return Err((P1Failure::IbltIncomplete, state));
+        }
+    };
+
+    if !peeled.complete {
+        state.i_delta = Some(delta);
+        state.partial_left = peeled.only_left;
+        state.partial_right = peeled.only_right;
+        return Err((P1Failure::IbltIncomplete, state));
+    }
+
+    // Step 4c: adjust the candidate set. `only_right` are S false positives;
+    // `only_left` are block transactions the receiver does not hold at all.
+    if !peeled.only_left.is_empty() {
+        let count = peeled.only_left.len();
+        state.i_delta = Some(delta); // fully drained; partials carry the diff
+        state.partial_left = peeled.only_left;
+        state.partial_right = peeled.only_right;
+        return Err((P1Failure::MissingTransactions { count }, state));
+    }
+    for fp in &peeled.only_right {
+        state.by_short.remove(fp);
+    }
+
+    finalize(msg, &state, cfg).map_err(|why| (why, state_reset(state)))
+}
+
+/// Order the adjusted candidate set and validate the Merkle commitment.
+pub(crate) fn finalize(
+    msg: &GrapheneBlockMsg,
+    state: &CandidateSet,
+    cfg: &GrapheneConfig,
+) -> Result<P1Success, P1Failure> {
+    let mut ids: Vec<TxId> = state.by_short.values().copied().collect();
+    ids.sort();
+    let ordered = match cfg.ordering {
+        OrderingScheme::Ctor => ids,
+        OrderingScheme::MinerChosen => {
+            decode_order(&ids, &msg.order_bytes).ok_or(P1Failure::MerkleMismatch)?
+        }
+    };
+    let root = graphene_hashes::merkle_root(&ordered);
+    if root != msg.header.merkle_root {
+        return Err(P1Failure::MerkleMismatch);
+    }
+    Ok(P1Success { ordered_ids: ordered })
+}
+
+/// Rebuild the pristine candidate set after a finalize failure (the decode
+/// consumed `i_delta`; Protocol 2 restarts from the full candidate list).
+fn state_reset(state: CandidateSet) -> CandidateSet {
+    state
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use graphene_blockchain::{Scenario, ScenarioParams, Transaction};
+    use graphene_hashes::Digest;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    fn cfg() -> GrapheneConfig {
+        GrapheneConfig::default()
+    }
+
+    fn scenario(n: usize, extra: f64, held: f64, seed: u64) -> Scenario {
+        let params = ScenarioParams {
+            block_size: n,
+            extra_mempool_multiple: extra,
+            block_fraction_in_mempool: held,
+            ..Default::default()
+        };
+        Scenario::generate(&params, &mut StdRng::seed_from_u64(seed))
+    }
+
+    #[test]
+    fn happy_path_decodes() {
+        let s = scenario(200, 2.0, 1.0, 1);
+        let (msg, choice) = sender_encode(&s.block, s.receiver_mempool.len() as u64, None, &cfg());
+        assert!(choice.total > 0);
+        let got = receiver_decode(&msg, &s.receiver_mempool, &cfg()).expect("protocol 1 decodes");
+        assert_eq!(got.ordered_ids, s.block.ids());
+    }
+
+    #[test]
+    fn repeated_blocks_mostly_decode() {
+        let mut failures = 0;
+        for seed in 0..50 {
+            let s = scenario(100, 3.0, 1.0, seed);
+            let (msg, _) = sender_encode(&s.block, s.receiver_mempool.len() as u64, None, &cfg());
+            if receiver_decode(&msg, &s.receiver_mempool, &cfg()).is_err() {
+                failures += 1;
+            }
+        }
+        assert!(failures <= 1, "{failures}/50 protocol-1 failures");
+    }
+
+    #[test]
+    fn missing_transactions_detected() {
+        let s = scenario(200, 1.0, 0.5, 2);
+        let (msg, _) = sender_encode(&s.block, s.receiver_mempool.len() as u64, None, &cfg());
+        match receiver_decode(&msg, &s.receiver_mempool, &cfg()) {
+            Err((P1Failure::MissingTransactions { count }, state)) => {
+                assert!(count > 50, "roughly half of 200 should be missing, got {count}");
+                assert!(state.z > 0);
+                assert!(state.i_delta.is_some());
+            }
+            Err((P1Failure::IbltIncomplete, _)) => {
+                // Also acceptable: 100 missing txns usually exceed the
+                // IBLT's capacity.
+            }
+            other => panic!("expected failure, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn m_equals_n_uses_match_all_filter() {
+        let s = scenario(300, 0.0, 1.0, 3);
+        assert_eq!(s.receiver_mempool.len(), 300);
+        let (msg, choice) = sender_encode(&s.block, 300, None, &cfg());
+        assert_eq!(choice.fpr, 1.0);
+        assert_eq!(msg.bloom_s.serialized_size(), 1);
+        let got = receiver_decode(&msg, &s.receiver_mempool, &cfg()).expect("decodes");
+        assert_eq!(got.ordered_ids.len(), 300);
+    }
+
+    #[test]
+    fn prefill_covers_unannounced_txns() {
+        let s = scenario(100, 1.0, 1.0, 4);
+        // The peer view knows everything except three block txns.
+        let mut view = PeerView::new();
+        let ids = s.block.ids();
+        for id in ids.iter().skip(3) {
+            view.record(*id);
+        }
+        // Receiver's mempool is missing those same three.
+        let mut pool = s.receiver_mempool.clone();
+        for id in ids.iter().take(3) {
+            pool.remove(id);
+        }
+        let (msg, _) = sender_encode(&s.block, pool.len() as u64, Some(&view), &cfg());
+        assert_eq!(msg.prefilled.len(), 3);
+        let got = receiver_decode(&msg, &pool, &cfg()).expect("prefill rescues the decode");
+        assert_eq!(got.ordered_ids, s.block.ids());
+    }
+
+    #[test]
+    fn miner_order_roundtrips() {
+        let mut c = cfg();
+        c.ordering = OrderingScheme::MinerChosen;
+        let params = ScenarioParams {
+            block_size: 150,
+            extra_mempool_multiple: 1.0,
+            block_fraction_in_mempool: 1.0,
+            ordering: OrderingScheme::MinerChosen,
+            ..Default::default()
+        };
+        let s = Scenario::generate(&params, &mut StdRng::seed_from_u64(5));
+        let (msg, _) = sender_encode(&s.block, s.receiver_mempool.len() as u64, None, &c);
+        assert!(!msg.order_bytes.is_empty());
+        let got = receiver_decode(&msg, &s.receiver_mempool, &c).expect("decodes");
+        assert_eq!(got.ordered_ids, s.block.ids());
+    }
+
+    #[test]
+    fn corrupted_root_fails_merkle() {
+        let s = scenario(50, 1.0, 1.0, 6);
+        let (mut msg, _) = sender_encode(&s.block, s.receiver_mempool.len() as u64, None, &cfg());
+        msg.header.merkle_root = Digest([0xee; 32]);
+        match receiver_decode(&msg, &s.receiver_mempool, &cfg()) {
+            Err((P1Failure::MerkleMismatch, _)) => {}
+            other => panic!("expected merkle mismatch, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn empty_mempool_yields_missing() {
+        let s = scenario(80, 0.0, 1.0, 7);
+        let (msg, _) = sender_encode(&s.block, 0, None, &cfg());
+        let empty = Mempool::new();
+        match receiver_decode(&msg, &empty, &cfg()) {
+            Err((P1Failure::MissingTransactions { count }, _)) => assert_eq!(count, 80),
+            Err((P1Failure::IbltIncomplete, _)) => {} // capacity exceeded
+            other => panic!("expected failure, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn extra_unrelated_txn_is_filtered_or_caught() {
+        // A mempool FP that sneaks through S must be peeled away by I.
+        let s = scenario(120, 4.0, 1.0, 8);
+        let mut pool = s.receiver_mempool.clone();
+        pool.insert(Transaction::new(&b"unrelated"[..]));
+        let (msg, _) = sender_encode(&s.block, pool.len() as u64, None, &cfg());
+        let got = receiver_decode(&msg, &pool, &cfg()).expect("decodes");
+        assert_eq!(got.ordered_ids, s.block.ids());
+    }
+}

@@ -1,0 +1,50 @@
+//! §5.3.2 comparison (described in prose, "not shown" as a figure in the
+//! paper): Graphene versus an IBLT-only Difference Digest (Eppstein et al.)
+//! — strata estimator plus a doubled IBLT. The paper reports the digest
+//! being "several times more expensive than Graphene".
+
+use graphene::session::relay_block;
+use graphene::GrapheneConfig;
+use graphene_baselines::diff_digest_relay;
+use graphene_blockchain::{Scenario, ScenarioParams, TxProfile};
+use graphene_experiments::{mean, RunOpts, Table, TableWriter};
+use rand::{rngs::StdRng, SeedableRng};
+
+fn main() {
+    let opts = RunOpts::from_args(50);
+    let cfg = GrapheneConfig::default();
+    let mut table = Table::new(
+        "§5.3.2 — Graphene vs IBLT-only Difference Digest (receiver holds block, m = 2n)",
+        &["n", "graphene_bytes", "diff_digest_bytes", "ratio"],
+    );
+    for n in [200usize, 500, 1000, 2000, 5000, 10_000] {
+        let trials = opts.trials_for(n);
+        let mut g_bytes = Vec::new();
+        let mut d_bytes = Vec::new();
+        for t in 0..trials {
+            let params = ScenarioParams {
+                block_size: n,
+                extra_mempool_multiple: 1.0,
+                block_fraction_in_mempool: 1.0,
+                profile: TxProfile::Fixed(64),
+                ..Default::default()
+            };
+            let s = Scenario::generate(
+                &params,
+                &mut StdRng::seed_from_u64(opts.seed ^ (n as u64) << 16 ^ t as u64),
+            );
+            let g = relay_block(&s.block, None, &s.receiver_mempool, &cfg);
+            g_bytes.push(g.bytes.total_excluding_txns() as f64);
+            let d = diff_digest_relay(&s.block, &s.receiver_mempool);
+            d_bytes.push(d.total_excluding_txns() as f64);
+        }
+        let (gm, dm) = (mean(&g_bytes), mean(&d_bytes));
+        table.row(&[
+            n.to_string(),
+            format!("{gm:.0}"),
+            format!("{dm:.0}"),
+            format!("{:.1}", dm / gm),
+        ]);
+    }
+    TableWriter::new().emit("diffdigest", &table);
+}

@@ -1,0 +1,38 @@
+//! Figure 7: decode failure rates of statically parameterized IBLTs
+//! (k = 4, τ = 1.5) versus Algorithm 1's optimal geometries, for target
+//! failure rates 1/24, 1/240 and 1/2400.
+
+use graphene_experiments::{RunOpts, Table, TableWriter};
+use graphene_iblt_params::hypergraph::failure_rate;
+use graphene_iblt_params::params_for;
+use rand::{rngs::StdRng, SeedableRng};
+
+fn main() {
+    let opts = RunOpts::from_args(20_000);
+    let mut table = Table::new(
+        "Fig. 7 — IBLT decode failure: static (k=4, tau=1.5) vs optimal parameters",
+        &["rate", "j", "k_opt", "c_opt", "fail_static", "fail_optimal", "target"],
+    );
+    let js = [5usize, 10, 20, 50, 100, 200, 300, 500, 750, 1000];
+    for rate in [24u32, 240, 2400] {
+        for &j in &js {
+            let trials = opts.trials_for(j * 10); // large j decodes are slower
+            let mut rng = StdRng::seed_from_u64(opts.seed ^ (rate as u64) << 32 ^ j as u64);
+            // Static: c = 1.5 j rounded up to a multiple of 4.
+            let c_static = ((j as f64 * 1.5).ceil() as usize).div_ceil(4) * 4;
+            let f_static = failure_rate(j, 4, c_static, trials, &mut rng);
+            let p = params_for(j, rate);
+            let f_opt = failure_rate(j, p.k, p.c, trials, &mut rng);
+            table.row(&[
+                format!("1/{rate}"),
+                j.to_string(),
+                p.k.to_string(),
+                p.c.to_string(),
+                format!("{f_static:.5}"),
+                format!("{f_opt:.5}"),
+                format!("{:.5}", 1.0 / rate as f64),
+            ]);
+        }
+    }
+    TableWriter::new().emit("fig07", &table);
+}

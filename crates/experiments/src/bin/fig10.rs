@@ -1,0 +1,31 @@
+//! Figure 10: size (cells) of optimally parameterized IBLTs versus the
+//! number of recoverable items, for the three target decode rates, against
+//! the static (k = 4, τ = 1.5) baseline.
+
+use graphene_experiments::{Table, TableWriter};
+use graphene_iblt_params::params_for;
+
+fn main() {
+    let mut table = Table::new(
+        "Fig. 10 — optimal IBLT size (cells) vs items, by target failure rate",
+        &["j", "static_cells", "cells_1_24", "cells_1_240", "cells_1_2400", "tau_1_240"],
+    );
+    let mut js: Vec<usize> = (1..=50).collect();
+    js.extend((55..=300).step_by(5));
+    js.extend((320..=1000).step_by(20));
+    for j in js {
+        let stat = ((j as f64 * 1.5).ceil() as usize).div_ceil(4) * 4;
+        let p24 = params_for(j, 24);
+        let p240 = params_for(j, 240);
+        let p2400 = params_for(j, 2400);
+        table.row(&[
+            j.to_string(),
+            stat.to_string(),
+            p24.c.to_string(),
+            p240.c.to_string(),
+            p2400.c.to_string(),
+            format!("{:.3}", p240.tau(j)),
+        ]);
+    }
+    TableWriter::new().emit("fig10", &table);
+}

@@ -1,0 +1,63 @@
+//! Figure 12: the Bitcoin Cash deployment comparison — Graphene Protocol 1
+//! encoding size versus XThin* (XThin minus the receiver's filter cost), as
+//! block size grows.
+//!
+//! Substitution (see DESIGN.md): the live BCH node is replaced by synthetic
+//! blocks with a BCH-like size distribution against a mempool holding the
+//! whole block plus typical extra traffic; the measured quantity — encoding
+//! bytes as a function of transactions per block — depends only on the
+//! protocol math and wire formats.
+
+use graphene::session::{relay_block, RelayOutcome};
+use graphene::GrapheneConfig;
+use graphene_baselines::xthin::{xthin_relay, XthinAccounting};
+use graphene_blockchain::{Scenario, ScenarioParams, TxProfile};
+use graphene_experiments::{mean_ci95, RunOpts, Table, TableWriter};
+use rand::{rngs::StdRng, SeedableRng};
+
+fn main() {
+    let opts = RunOpts::from_args(100);
+    let cfg = GrapheneConfig::default();
+    let mut table = Table::new(
+        "Fig. 12 — deployment substitute: Graphene P1 vs XThin* bytes vs block size",
+        &["n", "graphene_bytes", "ci95", "xthin_star_bytes", "ratio", "fail_rate"],
+    );
+    let sizes = [50usize, 100, 200, 500, 1000, 1500, 2000, 2500, 3000, 3500, 4000, 4500, 5000];
+    for &n in &sizes {
+        let trials = opts.trials_for(n);
+        let mut graphene_bytes = Vec::with_capacity(trials);
+        let mut xthin_bytes = Vec::with_capacity(trials);
+        let mut failures = 0usize;
+        for t in 0..trials {
+            let params = ScenarioParams {
+                block_size: n,
+                extra_mempool_multiple: 1.0,
+                block_fraction_in_mempool: 1.0,
+                profile: TxProfile::BtcLike,
+                ..Default::default()
+            };
+            let s = Scenario::generate(
+                &params,
+                &mut StdRng::seed_from_u64(opts.seed ^ (n as u64) << 20 ^ t as u64),
+            );
+            let g = relay_block(&s.block, None, &s.receiver_mempool, &cfg);
+            if !matches!(g.outcome, RelayOutcome::DecodedP1) {
+                failures += 1;
+            }
+            graphene_bytes.push(g.bytes.total_excluding_txns() as f64);
+            let x = xthin_relay(&s.block, &s.receiver_mempool, &XthinAccounting::default());
+            xthin_bytes.push(x.total_xthin_star() as f64);
+        }
+        let (gm, gci) = mean_ci95(&graphene_bytes);
+        let (xm, _) = mean_ci95(&xthin_bytes);
+        table.row(&[
+            n.to_string(),
+            format!("{gm:.0}"),
+            format!("{gci:.0}"),
+            format!("{xm:.0}"),
+            format!("{:.3}", gm / xm),
+            format!("{:.4}", failures as f64 / trials as f64),
+        ]);
+    }
+    TableWriter::new().emit("fig12", &table);
+}

@@ -1,0 +1,60 @@
+//! Figure 13: the Ethereum implementation comparison — full blocks vs
+//! Graphene Protocol 1 vs an idealized 8-bytes-per-transaction Compact
+//! Blocks line, for blocks up to ~1000 transactions against a constant
+//! 60,000-transaction mempool.
+//!
+//! Substitution (see DESIGN.md): historic mainnet blocks replayed through
+//! Geth are replaced by synthetic ETH-like blocks; the encoding size is a
+//! pure function of (n, m) and the wire formats, so the comparison shape is
+//! preserved. Only the sender-side message is sized (the figure's metric),
+//! so the 60k mempool never has to be materialized.
+
+use graphene::protocol1::sender_encode;
+use graphene::GrapheneConfig;
+use graphene_blockchain::{Scenario, ScenarioParams, TxProfile};
+use graphene_experiments::{mean_ci95, RunOpts, Table, TableWriter};
+use graphene_wire::messages::Message;
+use rand::{rngs::StdRng, SeedableRng};
+
+const ETH_MEMPOOL: u64 = 60_000;
+
+fn main() {
+    let opts = RunOpts::from_args(50);
+    let cfg = GrapheneConfig::default();
+    let mut table = Table::new(
+        "Fig. 13 — Ethereum substitute: full block vs Graphene P1 vs 8 B/txn, m = 60,000",
+        &["n", "full_block_bytes", "graphene_bytes", "ci95", "ideal_8B_txn"],
+    );
+    let sizes = [25usize, 50, 100, 200, 300, 400, 500, 600, 700, 800, 900, 1000];
+    for &n in &sizes {
+        let trials = opts.trials;
+        let mut full = Vec::with_capacity(trials);
+        let mut graphene = Vec::with_capacity(trials);
+        for t in 0..trials {
+            let params = ScenarioParams {
+                block_size: n,
+                extra_mempool_multiple: 0.0,
+                block_fraction_in_mempool: 1.0,
+                profile: TxProfile::EthLike,
+                ..Default::default()
+            };
+            let s = Scenario::generate(
+                &params,
+                &mut StdRng::seed_from_u64(opts.seed ^ (n as u64) << 16 ^ t as u64),
+            );
+            full.push(s.block.serialized_size() as f64);
+            let (msg, _) = sender_encode(&s.block, ETH_MEMPOOL, None, &cfg);
+            graphene.push(Message::GrapheneBlock(msg).wire_size() as f64);
+        }
+        let (fm, _) = mean_ci95(&full);
+        let (gm, gci) = mean_ci95(&graphene);
+        table.row(&[
+            n.to_string(),
+            format!("{fm:.0}"),
+            format!("{gm:.0}"),
+            format!("{gci:.0}"),
+            (8 * n).to_string(),
+        ]);
+    }
+    TableWriter::new().emit("fig13", &table);
+}

@@ -1,0 +1,57 @@
+//! Figure 14: [Simulation, Protocol 1] average Graphene block size versus
+//! Compact Blocks as the receiver's mempool grows (extra transactions as a
+//! multiple of block size, 0–5), for blocks of 200 / 2000 / 10000
+//! transactions.
+
+use graphene::session::relay_block;
+use graphene::GrapheneConfig;
+use graphene_baselines::compact_blocks_relay;
+use graphene_blockchain::{Scenario, ScenarioParams, TxProfile};
+use graphene_experiments::{mean_ci95, RunOpts, Table, TableWriter};
+use rand::{rngs::StdRng, SeedableRng};
+
+fn main() {
+    let opts = RunOpts::from_args(200);
+    let cfg = GrapheneConfig::default();
+    let mut table = Table::new(
+        "Fig. 14 — [Sim P1] Graphene vs Compact Blocks bytes vs mempool multiple",
+        &["n", "multiple", "graphene_bytes", "ci95", "compact_bytes"],
+    );
+    for n in [200usize, 2000, 10_000] {
+        let trials = opts.trials_for(n);
+        for mult10 in (0..=50).step_by(5) {
+            let multiple = mult10 as f64 / 10.0;
+            let mut g_bytes = Vec::with_capacity(trials);
+            let mut c_bytes = Vec::with_capacity(trials);
+            for t in 0..trials {
+                let params = ScenarioParams {
+                    block_size: n,
+                    extra_mempool_multiple: multiple,
+                    block_fraction_in_mempool: 1.0,
+                    profile: TxProfile::Fixed(64),
+                    ..Default::default()
+                };
+                let s = Scenario::generate(
+                    &params,
+                    &mut StdRng::seed_from_u64(
+                        opts.seed ^ (n as u64) << 32 ^ (mult10 as u64) << 16 ^ t as u64,
+                    ),
+                );
+                let g = relay_block(&s.block, None, &s.receiver_mempool, &cfg);
+                g_bytes.push(g.bytes.total_excluding_txns() as f64);
+                let c = compact_blocks_relay(&s.block, &s.receiver_mempool);
+                c_bytes.push(c.total_excluding_txns() as f64);
+            }
+            let (gm, gci) = mean_ci95(&g_bytes);
+            let (cm, _) = mean_ci95(&c_bytes);
+            table.row(&[
+                n.to_string(),
+                format!("{multiple:.1}"),
+                format!("{gm:.0}"),
+                format!("{gci:.0}"),
+                format!("{cm:.0}"),
+            ]);
+        }
+    }
+    TableWriter::new().emit("fig14", &table);
+}

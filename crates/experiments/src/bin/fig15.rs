@@ -1,0 +1,46 @@
+//! Figure 15: [Simulation, Protocol 1] decode failure probability with
+//! β = 239/240 as the mempool's extra transactions grow, for blocks of
+//! 200 / 2000 / 10000 transactions. The measured rate should stay below
+//! 1/240 at every point.
+
+use graphene::GrapheneConfig;
+use graphene_experiments::{simulate_relay, FastConfig, RunOpts, Table, TableWriter};
+use rand::{rngs::StdRng, SeedableRng};
+
+fn main() {
+    let opts = RunOpts::from_args(10_000);
+    let cfg = GrapheneConfig::default();
+    let mut table = Table::new(
+        "Fig. 15 — [Sim P1] decode failure probability vs mempool multiple (target 1/240)",
+        &["n", "multiple", "fail_rate", "trials", "target"],
+    );
+    for n in [200usize, 2000, 10_000] {
+        let trials = opts.trials_for(n);
+        for mult10 in (0..=50).step_by(10) {
+            let multiple = mult10 as f64 / 10.0;
+            let fc = FastConfig {
+                n,
+                extra_multiple: multiple,
+                fraction_held: 1.0,
+                force_m_equals_n: false,
+            };
+            let mut rng = StdRng::seed_from_u64(
+                opts.seed ^ (n as u64) << 32 ^ (mult10 as u64) << 8,
+            );
+            let mut failures = 0usize;
+            for _ in 0..trials {
+                if !simulate_relay(&fc, &cfg, &mut rng).p1_success {
+                    failures += 1;
+                }
+            }
+            table.row(&[
+                n.to_string(),
+                format!("{multiple:.1}"),
+                format!("{:.5}", failures as f64 / trials as f64),
+                trials.to_string(),
+                format!("{:.5}", 1.0 / 240.0),
+            ]);
+        }
+    }
+    TableWriter::new().emit("fig15", &table);
+}

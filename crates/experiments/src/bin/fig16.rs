@@ -1,0 +1,51 @@
+//! Figure 16: [Simulation, Protocol 2] decode failure probability versus
+//! the fraction of the block the receiver holds, with and without §4.2
+//! ping-pong decoding. Ping-pong should improve the rate by orders of
+//! magnitude.
+
+use graphene::GrapheneConfig;
+use graphene_experiments::{simulate_relay, FastConfig, RunOpts, Table, TableWriter};
+use rand::{rngs::StdRng, SeedableRng};
+
+fn main() {
+    let opts = RunOpts::from_args(10_000);
+    let cfg = GrapheneConfig::default();
+    let mut table = Table::new(
+        "Fig. 16 — [Sim P2] decode failure vs fraction of block held, ping-pong ablation",
+        &["n", "fraction", "fail_pingpong", "fail_single", "trials"],
+    );
+    for n in [200usize, 2000, 10_000] {
+        let trials = opts.trials_for(n);
+        for frac10 in (0..=10).step_by(2) {
+            let fraction = frac10 as f64 / 10.0;
+            let fc = FastConfig {
+                n,
+                extra_multiple: 1.0,
+                fraction_held: fraction,
+                force_m_equals_n: false,
+            };
+            let mut rng = StdRng::seed_from_u64(
+                opts.seed ^ (n as u64) << 32 ^ (frac10 as u64) << 8,
+            );
+            let mut pp_failures = 0usize;
+            let mut single_failures = 0usize;
+            for _ in 0..trials {
+                let o = simulate_relay(&fc, &cfg, &mut rng);
+                if !o.p2_success {
+                    pp_failures += 1;
+                }
+                if !o.p2_success_no_pingpong {
+                    single_failures += 1;
+                }
+            }
+            table.row(&[
+                n.to_string(),
+                format!("{fraction:.1}"),
+                format!("{:.5}", pp_failures as f64 / trials as f64),
+                format!("{:.5}", single_failures as f64 / trials as f64),
+                trials.to_string(),
+            ]);
+        }
+    }
+    TableWriter::new().emit("fig16", &table);
+}

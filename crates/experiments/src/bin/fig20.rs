@@ -1,0 +1,52 @@
+//! Figure 20: empirical validation of Theorem 3 — the fraction of Monte
+//! Carlo trials in which `y* ≥ y`, versus the fraction of the block in the
+//! receiver's mempool. Must stay at or above β = 239/240.
+
+use graphene::GrapheneConfig;
+use graphene_experiments::{simulate_relay, FastConfig, RunOpts, Table, TableWriter};
+use rand::{rngs::StdRng, SeedableRng};
+
+fn main() {
+    let opts = RunOpts::from_args(10_000);
+    let cfg = GrapheneConfig::default();
+    let mut table = Table::new(
+        "Fig. 20 — Theorem 3 validation: Pr[y* >= y] vs fraction of block held (beta = 239/240)",
+        &["n", "fraction", "bound_holds", "trials", "beta"],
+    );
+    for n in [200usize, 2000, 10_000] {
+        let trials = opts.trials_for(n);
+        for frac10 in (0..=9).step_by(3) {
+            let fraction = frac10 as f64 / 10.0;
+            let fc = FastConfig {
+                n,
+                extra_multiple: 1.0,
+                fraction_held: fraction,
+                force_m_equals_n: false,
+            };
+            let mut rng = StdRng::seed_from_u64(
+                opts.seed ^ (n as u64) << 32 ^ (frac10 as u64) << 8 ^ 0x20,
+            );
+            let mut holds = 0usize;
+            let mut counted = 0usize;
+            for _ in 0..trials {
+                let o = simulate_relay(&fc, &cfg, &mut rng);
+                if o.p1_success {
+                    continue;
+                }
+                counted += 1;
+                if o.y_star_ok {
+                    holds += 1;
+                }
+            }
+            let rate = if counted == 0 { 1.0 } else { holds as f64 / counted as f64 };
+            table.row(&[
+                n.to_string(),
+                format!("{fraction:.1}"),
+                format!("{rate:.5}"),
+                counted.to_string(),
+                format!("{:.5}", 239.0 / 240.0),
+            ]);
+        }
+    }
+    TableWriter::new().emit("fig20", &table);
+}

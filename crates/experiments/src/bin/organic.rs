@@ -1,0 +1,104 @@
+//! Deployment-shaped experiment: mempools diverge *organically* (lossy
+//! transaction gossip with propagation delay), then a block is mined and
+//! relayed. Unlike the synthetic-fraction figures, divergence here emerges
+//! from the network conditions — the closest in-repo analogue to the
+//! paper's live BCH deployment (Fig. 12's setting).
+
+use graphene::GrapheneConfig;
+use graphene_blockchain::{Block, OrderingScheme, Transaction};
+use graphene_experiments::{RunOpts, Table, TableWriter};
+use graphene_hashes::Digest;
+use graphene_netsim::{LinkParams, Network, PeerId, RelayProtocol, SimTime};
+use rand::{rngs::StdRng, RngExt, SeedableRng};
+
+const PEERS: usize = 10;
+
+fn run_once(
+    protocol: RelayProtocol,
+    drop_chance: f64,
+    seed: u64,
+) -> (usize, u64, f64) {
+    let mut net = Network::new(PEERS, protocol, seed);
+    net.set_default_link(LinkParams {
+        latency: SimTime::from_millis(40),
+        bandwidth_bps: 10_000_000 / 8,
+        drop_chance,
+        corrupt_chance: 0.0,
+    });
+    net.connect_random(3);
+
+    // 150 transactions authored at each peer, gossiped under loss.
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x5eed);
+    for origin in 0..PEERS {
+        let batch: Vec<Transaction> = (0..150)
+            .map(|_| {
+                let mut payload = vec![0u8; 150];
+                rng.fill(&mut payload[..]);
+                Transaction::new(payload)
+            })
+            .collect();
+        net.inject_txns(PeerId(origin), batch);
+    }
+    net.run_until(SimTime::from_millis(20_000));
+    let gossip_bytes = net.metrics.total_bytes();
+
+    // Average mempool divergence from the miner's view at block time.
+    let miner_pool: Vec<_> = net.peer(PeerId(0)).mempool.sorted_ids();
+    let mut divergence = 0.0;
+    for p in 1..PEERS {
+        let held = miner_pool
+            .iter()
+            .filter(|id| net.peer(PeerId(p)).mempool.contains(id))
+            .count();
+        divergence += 1.0 - held as f64 / miner_pool.len().max(1) as f64;
+    }
+    divergence /= (PEERS - 1) as f64;
+
+    let txns: Vec<Transaction> = net.peer(PeerId(0)).mempool.iter().cloned().collect();
+    let n = txns.len();
+    let block = Block::assemble(Digest::ZERO, 1, txns, OrderingScheme::Ctor);
+    let r = net.propagate(PeerId(0), block, SimTime::from_millis(600_000));
+    assert_eq!(r.peers_reached, PEERS, "propagation incomplete");
+    (n, net.metrics.total_bytes() - gossip_bytes, divergence)
+}
+
+fn main() {
+    let opts = RunOpts::from_args(10);
+    let mut table = Table::new(
+        "Organic divergence — gossip txns under loss, then relay the mined block (10 peers)",
+        &["drop_%", "protocol", "block_n", "relay_bytes", "avg_missing_%"],
+    );
+    for drop in [0.0, 0.05, 0.15] {
+        for (label, protocol) in [
+            ("graphene", RelayProtocol::Graphene(GrapheneConfig::default())),
+            ("compact", RelayProtocol::CompactBlocks),
+        ] {
+            let mut n_sum = 0usize;
+            let mut bytes_sum = 0u64;
+            let mut div_sum = 0.0;
+            let trials = opts.trials.min(20);
+            for t in 0..trials {
+                let (n, bytes, div) =
+                    run_once(protocol.clone(), drop, opts.seed ^ (t as u64) << 8);
+                n_sum += n;
+                bytes_sum += bytes;
+                div_sum += div;
+            }
+            table.row(&[
+                format!("{:.0}", drop * 100.0),
+                label.into(),
+                (n_sum / trials).to_string(),
+                (bytes_sum / trials as u64).to_string(),
+                format!("{:.1}", 100.0 * div_sum / trials as f64),
+            ]);
+        }
+    }
+    TableWriter::new().emit("organic", &table);
+    println!(
+        "Relay bytes are the post-gossip block propagation only (all 10 peers),\n\
+         including missing-transaction bodies and retry traffic. At zero loss\n\
+         Graphene dominates; under heavy loss its extra round trips expose it to\n\
+         more drop-triggered retries/fallbacks — exactly the size-vs-complexity\n\
+         trade-off §6.4 of the paper concedes."
+    );
+}

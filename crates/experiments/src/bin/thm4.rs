@@ -1,0 +1,36 @@
+//! §5.1 / Theorem 4: Graphene Protocol 1 versus an optimally small Bloom
+//! filter alone (at the f = 1/(144·(m−n)) rate the paper motivates with),
+//! and versus Compact Blocks' 6n bytes. The efficiency gain over the filter
+//! alone grows Ω(n·log n).
+
+use graphene::params::optimal_a;
+use graphene_bloom::params::bloom_size_bytes;
+use graphene_experiments::{Table, TableWriter};
+
+fn main() {
+    let beta = 239.0 / 240.0;
+    let mut table = Table::new(
+        "Theorem 4 — Graphene P1 vs Bloom-filter-alone vs Compact Blocks (m = 3n)",
+        &["n", "bloom_alone", "graphene", "compact_6n", "gain_bytes", "gain_per_n"],
+    );
+    for n in [100usize, 200, 500, 1000, 2000, 5000, 10_000, 20_000, 50_000, 100_000] {
+        let m = 3 * n;
+        let f = 1.0 / (144.0 * (m - n) as f64);
+        let bloom_alone = bloom_size_bytes(n, f);
+        let g = optimal_a(n, m, beta, 240);
+        let gain = bloom_alone as i64 - g.total as i64;
+        table.row(&[
+            n.to_string(),
+            bloom_alone.to_string(),
+            g.total.to_string(),
+            (6 * n).to_string(),
+            gain.to_string(),
+            format!("{:.3}", gain as f64 / n as f64),
+        ]);
+    }
+    TableWriter::new().emit("thm4", &table);
+    println!(
+        "The per-transaction gain (last column) grows with log n — the Ω(n log n) total\n\
+         predicted by Theorem 4. Graphene also undercuts Compact Blocks for all but tiny n."
+    );
+}

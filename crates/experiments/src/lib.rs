@@ -1,0 +1,75 @@
+//! Experiment harness: one runnable binary per figure in the paper's
+//! evaluation (§5), plus the Theorem 4 comparison and the §6.1 security
+//! experiments.
+//!
+//! Run e.g. `cargo run --release -p graphene-experiments --bin fig14`.
+//! Every binary:
+//!
+//! * prints the same series the paper's figure plots, as an aligned table;
+//! * writes a CSV under `results/` for plotting;
+//! * accepts `--quick` (fewer Monte Carlo trials) and `--trials N`.
+//!
+//! `EXPERIMENTS.md` at the repository root records paper-vs-measured for
+//! every figure.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod fastsim;
+pub mod output;
+pub mod stats;
+
+pub use fastsim::{simulate_relay, FastConfig, FastOutcome};
+pub use output::{Table, TableWriter};
+pub use stats::{mean, mean_ci95};
+
+/// Common CLI knobs for experiment binaries.
+#[derive(Clone, Copy, Debug)]
+pub struct RunOpts {
+    /// Monte Carlo trials per point (binaries scale this per block size).
+    pub trials: usize,
+    /// RNG seed base.
+    pub seed: u64,
+}
+
+impl RunOpts {
+    /// Parse `--quick` / `--trials N` / `--seed N` from `std::env::args`.
+    ///
+    /// `default_trials` is the full-run trial count; `--quick` divides it
+    /// by 10 (min 50).
+    pub fn from_args(default_trials: usize) -> RunOpts {
+        let args: Vec<String> = std::env::args().skip(1).collect();
+        let mut trials = default_trials;
+        let mut seed = 0xeca1u64;
+        let mut i = 0;
+        while i < args.len() {
+            match args[i].as_str() {
+                "--quick" => trials = (default_trials / 10).max(50),
+                "--trials" => {
+                    if let Some(v) = args.get(i + 1).and_then(|s| s.parse().ok()) {
+                        trials = v;
+                        i += 1;
+                    }
+                }
+                "--seed" => {
+                    if let Some(v) = args.get(i + 1).and_then(|s| s.parse().ok()) {
+                        seed = v;
+                        i += 1;
+                    }
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+        RunOpts { trials, seed }
+    }
+
+    /// Scale trials down for expensive (large `n`) points.
+    pub fn trials_for(&self, n: usize) -> usize {
+        match n {
+            0..=500 => self.trials,
+            501..=5000 => (self.trials / 2).max(25),
+            _ => (self.trials / 5).max(10),
+        }
+    }
+}

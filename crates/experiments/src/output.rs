@@ -1,0 +1,122 @@
+//! Table printing and CSV output.
+
+use std::fmt::Write as _;
+use std::fs;
+use std::path::PathBuf;
+
+/// An in-memory results table.
+pub struct Table {
+    title: String,
+    columns: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Start a table with the given title and column names.
+    pub fn new(title: &str, columns: &[&str]) -> Table {
+        Table {
+            title: title.to_string(),
+            columns: columns.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append a row (must match the column count).
+    pub fn row(&mut self, cells: &[String]) {
+        assert_eq!(cells.len(), self.columns.len(), "row arity mismatch");
+        self.rows.push(cells.to_vec());
+    }
+
+    /// Render as an aligned text table.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.columns.iter().map(|c| c.len()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let _ = writeln!(out, "# {}", self.title);
+        let header: Vec<String> = self
+            .columns
+            .iter()
+            .zip(&widths)
+            .map(|(c, w)| format!("{c:>w$}"))
+            .collect();
+        let _ = writeln!(out, "{}", header.join("  "));
+        for row in &self.rows {
+            let line: Vec<String> = row
+                .iter()
+                .zip(&widths)
+                .map(|(c, w)| format!("{c:>w$}"))
+                .collect();
+            let _ = writeln!(out, "{}", line.join("  "));
+        }
+        out
+    }
+
+    /// Render as CSV.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "{}", self.columns.join(","));
+        for row in &self.rows {
+            let _ = writeln!(out, "{}", row.join(","));
+        }
+        out
+    }
+}
+
+/// Writes tables to stdout and `results/<name>.csv`.
+pub struct TableWriter {
+    dir: PathBuf,
+}
+
+impl Default for TableWriter {
+    fn default() -> Self {
+        TableWriter::new()
+    }
+}
+
+impl TableWriter {
+    /// Target the workspace `results/` directory (created on demand).
+    pub fn new() -> TableWriter {
+        TableWriter { dir: PathBuf::from("results") }
+    }
+
+    /// Print the table and persist the CSV as `results/<name>.csv`.
+    pub fn emit(&self, name: &str, table: &Table) {
+        println!("{}", table.render());
+        if fs::create_dir_all(&self.dir).is_ok() {
+            let path = self.dir.join(format!("{name}.csv"));
+            if let Err(e) = fs::write(&path, table.to_csv()) {
+                eprintln!("warning: could not write {}: {e}", path.display());
+            } else {
+                eprintln!("wrote {}", path.display());
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned() {
+        let mut t = Table::new("demo", &["n", "bytes"]);
+        t.row(&["5".into(), "1234".into()]);
+        t.row(&["5000".into(), "9".into()]);
+        let s = t.render();
+        assert!(s.contains("# demo"));
+        assert!(s.contains("   n  bytes"));
+        let csv = t.to_csv();
+        assert!(csv.starts_with("n,bytes\n5,1234\n"));
+    }
+
+    #[test]
+    #[should_panic(expected = "arity")]
+    fn arity_checked() {
+        let mut t = Table::new("demo", &["a", "b"]);
+        t.row(&["1".into()]);
+    }
+}

@@ -1,0 +1,63 @@
+//! Small statistics helpers for the harness.
+
+/// Arithmetic mean (0 for empty input).
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    xs.iter().sum::<f64>() / xs.len() as f64
+}
+
+/// Mean with a 95% normal-approximation confidence half-width.
+pub fn mean_ci95(xs: &[f64]) -> (f64, f64) {
+    let m = mean(xs);
+    if xs.len() < 2 {
+        return (m, 0.0);
+    }
+    let var = xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / (xs.len() - 1) as f64;
+    (m, 1.96 * (var / xs.len() as f64).sqrt())
+}
+
+/// Proportion of `successes` in `trials` with a Wilson 95% interval.
+pub fn proportion_ci95(successes: usize, trials: usize) -> (f64, f64, f64) {
+    if trials == 0 {
+        return (0.0, 0.0, 1.0);
+    }
+    let n = trials as f64;
+    let p = successes as f64 / n;
+    let z = 1.96f64;
+    let denom = 1.0 + z * z / n;
+    let center = (p + z * z / (2.0 * n)) / denom;
+    let half = (z / denom) * (p * (1.0 - p) / n + z * z / (4.0 * n * n)).sqrt();
+    (p, (center - half).max(0.0), (center + half).min(1.0))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_basic() {
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(mean(&[2.0, 4.0]), 3.0);
+    }
+
+    #[test]
+    fn ci_shrinks_with_samples() {
+        let few: Vec<f64> = (0..10).map(|i| i as f64).collect();
+        let many: Vec<f64> = (0..1000).map(|i| (i % 10) as f64).collect();
+        let (_, ci_few) = mean_ci95(&few);
+        let (_, ci_many) = mean_ci95(&many);
+        assert!(ci_many < ci_few);
+    }
+
+    #[test]
+    fn wilson_interval_contains_p() {
+        let (p, lo, hi) = proportion_ci95(50, 100);
+        assert!((p - 0.5).abs() < 1e-9);
+        assert!(lo < 0.5 && 0.5 < hi);
+        let (_, lo0, hi0) = proportion_ci95(0, 100);
+        assert_eq!(lo0, 0.0);
+        assert!(hi0 > 0.0 && hi0 < 0.1);
+    }
+}

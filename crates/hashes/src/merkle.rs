@@ -1,0 +1,209 @@
+//! Bitcoin-style Merkle trees over transaction IDs.
+//!
+//! A Graphene receiver reconstructs the candidate transaction set, orders it
+//! (CTOR or explicit ordering), computes the Merkle root, and compares it to
+//! the root committed in the block header (paper §3.1 step 4 and §6.2). The
+//! root is the final arbiter: probabilistic reconciliation may produce a
+//! superset or miss transactions, and only an exact set/order match verifies.
+//!
+//! The construction follows Bitcoin: leaves are (double-SHA256) txids, each
+//! internal node is `sha256d(left || right)`, and a level with an odd number
+//! of nodes duplicates its last node.
+
+use crate::sha256::{sha256d, Digest};
+
+/// Compute the Merkle root of a list of txids.
+///
+/// Returns [`Digest::ZERO`] for an empty list (a real block always has at
+/// least the coinbase transaction, so this case is a sentinel only).
+pub fn merkle_root(txids: &[Digest]) -> Digest {
+    if txids.is_empty() {
+        return Digest::ZERO;
+    }
+    let mut level: Vec<Digest> = txids.to_vec();
+    while level.len() > 1 {
+        level = next_level(&level);
+    }
+    level[0]
+}
+
+fn next_level(level: &[Digest]) -> Vec<Digest> {
+    let mut out = Vec::with_capacity(level.len().div_ceil(2));
+    for pair in level.chunks(2) {
+        let left = pair[0];
+        // Odd level: Bitcoin duplicates the last hash.
+        let right = *pair.get(1).unwrap_or(&pair[0]);
+        out.push(hash_pair(&left, &right));
+    }
+    out
+}
+
+fn hash_pair(left: &Digest, right: &Digest) -> Digest {
+    let mut buf = [0u8; 64];
+    buf[..32].copy_from_slice(left.as_ref());
+    buf[32..].copy_from_slice(right.as_ref());
+    sha256d(&buf)
+}
+
+/// A full Merkle tree retaining every level, supporting inclusion proofs.
+///
+/// The experiment harness uses proofs to sanity-check partial decodings; a
+/// production relay only needs [`merkle_root`].
+pub struct MerkleTree {
+    /// `levels[0]` is the leaf level; the last level has exactly one node.
+    levels: Vec<Vec<Digest>>,
+}
+
+/// An inclusion proof: sibling hashes from leaf to root.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MerkleProof {
+    /// Index of the proven leaf.
+    pub index: usize,
+    /// Sibling hash at each level, leaf-side first.
+    pub siblings: Vec<Digest>,
+}
+
+impl MerkleTree {
+    /// Build the tree from leaf txids. Empty input yields a zero-root tree.
+    pub fn new(txids: &[Digest]) -> Self {
+        if txids.is_empty() {
+            return MerkleTree { levels: vec![vec![Digest::ZERO]] };
+        }
+        let mut levels = vec![txids.to_vec()];
+        while levels.last().expect("non-empty").len() > 1 {
+            let next = next_level(levels.last().expect("non-empty"));
+            levels.push(next);
+        }
+        MerkleTree { levels }
+    }
+
+    /// The root hash.
+    pub fn root(&self) -> Digest {
+        self.levels.last().expect("at least one level")[0]
+    }
+
+    /// Number of leaves.
+    pub fn len(&self) -> usize {
+        self.levels[0].len()
+    }
+
+    /// True if the tree was built from an empty list.
+    pub fn is_empty(&self) -> bool {
+        self.levels.len() == 1 && self.levels[0][0] == Digest::ZERO
+    }
+
+    /// Produce an inclusion proof for leaf `index`, or `None` if out of range.
+    pub fn prove(&self, index: usize) -> Option<MerkleProof> {
+        if index >= self.len() {
+            return None;
+        }
+        let mut siblings = Vec::with_capacity(self.levels.len() - 1);
+        let mut idx = index;
+        for level in &self.levels[..self.levels.len() - 1] {
+            let sibling_idx = idx ^ 1;
+            // Odd level: the last node is its own sibling.
+            let sibling = *level.get(sibling_idx).unwrap_or(&level[idx]);
+            siblings.push(sibling);
+            idx /= 2;
+        }
+        Some(MerkleProof { index, siblings })
+    }
+}
+
+impl MerkleProof {
+    /// Verify that `leaf` is included under `root`.
+    pub fn verify(&self, leaf: &Digest, root: &Digest) -> bool {
+        let mut hash = *leaf;
+        let mut idx = self.index;
+        for sibling in &self.siblings {
+            hash = if idx.is_multiple_of(2) {
+                hash_pair(&hash, sibling)
+            } else {
+                hash_pair(sibling, &hash)
+            };
+            idx /= 2;
+        }
+        hash == *root
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sha256::sha256;
+
+    fn leaves(n: usize) -> Vec<Digest> {
+        (0..n).map(|i| sha256(&(i as u64).to_le_bytes())).collect()
+    }
+
+    #[test]
+    fn single_leaf_root_is_leaf() {
+        let l = leaves(1);
+        assert_eq!(merkle_root(&l), l[0]);
+    }
+
+    #[test]
+    fn empty_root_is_zero() {
+        assert_eq!(merkle_root(&[]), Digest::ZERO);
+        assert!(MerkleTree::new(&[]).is_empty());
+    }
+
+    #[test]
+    fn two_leaves_hash_pair() {
+        let l = leaves(2);
+        assert_eq!(merkle_root(&l), hash_pair(&l[0], &l[1]));
+    }
+
+    #[test]
+    fn odd_level_duplicates_last() {
+        let l = leaves(3);
+        let left = hash_pair(&l[0], &l[1]);
+        let right = hash_pair(&l[2], &l[2]);
+        assert_eq!(merkle_root(&l), hash_pair(&left, &right));
+    }
+
+    #[test]
+    fn tree_matches_root_function() {
+        for n in 1..35 {
+            let l = leaves(n);
+            assert_eq!(MerkleTree::new(&l).root(), merkle_root(&l), "n = {n}");
+        }
+    }
+
+    #[test]
+    fn proofs_verify_for_all_leaves() {
+        for n in [1usize, 2, 3, 4, 5, 7, 8, 13, 16, 33] {
+            let l = leaves(n);
+            let tree = MerkleTree::new(&l);
+            let root = tree.root();
+            for (i, leaf) in l.iter().enumerate() {
+                let proof = tree.prove(i).expect("in range");
+                assert!(proof.verify(leaf, &root), "n = {n}, leaf {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn proof_fails_for_wrong_leaf_or_root() {
+        let l = leaves(8);
+        let tree = MerkleTree::new(&l);
+        let proof = tree.prove(3).expect("in range");
+        assert!(!proof.verify(&l[4], &tree.root()));
+        assert!(!proof.verify(&l[3], &sha256(b"not the root")));
+    }
+
+    #[test]
+    fn prove_out_of_range_is_none() {
+        let tree = MerkleTree::new(&leaves(4));
+        assert!(tree.prove(4).is_none());
+    }
+
+    #[test]
+    fn order_sensitivity() {
+        // The root commits to order: swapping two txids changes it.
+        let mut l = leaves(6);
+        let before = merkle_root(&l);
+        l.swap(0, 5);
+        assert_ne!(merkle_root(&l), before);
+    }
+}

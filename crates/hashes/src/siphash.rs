@@ -1,0 +1,223 @@
+//! SipHash-2-4 (Aumasson–Bernstein), implemented from the specification.
+//!
+//! SipHash is the keyed short-input PRF that Compact Blocks (BIP152) uses to
+//! derive 6-byte short transaction IDs. Keying the short-ID hash per
+//! connection/block confines any manufactured ID collision to a single peer
+//! (paper §6.1, "Manufactured transaction collisions").
+
+use core::fmt;
+
+/// A 128-bit SipHash key, as two little-endian 64-bit halves.
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SipKey {
+    /// First key word (`k0`).
+    pub k0: u64,
+    /// Second key word (`k1`).
+    pub k1: u64,
+}
+
+impl SipKey {
+    /// Build a key from two words.
+    #[inline]
+    pub const fn new(k0: u64, k1: u64) -> Self {
+        SipKey { k0, k1 }
+    }
+
+    /// Build a key from 16 little-endian bytes (the reference layout).
+    #[inline]
+    pub fn from_bytes(bytes: &[u8; 16]) -> Self {
+        SipKey {
+            k0: u64::from_le_bytes(bytes[..8].try_into().expect("8 bytes")),
+            k1: u64::from_le_bytes(bytes[8..].try_into().expect("8 bytes")),
+        }
+    }
+}
+
+impl fmt::Debug for SipKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "SipKey({:#018x}, {:#018x})", self.k0, self.k1)
+    }
+}
+
+/// Streaming SipHash-2-4 state.
+///
+/// The suite mostly uses the one-shot [`siphash24`], but the streaming form
+/// lets callers hash composite messages without concatenating buffers.
+#[derive(Clone)]
+pub struct SipHasher24 {
+    v0: u64,
+    v1: u64,
+    v2: u64,
+    v3: u64,
+    /// Pending tail bytes (< 8) in the low-order positions.
+    tail: u64,
+    ntail: usize,
+    /// Total bytes absorbed.
+    len: u64,
+}
+
+#[inline(always)]
+fn sipround(v0: &mut u64, v1: &mut u64, v2: &mut u64, v3: &mut u64) {
+    *v0 = v0.wrapping_add(*v1);
+    *v1 = v1.rotate_left(13);
+    *v1 ^= *v0;
+    *v0 = v0.rotate_left(32);
+    *v2 = v2.wrapping_add(*v3);
+    *v3 = v3.rotate_left(16);
+    *v3 ^= *v2;
+    *v0 = v0.wrapping_add(*v3);
+    *v3 = v3.rotate_left(21);
+    *v3 ^= *v0;
+    *v2 = v2.wrapping_add(*v1);
+    *v1 = v1.rotate_left(17);
+    *v1 ^= *v2;
+    *v2 = v2.rotate_left(32);
+}
+
+impl SipHasher24 {
+    /// Initialize the state with `key`.
+    pub fn new(key: SipKey) -> Self {
+        SipHasher24 {
+            v0: key.k0 ^ 0x736f6d6570736575,
+            v1: key.k1 ^ 0x646f72616e646f6d,
+            v2: key.k0 ^ 0x6c7967656e657261,
+            v3: key.k1 ^ 0x7465646279746573,
+            tail: 0,
+            ntail: 0,
+            len: 0,
+        }
+    }
+
+    #[inline]
+    fn process_word(&mut self, m: u64) {
+        self.v3 ^= m;
+        sipround(&mut self.v0, &mut self.v1, &mut self.v2, &mut self.v3);
+        sipround(&mut self.v0, &mut self.v1, &mut self.v2, &mut self.v3);
+        self.v0 ^= m;
+    }
+
+    /// Absorb `data`.
+    pub fn update(&mut self, data: &[u8]) {
+        self.len = self.len.wrapping_add(data.len() as u64);
+        let mut data = data;
+        if self.ntail > 0 {
+            let need = 8 - self.ntail;
+            let take = need.min(data.len());
+            for (i, &b) in data[..take].iter().enumerate() {
+                self.tail |= (b as u64) << (8 * (self.ntail + i));
+            }
+            self.ntail += take;
+            data = &data[take..];
+            if self.ntail == 8 {
+                let m = self.tail;
+                self.process_word(m);
+                self.tail = 0;
+                self.ntail = 0;
+            }
+        }
+        while data.len() >= 8 {
+            let (word, rest) = data.split_at(8);
+            self.process_word(u64::from_le_bytes(word.try_into().expect("8 bytes")));
+            data = rest;
+        }
+        for (i, &b) in data.iter().enumerate() {
+            self.tail |= (b as u64) << (8 * i);
+        }
+        self.ntail = data.len();
+    }
+
+    /// Complete the hash and return the 64-bit tag.
+    pub fn finalize(mut self) -> u64 {
+        let b: u64 = ((self.len & 0xff) << 56) | self.tail;
+        self.process_word(b);
+        self.v2 ^= 0xff;
+        for _ in 0..4 {
+            sipround(&mut self.v0, &mut self.v1, &mut self.v2, &mut self.v3);
+        }
+        self.v0 ^ self.v1 ^ self.v2 ^ self.v3
+    }
+}
+
+/// One-shot SipHash-2-4 of `data` under `key`.
+pub fn siphash24(key: SipKey, data: &[u8]) -> u64 {
+    let mut h = SipHasher24::new(key);
+    h.update(data);
+    h.finalize()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Reference key from the SipHash paper: bytes 00 01 ... 0f.
+    fn ref_key() -> SipKey {
+        let bytes: [u8; 16] = core::array::from_fn(|i| i as u8);
+        SipKey::from_bytes(&bytes)
+    }
+
+    #[test]
+    fn paper_appendix_vector() {
+        // SipHash-2-4 paper, Appendix A: k = 000102..0f, m = 000102..0e,
+        // output 0xa129ca6149be45e5.
+        let msg: Vec<u8> = (0u8..15).collect();
+        assert_eq!(siphash24(ref_key(), &msg), 0xa129ca6149be45e5);
+    }
+
+    /// First 16 entries of `vectors_sip64` from the reference implementation
+    /// (outputs for messages 00, 0001, 000102, ... under the reference key),
+    /// stored as little-endian byte arrays there; we compare as u64.
+    #[test]
+    fn reference_vectors() {
+        const EXPECT: [[u8; 8]; 16] = [
+            [0x31, 0x0e, 0x0e, 0xdd, 0x47, 0xdb, 0x6f, 0x72],
+            [0xfd, 0x67, 0xdc, 0x93, 0xc5, 0x39, 0xf8, 0x74],
+            [0x5a, 0x4f, 0xa9, 0xd9, 0x09, 0x80, 0x6c, 0x0d],
+            [0x2d, 0x7e, 0xfb, 0xd7, 0x96, 0x66, 0x67, 0x85],
+            [0xb7, 0x87, 0x71, 0x27, 0xe0, 0x94, 0x27, 0xcf],
+            [0x8d, 0xa6, 0x99, 0xcd, 0x64, 0x55, 0x76, 0x18],
+            [0xce, 0xe3, 0xfe, 0x58, 0x6e, 0x46, 0xc9, 0xcb],
+            [0x37, 0xd1, 0x01, 0x8b, 0xf5, 0x00, 0x02, 0xab],
+            [0x62, 0x24, 0x93, 0x9a, 0x79, 0xf5, 0xf5, 0x93],
+            [0xb0, 0xe4, 0xa9, 0x0b, 0xdf, 0x82, 0x00, 0x9e],
+            [0xf3, 0xb9, 0xdd, 0x94, 0xc5, 0xbb, 0x5d, 0x7a],
+            [0xa7, 0xad, 0x6b, 0x22, 0x46, 0x2f, 0xb3, 0xf4],
+            [0xfb, 0xe5, 0x0e, 0x86, 0xbc, 0x8f, 0x1e, 0x75],
+            [0x90, 0x3d, 0x84, 0xc0, 0x27, 0x56, 0xea, 0x14],
+            [0xee, 0xf2, 0x7a, 0x8e, 0x90, 0xca, 0x23, 0xf7],
+            [0xe5, 0x45, 0xbe, 0x49, 0x61, 0xca, 0x29, 0xa1],
+        ];
+        let msg: Vec<u8> = (0u8..16).collect();
+        for (len, expect) in EXPECT.iter().enumerate() {
+            let got = siphash24(ref_key(), &msg[..len]);
+            assert_eq!(
+                got,
+                u64::from_le_bytes(*expect),
+                "vector for message length {len}"
+            );
+        }
+    }
+
+    #[test]
+    fn streaming_matches_oneshot() {
+        let data: Vec<u8> = (0u8..=255).collect();
+        let key = SipKey::new(0xdead_beef, 0xcafe_babe);
+        let expect = siphash24(key, &data);
+        for split in [0, 1, 7, 8, 9, 100, 255, 256] {
+            let mut h = SipHasher24::new(key);
+            h.update(&data[..split]);
+            h.update(&data[split..]);
+            assert_eq!(h.finalize(), expect, "split at {split}");
+        }
+    }
+
+    #[test]
+    fn key_sensitivity() {
+        let msg = b"graphene block 1234";
+        let a = siphash24(SipKey::new(0, 0), msg);
+        let b = siphash24(SipKey::new(0, 1), msg);
+        let c = siphash24(SipKey::new(1, 0), msg);
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+        assert_ne!(b, c);
+    }
+}

@@ -1,0 +1,63 @@
+//! Property-based tests for the hash substrate.
+
+use graphene_hashes::{merkle_root, sha256, siphash24, Digest, MerkleTree, Sha256, SipHasher24, SipKey};
+use proptest::prelude::*;
+
+proptest! {
+    /// Streaming SHA-256 equals one-shot for any chunking.
+    #[test]
+    fn sha256_chunking_invariant(
+        data in proptest::collection::vec(any::<u8>(), 0..600),
+        splits in proptest::collection::vec(any::<u16>(), 0..6),
+    ) {
+        let expect = sha256(&data);
+        let mut h = Sha256::new();
+        let mut rest = &data[..];
+        for s in splits {
+            if rest.is_empty() { break; }
+            let cut = (s as usize) % rest.len().max(1);
+            let (head, tail) = rest.split_at(cut);
+            h.update(head);
+            rest = tail;
+        }
+        h.update(rest);
+        prop_assert_eq!(h.finalize(), expect);
+    }
+
+    /// Streaming SipHash equals one-shot for any chunking.
+    #[test]
+    fn siphash_chunking_invariant(
+        data in proptest::collection::vec(any::<u8>(), 0..300),
+        cut in any::<u16>(),
+        k0: u64, k1: u64,
+    ) {
+        let key = SipKey::new(k0, k1);
+        let expect = siphash24(key, &data);
+        let cut = (cut as usize) % data.len().max(1);
+        let mut h = SipHasher24::new(key);
+        h.update(&data[..cut.min(data.len())]);
+        h.update(&data[cut.min(data.len())..]);
+        prop_assert_eq!(h.finalize(), expect);
+    }
+
+    /// Every Merkle proof verifies; any tamper breaks it.
+    #[test]
+    fn merkle_soundness(seeds in proptest::collection::vec(any::<u64>(), 1..40), probe: u8) {
+        let leaves: Vec<Digest> = seeds.iter().map(|s| sha256(&s.to_le_bytes())).collect();
+        let tree = MerkleTree::new(&leaves);
+        prop_assert_eq!(tree.root(), merkle_root(&leaves));
+        let idx = (probe as usize) % leaves.len();
+        let proof = tree.prove(idx).unwrap();
+        prop_assert!(proof.verify(&leaves[idx], &tree.root()));
+        let mut tampered = leaves[idx];
+        tampered.0[0] ^= 1;
+        prop_assert!(!proof.verify(&tampered, &tree.root()));
+    }
+
+    /// Digest hex round-trips.
+    #[test]
+    fn digest_hex_roundtrip(bytes: [u8; 32]) {
+        let d = Digest(bytes);
+        prop_assert_eq!(Digest::from_hex(&d.to_hex()), Some(d));
+    }
+}

@@ -1,0 +1,201 @@
+//! Hypergraph model of IBLT decoding (paper §4.1, Fig. 8).
+//!
+//! An IBLT with `c` cells, `k` hash functions and `j` inserted items is a
+//! k-partite, k-uniform hypergraph: vertices are cells (partitioned into `k`
+//! groups of `c/k`), edges are items (one vertex per partition, chosen
+//! uniformly). Peeling removes edges incident to a degree-1 vertex; the IBLT
+//! decodes iff peeling leaves no edges (empty 2-core).
+//!
+//! Simulating this graph is much faster than driving a real IBLT — no key
+//! sums or checksums, just degree counters and an XOR-folded edge id per
+//! vertex (the same trick IBLT cells use, applied to the simulation itself).
+
+use rand::{rngs::StdRng, RngExt};
+
+/// Scratch buffers reused across trials to avoid per-trial allocation.
+#[derive(Default)]
+pub struct Scratch {
+    degree: Vec<u32>,
+    edge_xor: Vec<u32>,
+    edge_vertices: Vec<u32>,
+    stack: Vec<u32>,
+    removed: Vec<bool>,
+}
+
+/// Run one decode trial: sample a random j-edge hypergraph on `c` vertices
+/// (`c` must be a positive multiple of `k`) and report whether it peels
+/// completely.
+pub fn decode_trial(j: usize, k: u32, c: usize, rng: &mut StdRng) -> bool {
+    let mut scratch = Scratch::default();
+    decode_trial_with(j, k, c, rng, &mut scratch)
+}
+
+/// As [`decode_trial`], reusing caller-provided scratch space. This is the
+/// hot path of Algorithm 1.
+pub fn decode_trial_with(
+    j: usize,
+    k: u32,
+    c: usize,
+    rng: &mut StdRng,
+    s: &mut Scratch,
+) -> bool {
+    let k = k as usize;
+    debug_assert!(c.is_multiple_of(k) && c > 0, "c must be a positive multiple of k");
+    let part = c / k;
+    if j == 0 {
+        return true;
+    }
+    if part == 0 {
+        return false;
+    }
+
+    s.degree.clear();
+    s.degree.resize(c, 0);
+    s.edge_xor.clear();
+    s.edge_xor.resize(c, 0);
+    s.edge_vertices.clear();
+    s.edge_vertices.resize(j * k, 0);
+    s.removed.clear();
+    s.removed.resize(j, false);
+    s.stack.clear();
+
+    // Sample edges: one uniformly chosen vertex in each partition.
+    for e in 0..j {
+        for i in 0..k {
+            let v = (i * part + rng.random_range(0..part)) as u32;
+            s.edge_vertices[e * k + i] = v;
+            s.degree[v as usize] += 1;
+            // XOR-fold (edge index + 1) so a degree-1 vertex reveals its edge.
+            s.edge_xor[v as usize] ^= (e + 1) as u32;
+        }
+    }
+
+    for v in 0..c as u32 {
+        if s.degree[v as usize] == 1 {
+            s.stack.push(v);
+        }
+    }
+
+    let mut peeled = 0usize;
+    while let Some(v) = s.stack.pop() {
+        if s.degree[v as usize] != 1 {
+            continue; // stale entry
+        }
+        let e = (s.edge_xor[v as usize] as usize) - 1;
+        if s.removed[e] {
+            continue;
+        }
+        s.removed[e] = true;
+        peeled += 1;
+        for i in 0..k {
+            let u = s.edge_vertices[e * k + i] as usize;
+            s.degree[u] -= 1;
+            s.edge_xor[u] ^= (e + 1) as u32;
+            if s.degree[u] == 1 {
+                s.stack.push(u as u32);
+            }
+        }
+    }
+    peeled == j
+}
+
+/// Estimate the decode failure rate at (`j`, `k`, `c`) over `trials` samples.
+pub fn failure_rate(j: usize, k: u32, c: usize, trials: usize, rng: &mut StdRng) -> f64 {
+    let mut s = Scratch::default();
+    let mut failures = 0usize;
+    for _ in 0..trials {
+        if !decode_trial_with(j, k, c, rng, &mut s) {
+            failures += 1;
+        }
+    }
+    failures as f64 / trials as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng(seed: u64) -> StdRng {
+        StdRng::seed_from_u64(seed)
+    }
+
+    #[test]
+    fn zero_items_always_decodes() {
+        assert!(decode_trial(0, 3, 12, &mut rng(1)));
+    }
+
+    #[test]
+    fn huge_table_always_decodes_small_j() {
+        let mut r = rng(2);
+        for _ in 0..100 {
+            assert!(decode_trial(2, 3, 300, &mut r));
+        }
+    }
+
+    #[test]
+    fn tiny_table_fails_large_j() {
+        let mut r = rng(3);
+        let mut failures = 0;
+        for _ in 0..50 {
+            if !decode_trial(100, 3, 30, &mut r) {
+                failures += 1;
+            }
+        }
+        assert_eq!(failures, 50, "c << j can never fully peel");
+    }
+
+    #[test]
+    fn failure_rate_monotone_in_c() {
+        // More cells (same j, k) must not make decoding worse — the
+        // monotonicity that justifies binary search (§4.1).
+        let mut r = rng(4);
+        let j = 50;
+        let lo = failure_rate(j, 3, 60, 2000, &mut r);
+        let hi = failure_rate(j, 3, 120, 2000, &mut r);
+        assert!(
+            hi <= lo + 0.02,
+            "failure rate rose with more cells: {lo} -> {hi}"
+        );
+    }
+
+    #[test]
+    fn matches_real_iblt_behaviour() {
+        // The hypergraph is a faithful model: at identical (j, k, c) the
+        // failure rates of the simulation and a real IBLT should agree
+        // within Monte Carlo noise.
+        use graphene_iblt::Iblt;
+        let (j, k, c) = (20usize, 3u32, 27usize);
+        let trials = 1500;
+        let mut r = rng(5);
+        let sim_rate = failure_rate(j, k, c, trials, &mut r);
+        let mut real_failures = 0;
+        for t in 0..trials {
+            let mut iblt = Iblt::new(c, k, t as u64);
+            for v in 0..j as u64 {
+                iblt.insert(v + 1_000_000 * t as u64);
+            }
+            if !iblt.peel().unwrap().complete {
+                real_failures += 1;
+            }
+        }
+        let real_rate = real_failures as f64 / trials as f64;
+        assert!(
+            (sim_rate - real_rate).abs() < 0.05,
+            "hypergraph {sim_rate} vs real IBLT {real_rate}"
+        );
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let a: Vec<bool> = {
+            let mut r = rng(7);
+            (0..20).map(|_| decode_trial(30, 4, 40, &mut r)).collect()
+        };
+        let b: Vec<bool> = {
+            let mut r = rng(7);
+            (0..20).map(|_| decode_trial(30, 4, 40, &mut r)).collect()
+        };
+        assert_eq!(a, b);
+    }
+}

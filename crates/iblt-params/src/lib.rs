@@ -1,0 +1,44 @@
+//! Optimal IBLT parameterization (paper §4.1, Algorithm 1).
+//!
+//! Choosing IBLT geometry is deceptively hard: only two knobs exist — the
+//! hedge factor `τ` (giving `c = j·τ` cells) and the hash-function count `k`
+//! — and static choices decode poorly for small `j` (Fig. 7). This crate
+//! reproduces the paper's contribution:
+//!
+//! * [`hypergraph`] — models an IBLT with `j` items as a k-partite,
+//!   k-uniform random hypergraph; decoding succeeds iff the graph has an
+//!   empty 2-core. Working on the hypergraph instead of real IBLTs is what
+//!   makes the search an order of magnitude faster (§4.1).
+//! * [`search`] — Algorithm 1: binary search over the cell count `c` with a
+//!   confidence-interval acceptance test, plus the outer loop over `k`.
+//! * [`table`] — a precomputed parameter table (shipped with the crate, like
+//!   the paper's released parameter files) mapping `(j, target rate)` to the
+//!   optimal `(k, c)`, with a conservative analytic fallback above the
+//!   tabulated range.
+//!
+//! The statistical acceptance rule follows the paper's pseudocode (Fig. 9)
+//! with one deviation noted in `DESIGN.md`: success/trial counters reset
+//! whenever the binary-search midpoint moves, so the confidence interval
+//! always describes a single candidate `c`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod hypergraph;
+pub mod search;
+pub mod table;
+
+pub use hypergraph::decode_trial;
+pub use search::{optimize, optimize_parallel, search_c, SearchConfig};
+pub use table::{params_for, IbltParams, ParamTable, TARGET_RATES};
+
+/// A desired decode-failure rate, e.g. `1/240`.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct FailureRate(pub f64);
+
+impl FailureRate {
+    /// `1 - failure`: the decode success probability `p` in Algorithm 1.
+    pub fn success(self) -> f64 {
+        1.0 - self.0
+    }
+}

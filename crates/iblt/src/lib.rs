@@ -1,0 +1,42 @@
+//! Invertible Bloom Lookup Tables (Goodrich & Mitzenmacher 2011).
+//!
+//! An IBLT stores a multiset of 8-byte values in `c` cells, each holding a
+//! `count`, the XOR of inserted values (`keySum`) and the XOR of a per-value
+//! checksum (`checkSum`). Subtracting two IBLTs built over similar sets
+//! cancels the intersection, and iterative *peeling* of pure cells recovers
+//! the symmetric difference (paper §2.1).
+//!
+//! This crate provides:
+//!
+//! * [`Iblt`] — construction, insertion/erasure, subtraction, and peeling
+//!   with partial-decode results;
+//! * the §6.1 *malformed IBLT* defense: peeling halts with
+//!   [`DecodeError::Malformed`] if any value decodes twice, which defeats the
+//!   endless-decode-loop attack;
+//! * [`pingpong`] — §4.2 ping-pong decoding across two IBLTs covering the
+//!   same difference, which squares the failure rate;
+//! * a compact wire serialization used for byte accounting.
+//!
+//! Cell geometry follows the paper: the cell array is split into `k`
+//! partitions of `c/k` cells and each value is inserted once per partition,
+//! which matches the k-partite hypergraph model used by the parameter search
+//! in `graphene-iblt-params`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cell;
+pub mod pingpong;
+pub mod table;
+
+pub use cell::Cell;
+pub use pingpong::{joint_decode, ping_pong_decode};
+pub use table::{DecodeError, DecodeResult, Iblt};
+
+/// Bytes per cell on the wire: `count: i32` + `keySum: u64` + `checkSum: u32`.
+///
+/// This is the `r` in the paper's Eq. 1 (`T_I = r·τ·(1+δ)·a`).
+pub const CELL_BYTES: usize = 16;
+
+/// Bytes of fixed header in the wire encoding (cell count, k, salt).
+pub const HEADER_BYTES: usize = 13;

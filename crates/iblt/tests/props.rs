@@ -1,0 +1,93 @@
+//! Property-based tests for IBLT invariants.
+
+use graphene_iblt::{Iblt, CELL_BYTES, HEADER_BYTES};
+use proptest::prelude::*;
+use std::collections::HashSet;
+
+proptest! {
+    /// Serialization round-trips for arbitrary contents and geometry.
+    #[test]
+    fn serialization_roundtrip(
+        values in proptest::collection::vec(any::<u64>(), 0..60),
+        cells in 3usize..120,
+        k in 2u32..8,
+        salt: u64,
+    ) {
+        let mut t = Iblt::new(cells, k, salt);
+        for v in &values {
+            t.insert(*v);
+        }
+        let bytes = t.to_bytes();
+        prop_assert_eq!(bytes.len(), t.serialized_size());
+        prop_assert_eq!(bytes.len(), HEADER_BYTES + t.cell_count() * CELL_BYTES);
+        let back = Iblt::from_bytes(&bytes).expect("roundtrip");
+        prop_assert_eq!(back, t);
+    }
+
+    /// Insert-then-erase of any multiset leaves an empty table.
+    #[test]
+    fn insert_erase_cancels(
+        values in proptest::collection::vec(any::<u64>(), 0..50),
+        salt: u64,
+    ) {
+        let mut t = Iblt::new(30, 3, salt);
+        for v in &values {
+            t.insert(*v);
+        }
+        for v in &values {
+            t.erase(*v);
+        }
+        prop_assert!(t.is_drained());
+    }
+
+    /// Subtraction is anticommutative: sides of A⊖B are swapped in B⊖A.
+    #[test]
+    fn subtraction_anticommutative(
+        a_vals in proptest::collection::hash_set(any::<u64>(), 0..15),
+        b_vals in proptest::collection::hash_set(any::<u64>(), 0..15),
+        salt: u64,
+    ) {
+        let mut a = Iblt::new(90, 3, salt);
+        let mut b = Iblt::new(90, 3, salt);
+        for v in &a_vals { a.insert(*v); }
+        for v in &b_vals { b.insert(*v); }
+        let mut ab = a.subtract(&b).unwrap();
+        let mut ba = b.subtract(&a).unwrap();
+        let rab = ab.peel().unwrap();
+        let rba = ba.peel().unwrap();
+        if rab.complete && rba.complete {
+            let l1: HashSet<u64> = rab.only_left.iter().copied().collect();
+            let r2: HashSet<u64> = rba.only_right.iter().copied().collect();
+            prop_assert_eq!(l1, r2);
+            let r1: HashSet<u64> = rab.only_right.iter().copied().collect();
+            let l2: HashSet<u64> = rba.only_left.iter().copied().collect();
+            prop_assert_eq!(r1, l2);
+        }
+    }
+
+    /// Peeling never recovers values that were not inserted, complete or not.
+    #[test]
+    fn no_phantom_values(
+        values in proptest::collection::hash_set(any::<u64>(), 1..80),
+        cells in 6usize..60,
+        salt: u64,
+    ) {
+        let mut t = Iblt::new(cells, 3, salt);
+        for v in &values {
+            t.insert(*v);
+        }
+        if let Ok(r) = t.peel() {
+            for v in r.only_left.iter().chain(&r.only_right) {
+                prop_assert!(values.contains(v), "phantom value {v}");
+            }
+            // Only-right can never appear from pure insertions.
+            prop_assert!(r.only_right.is_empty());
+        }
+    }
+
+    /// from_bytes on arbitrary byte soup never panics.
+    #[test]
+    fn from_bytes_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..400)) {
+        let _ = Iblt::from_bytes(&bytes);
+    }
+}

@@ -1,0 +1,32 @@
+//! Discrete-event network simulator for block propagation.
+//!
+//! The paper's deployment results (Fig. 12) come from a live Bitcoin Cash
+//! node with six peers; this crate is the in-repo substitute. Peers exchange
+//! *real encoded messages* (`graphene-wire` frames) over links with latency,
+//! bandwidth, and fault injection (random drop / byte corruption — the
+//! smoltcp guide's `--drop-chance` / `--corrupt-chance` idiom), so a relay
+//! here exercises exactly the bytes and state transitions a socket would.
+//!
+//! * [`time`] / [`event`] — simulated clock and event queue;
+//! * [`link`] — link parameters and the fault injector;
+//! * [`peer`] — per-peer state machines for Graphene (Protocols 1+2 with
+//!   recovery), Compact Blocks, XThin and full blocks;
+//! * [`network`] — topology, message routing, and the block-propagation
+//!   experiment driver;
+//! * [`metrics`] — byte/latency accounting shared across the run.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod event;
+pub mod link;
+pub mod metrics;
+pub mod network;
+pub mod peer;
+pub mod time;
+
+pub use link::LinkParams;
+pub use metrics::Metrics;
+pub use network::{Network, PropagationResult};
+pub use peer::{PeerId, RelayProtocol};
+pub use time::SimTime;

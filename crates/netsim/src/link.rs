@@ -1,0 +1,104 @@
+//! Link model: latency, bandwidth, and fault injection.
+
+use crate::time::SimTime;
+use rand::{rngs::StdRng, RngExt};
+
+/// Parameters of a point-to-point link.
+#[derive(Clone, Copy, Debug)]
+pub struct LinkParams {
+    /// One-way propagation delay.
+    pub latency: SimTime,
+    /// Throughput in bytes per second (0 = infinite).
+    pub bandwidth_bps: u64,
+    /// Probability a frame is silently dropped (fault injection).
+    pub drop_chance: f64,
+    /// Probability one byte of a frame is flipped (fault injection).
+    pub corrupt_chance: f64,
+}
+
+impl Default for LinkParams {
+    fn default() -> Self {
+        // A comfortable WAN link: 50 ms, 50 Mbit/s, no faults.
+        LinkParams {
+            latency: SimTime::from_millis(50),
+            bandwidth_bps: 50_000_000 / 8,
+            drop_chance: 0.0,
+            corrupt_chance: 0.0,
+        }
+    }
+}
+
+impl LinkParams {
+    /// Transit time for a frame of `bytes` bytes.
+    pub fn transit_time(&self, bytes: usize) -> SimTime {
+        let serialization = match (bytes as u64 * 1_000_000).checked_div(self.bandwidth_bps) {
+            Some(us) => SimTime::from_micros(us),
+            None => SimTime::ZERO, // bandwidth 0 = infinite capacity
+        };
+        self.latency + serialization
+    }
+
+    /// Apply fault injection to a frame. Returns `None` when dropped, or the
+    /// (possibly corrupted) frame.
+    pub fn inject_faults(&self, mut frame: Vec<u8>, rng: &mut StdRng) -> Option<Vec<u8>> {
+        if self.drop_chance > 0.0 && rng.random_bool(self.drop_chance.clamp(0.0, 1.0)) {
+            return None;
+        }
+        if self.corrupt_chance > 0.0
+            && !frame.is_empty()
+            && rng.random_bool(self.corrupt_chance.clamp(0.0, 1.0))
+        {
+            let idx = rng.random_range(0..frame.len());
+            frame[idx] ^= 1 << rng.random_range(0..8);
+        }
+        Some(frame)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn transit_accounts_for_bandwidth() {
+        let link = LinkParams {
+            latency: SimTime::from_millis(10),
+            bandwidth_bps: 1_000_000,
+            ..Default::default()
+        };
+        // 1 MB at 1 MB/s = 1 s + 10 ms.
+        assert_eq!(link.transit_time(1_000_000).as_micros(), 1_010_000);
+        let infinite = LinkParams { bandwidth_bps: 0, ..link };
+        assert_eq!(infinite.transit_time(1_000_000), SimTime::from_millis(10));
+    }
+
+    #[test]
+    fn faults_disabled_by_default() {
+        let link = LinkParams::default();
+        let mut rng = StdRng::seed_from_u64(1);
+        let frame = vec![1, 2, 3];
+        assert_eq!(link.inject_faults(frame.clone(), &mut rng), Some(frame));
+    }
+
+    #[test]
+    fn drop_chance_drops() {
+        let link = LinkParams { drop_chance: 1.0, ..Default::default() };
+        let mut rng = StdRng::seed_from_u64(2);
+        assert_eq!(link.inject_faults(vec![1], &mut rng), None);
+    }
+
+    #[test]
+    fn corruption_flips_one_bit() {
+        let link = LinkParams { corrupt_chance: 1.0, ..Default::default() };
+        let mut rng = StdRng::seed_from_u64(3);
+        let frame = vec![0u8; 64];
+        let out = link.inject_faults(frame.clone(), &mut rng).expect("not dropped");
+        let diff: u32 = frame
+            .iter()
+            .zip(&out)
+            .map(|(a, b)| (a ^ b).count_ones())
+            .sum();
+        assert_eq!(diff, 1);
+    }
+}

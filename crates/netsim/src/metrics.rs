@@ -1,0 +1,114 @@
+//! Shared metrics collection.
+
+use crate::peer::PeerId;
+use crate::time::SimTime;
+use parking_lot::Mutex;
+use std::collections::HashMap;
+
+/// Byte and latency accounting for one simulation run.
+///
+/// Wrapped in a [`Mutex`] so peers (borrow-wise independent actors inside
+/// the event loop) can record without threading references through every
+/// call.
+#[derive(Default)]
+pub struct Metrics {
+    inner: Mutex<Inner>,
+}
+
+#[derive(Default)]
+struct Inner {
+    bytes_by_type: HashMap<u8, u64>,
+    frames: u64,
+    dropped: u64,
+    corrupted_decodes: u64,
+    block_arrival: HashMap<PeerId, SimTime>,
+}
+
+impl Metrics {
+    /// Fresh collector.
+    pub fn new() -> Self {
+        Metrics::default()
+    }
+
+    /// Record a frame of `bytes` with message type byte `ty`.
+    pub fn record_frame(&self, ty: u8, bytes: usize) {
+        let mut g = self.inner.lock();
+        *g.bytes_by_type.entry(ty).or_default() += bytes as u64;
+        g.frames += 1;
+    }
+
+    /// Record a fault-injected drop.
+    pub fn record_drop(&self) {
+        self.inner.lock().dropped += 1;
+    }
+
+    /// Record a frame that failed to decode (corruption or hostile).
+    pub fn record_bad_decode(&self) {
+        self.inner.lock().corrupted_decodes += 1;
+    }
+
+    /// Record the first time `peer` fully reconstructed the block.
+    pub fn record_block_arrival(&self, peer: PeerId, at: SimTime) {
+        self.inner.lock().block_arrival.entry(peer).or_insert(at);
+    }
+
+    /// Total bytes across all message types.
+    pub fn total_bytes(&self) -> u64 {
+        self.inner.lock().bytes_by_type.values().sum()
+    }
+
+    /// Bytes for one frame type.
+    pub fn bytes_for(&self, ty: u8) -> u64 {
+        self.inner.lock().bytes_by_type.get(&ty).copied().unwrap_or(0)
+    }
+
+    /// Number of frames sent.
+    pub fn frames(&self) -> u64 {
+        self.inner.lock().frames
+    }
+
+    /// Number of dropped frames.
+    pub fn dropped(&self) -> u64 {
+        self.inner.lock().dropped
+    }
+
+    /// Number of undecodable frames received.
+    pub fn bad_decodes(&self) -> u64 {
+        self.inner.lock().corrupted_decodes
+    }
+
+    /// When `peer` first held the block, if ever.
+    pub fn arrival(&self, peer: PeerId) -> Option<SimTime> {
+        self.inner.lock().block_arrival.get(&peer).copied()
+    }
+
+    /// Number of peers that received the block.
+    pub fn peers_with_block(&self) -> usize {
+        self.inner.lock().block_arrival.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accumulates() {
+        let m = Metrics::new();
+        m.record_frame(0x10, 100);
+        m.record_frame(0x10, 50);
+        m.record_frame(0x01, 37);
+        assert_eq!(m.total_bytes(), 187);
+        assert_eq!(m.bytes_for(0x10), 150);
+        assert_eq!(m.frames(), 3);
+    }
+
+    #[test]
+    fn first_arrival_wins() {
+        let m = Metrics::new();
+        m.record_block_arrival(PeerId(1), SimTime::from_millis(5));
+        m.record_block_arrival(PeerId(1), SimTime::from_millis(9));
+        assert_eq!(m.arrival(PeerId(1)), Some(SimTime::from_millis(5)));
+        assert_eq!(m.peers_with_block(), 1);
+    }
+}

@@ -1,0 +1,741 @@
+//! Per-peer protocol state machines.
+//!
+//! Each peer runs one relay protocol (Graphene, Compact Blocks, XThin, or
+//! full blocks) as a message-driven state machine: the simulator delivers a
+//! decoded frame, the peer mutates its session state and emits response
+//! frames. After reconstructing a block a peer announces it onward, so a
+//! topology-wide run models real gossip propagation.
+//!
+//! Timeout/retry: every request arms a timer; if the session has not
+//! advanced when it fires, the request is retried, and after
+//! [`MAX_ATTEMPTS`] the peer falls back to requesting the full block —
+//! mirroring deployed behaviour when compact relay fails.
+
+use graphene::config::GrapheneConfig;
+use graphene::protocol1::{self, CandidateSet};
+use graphene::protocol2::{self};
+use graphene_blockchain::{Block, Header, Mempool, OrderingScheme, Transaction, TxId};
+use graphene_bloom::{BloomFilter, Membership};
+use graphene_hashes::{sha256, short_id_6, short_id_8, Digest, SipKey};
+use graphene_wire::messages::{
+    BlockTxnMsg, CmpctBlockMsg, FullBlockMsg, GetBlockTxnMsg, GetDataMsg, GetFullBlockMsg,
+    GetGrapheneTxnMsg, GetTxnsMsg, InvMsg, Message, TxInvMsg, TxnsMsg, XthinBlockMsg,
+    XthinGetDataMsg,
+};
+use std::collections::{HashMap, HashSet};
+
+/// Attempts before falling back to a full block.
+pub const MAX_ATTEMPTS: u32 = 3;
+
+/// Peer identifier (index into the network's peer table).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct PeerId(pub usize);
+
+/// Which relay protocol a peer speaks.
+#[derive(Clone, Debug)]
+pub enum RelayProtocol {
+    /// Graphene Protocols 1 + 2.
+    Graphene(GrapheneConfig),
+    /// BIP152 Compact Blocks.
+    CompactBlocks,
+    /// BUIP010 XThin.
+    Xthin {
+        /// FPR of the receiver's mempool filter.
+        filter_fpr: f64,
+    },
+    /// Uncompressed blocks.
+    FullBlocks,
+}
+
+/// Receiver-side session state for one block.
+struct RxSession {
+    server: PeerId,
+    attempt: u32,
+    phase: RxPhase,
+    /// Bodies collected during the session (prefilled, missing, fetched).
+    bodies: HashMap<TxId, Transaction>,
+}
+
+enum RxPhase {
+    /// getdata sent, awaiting the block payload.
+    Requested,
+    /// Graphene Protocol 2 request sent.
+    GrapheneP2 { state: Box<CandidateSet>, header: Header, order_bytes: Vec<u8> },
+    /// Graphene extra-fetch of R false positives sent.
+    GrapheneFetch { resolved: HashMap<u64, TxId>, header: Header, order_bytes: Vec<u8> },
+    /// Compact Blocks repair round pending; slots hold resolved IDs.
+    CompactWait { header: Header, slots: Vec<Option<TxId>>, missing: Vec<u64> },
+    /// XThin repair round pending.
+    XthinWait { header: Header, ids: Vec<TxId>, unresolved: Vec<u64> },
+    /// Fallback full-block request sent.
+    Fallback,
+}
+
+/// A simulated peer.
+pub struct Peer {
+    /// This peer's ID.
+    pub id: PeerId,
+    /// Relay protocol spoken.
+    pub protocol: RelayProtocol,
+    /// Local transaction pool.
+    pub mempool: Mempool,
+    blocks: HashMap<Digest, Block>,
+    sessions: HashMap<Digest, RxSession>,
+    seen_inv: HashSet<Digest>,
+    /// Transaction IDs already announced/seen (loose-tx relay, §2.2).
+    seen_tx_inv: HashSet<TxId>,
+}
+
+/// A frame to transmit plus an optional timer to arm.
+pub struct Output {
+    /// (destination, message) pairs to send.
+    pub send: Vec<(PeerId, Message)>,
+    /// Arm a retry timer for this block if set: (block, attempt).
+    pub arm_timer: Option<(Digest, u32)>,
+    /// Set when this peer just completed a block (for metrics).
+    pub completed_block: Option<Digest>,
+}
+
+impl Output {
+    fn none() -> Output {
+        Output { send: Vec::new(), arm_timer: None, completed_block: None }
+    }
+}
+
+impl Peer {
+    /// Create a peer.
+    pub fn new(id: PeerId, protocol: RelayProtocol, mempool: Mempool) -> Peer {
+        Peer {
+            id,
+            protocol,
+            mempool,
+            blocks: HashMap::new(),
+            sessions: HashMap::new(),
+            seen_inv: HashSet::new(),
+            seen_tx_inv: HashSet::new(),
+        }
+    }
+
+    /// Does this peer hold `block_id`?
+    pub fn has_block(&self, block_id: &Digest) -> bool {
+        self.blocks.contains_key(block_id)
+    }
+
+    /// Fetch a held block.
+    pub fn block(&self, block_id: &Digest) -> Option<&Block> {
+        self.blocks.get(block_id)
+    }
+
+    /// Give this peer a block directly (the origin of a propagation run)
+    /// and announce it to `neighbors`.
+    pub fn originate(&mut self, block: Block, neighbors: &[PeerId]) -> Output {
+        let id = block.id();
+        self.seen_inv.insert(id);
+        self.mempool.confirm(&block.ids());
+        self.blocks.insert(id, block);
+        let mut out = Output::none();
+        for &n in neighbors {
+            out.send.push((n, Message::Inv(InvMsg { block_id: id })));
+        }
+        out
+    }
+
+    /// Handle one delivered message.
+    pub fn handle(&mut self, from: PeerId, msg: Message, neighbors: &[PeerId]) -> Output {
+        match msg {
+            Message::Inv(m) => self.on_inv(from, m),
+            Message::GetData(m) => self.on_getdata(from, m),
+            Message::GrapheneBlock(m) => self.on_graphene_block(from, m, neighbors),
+            Message::GrapheneRequest(m) => self.on_graphene_request(from, m),
+            Message::GrapheneRecovery(m) => self.on_graphene_recovery(from, m, neighbors),
+            Message::GetGrapheneTxn(m) => self.on_get_graphene_txn(from, m),
+            Message::CmpctBlock(m) => self.on_cmpct_block(from, m, neighbors),
+            Message::GetBlockTxn(m) => self.on_get_block_txn(from, m),
+            Message::BlockTxn(m) => self.on_block_txn(from, m, neighbors),
+            Message::XthinGetData(m) => self.on_xthin_getdata(from, m),
+            Message::XthinBlock(m) => self.on_xthin_block(from, m, neighbors),
+            Message::GetFullBlock(m) => self.on_get_full_block(from, m),
+            Message::FullBlock(m) => self.on_full_block(from, m, neighbors),
+            Message::TxInv(m) => self.on_tx_inv(from, m),
+            Message::GetTxns(m) => self.on_get_txns(from, m),
+            Message::Txns(m) => self.on_txns(m, neighbors),
+        }
+    }
+
+    /// Inject freshly authored transactions at this peer (the origin of
+    /// loose-transaction gossip) and announce them to `neighbors`.
+    pub fn originate_txns(&mut self, txns: Vec<Transaction>, neighbors: &[PeerId]) -> Output {
+        let mut fresh = Vec::new();
+        for tx in txns {
+            if self.seen_tx_inv.insert(*tx.id()) {
+                fresh.push(*tx.id());
+            }
+            self.mempool.insert(tx);
+        }
+        let mut out = Output::none();
+        if !fresh.is_empty() {
+            for &n in neighbors {
+                out.send.push((n, Message::TxInv(TxInvMsg { txids: fresh.clone() })));
+            }
+        }
+        out
+    }
+
+    fn on_tx_inv(&mut self, from: PeerId, m: TxInvMsg) -> Output {
+        let wanted: Vec<TxId> = m
+            .txids
+            .into_iter()
+            .filter(|id| self.seen_tx_inv.insert(*id) && !self.mempool.contains(id))
+            .collect();
+        let mut out = Output::none();
+        if !wanted.is_empty() {
+            out.send.push((from, Message::GetTxns(GetTxnsMsg { txids: wanted })));
+        }
+        out
+    }
+
+    fn on_get_txns(&mut self, from: PeerId, m: GetTxnsMsg) -> Output {
+        let txns: Vec<Transaction> = m
+            .txids
+            .iter()
+            .filter_map(|id| self.mempool.get(id).cloned())
+            .collect();
+        let mut out = Output::none();
+        if !txns.is_empty() {
+            out.send.push((from, Message::Txns(TxnsMsg { txns })));
+        }
+        out
+    }
+
+    fn on_txns(&mut self, m: TxnsMsg, neighbors: &[PeerId]) -> Output {
+        let mut fresh = Vec::new();
+        for tx in m.txns {
+            if !self.mempool.contains(tx.id()) {
+                fresh.push(*tx.id());
+                self.seen_tx_inv.insert(*tx.id());
+                self.mempool.insert(tx);
+            }
+        }
+        let mut out = Output::none();
+        if !fresh.is_empty() {
+            // Relay onward (the announce-to-all, request-if-new gossip of §2.2).
+            for &n in neighbors {
+                out.send.push((n, Message::TxInv(TxInvMsg { txids: fresh.clone() })));
+            }
+        }
+        out
+    }
+
+    /// Handle a retry timer. `attempt` is the attempt the timer guarded.
+    pub fn handle_timeout(&mut self, block_id: Digest, attempt: u32) -> Output {
+        let Some(session) = self.sessions.get_mut(&block_id) else {
+            return Output::none(); // completed meanwhile
+        };
+        if session.attempt != attempt {
+            return Output::none(); // session advanced; stale timer
+        }
+        session.attempt += 1;
+        let server = session.server;
+        let mut out = Output::none();
+        if session.attempt >= MAX_ATTEMPTS {
+            session.phase = RxPhase::Fallback;
+            session.bodies.clear();
+            out.send.push((server, Message::GetFullBlock(GetFullBlockMsg { block_id })));
+        } else {
+            // Restart the session from the top.
+            session.phase = RxPhase::Requested;
+            session.bodies.clear();
+            out.send.push((server, self.request_for(block_id)));
+        }
+        out.arm_timer = Some((block_id, self.sessions[&block_id].attempt));
+        out
+    }
+
+    /// The protocol-appropriate initial block request.
+    fn request_for(&self, block_id: Digest) -> Message {
+        match &self.protocol {
+            RelayProtocol::Xthin { filter_fpr } => {
+                let mut filter = BloomFilter::new(
+                    self.mempool.len().max(1),
+                    *filter_fpr,
+                    block_id.low_u64() ^ 0x7874,
+                );
+                for tx in self.mempool.iter() {
+                    filter.insert(tx.id());
+                }
+                Message::XthinGetData(XthinGetDataMsg { block_id, mempool_filter: filter })
+            }
+            _ => Message::GetData(GetDataMsg {
+                block_id,
+                mempool_count: self.mempool.len() as u64,
+            }),
+        }
+    }
+
+    fn on_inv(&mut self, from: PeerId, m: InvMsg) -> Output {
+        if !self.seen_inv.insert(m.block_id) || self.blocks.contains_key(&m.block_id) {
+            return Output::none();
+        }
+        self.sessions.insert(
+            m.block_id,
+            RxSession { server: from, attempt: 0, phase: RxPhase::Requested, bodies: HashMap::new() },
+        );
+        let mut out = Output::none();
+        out.send.push((from, self.request_for(m.block_id)));
+        out.arm_timer = Some((m.block_id, 0));
+        out
+    }
+
+    fn on_getdata(&mut self, from: PeerId, m: GetDataMsg) -> Output {
+        let Some(block) = self.blocks.get(&m.block_id) else {
+            return Output::none();
+        };
+        let mut out = Output::none();
+        match &self.protocol {
+            RelayProtocol::Graphene(cfg) => {
+                let (msg, _) = protocol1::sender_encode(block, m.mempool_count, None, cfg);
+                out.send.push((from, Message::GrapheneBlock(msg)));
+            }
+            RelayProtocol::CompactBlocks => {
+                out.send.push((from, Message::CmpctBlock(build_cmpctblock(block))));
+            }
+            RelayProtocol::FullBlocks => {
+                out.send.push((
+                    from,
+                    Message::FullBlock(FullBlockMsg {
+                        header: *block.header(),
+                        txns: block.txns().to_vec(),
+                    }),
+                ));
+            }
+            RelayProtocol::Xthin { .. } => {
+                // XThin requests arrive as XthinGetData instead; a plain
+                // getdata gets the full block.
+                out.send.push((
+                    from,
+                    Message::FullBlock(FullBlockMsg {
+                        header: *block.header(),
+                        txns: block.txns().to_vec(),
+                    }),
+                ));
+            }
+        }
+        out
+    }
+
+    // --- Graphene ---------------------------------------------------------
+
+    fn on_graphene_block(&mut self, from: PeerId, m: graphene_wire::messages::GrapheneBlockMsg, neighbors: &[PeerId]) -> Output {
+        let block_id = graphene_hashes::sha256d(&m.header.to_bytes());
+        let Some(session) = self.sessions.get_mut(&block_id) else {
+            return Output::none();
+        };
+        let RelayProtocol::Graphene(cfg) = self.protocol.clone() else {
+            return Output::none();
+        };
+        for tx in &m.prefilled {
+            session.bodies.insert(*tx.id(), tx.clone());
+        }
+        match protocol1::receiver_decode(&m, &self.mempool, &cfg) {
+            Ok(ok) => self.complete_block(block_id, m.header, ok.ordered_ids, neighbors),
+            Err((_why, state)) => {
+                let (req, _) = protocol2::receiver_request(
+                    &state,
+                    block_id,
+                    m.block_tx_count as usize,
+                    self.mempool.len(),
+                    &cfg,
+                );
+                let session = self.sessions.get_mut(&block_id).expect("session exists");
+                session.attempt += 1;
+                session.phase = RxPhase::GrapheneP2 {
+                    state: Box::new(state),
+                    header: m.header,
+                    order_bytes: m.order_bytes.clone(),
+                };
+                let attempt = session.attempt;
+                let mut out = Output::none();
+                out.send.push((from, Message::GrapheneRequest(req)));
+                out.arm_timer = Some((block_id, attempt));
+                out
+            }
+        }
+    }
+
+    fn on_graphene_request(&mut self, from: PeerId, m: graphene_wire::messages::GrapheneRequestMsg) -> Output {
+        let Some(block) = self.blocks.get(&m.block_id) else {
+            return Output::none();
+        };
+        let RelayProtocol::Graphene(cfg) = &self.protocol else {
+            return Output::none();
+        };
+        // The sender does not re-learn m here; deployed graphene caches it.
+        let rec = protocol2::sender_respond(block, &m, self.mempool.len().max(block.len()), cfg);
+        let mut out = Output::none();
+        out.send.push((from, Message::GrapheneRecovery(rec)));
+        out
+    }
+
+    fn on_graphene_recovery(&mut self, from: PeerId, m: graphene_wire::messages::GrapheneRecoveryMsg, neighbors: &[PeerId]) -> Output {
+        let block_id = m.block_id;
+        let Some(session) = self.sessions.get_mut(&block_id) else {
+            return Output::none();
+        };
+        let RelayProtocol::Graphene(cfg) = self.protocol.clone() else {
+            return Output::none();
+        };
+        let RxPhase::GrapheneP2 { state, header, order_bytes } = &mut session.phase else {
+            return Output::none();
+        };
+        let header = *header;
+        let order_bytes = order_bytes.clone();
+        for tx in &m.missing {
+            session.bodies.insert(*tx.id(), tx.clone());
+        }
+        match protocol2::receiver_complete(state, &m, header.merkle_root, &order_bytes, &cfg) {
+            Ok(ok) => {
+                if ok.needs_fetch.is_empty() {
+                    let ids = ok.ordered_ids.expect("complete without fetch");
+                    self.complete_block(block_id, header, ids, neighbors)
+                } else {
+                    session.attempt += 1;
+                    let attempt = session.attempt;
+                    let needs = ok.needs_fetch.clone();
+                    session.phase = RxPhase::GrapheneFetch {
+                        resolved: ok.resolved,
+                        header,
+                        order_bytes,
+                    };
+                    let mut out = Output::none();
+                    out.send.push((
+                        from,
+                        Message::GetGrapheneTxn(GetGrapheneTxnMsg { block_id, short_ids: needs }),
+                    ));
+                    out.arm_timer = Some((block_id, attempt));
+                    out
+                }
+            }
+            Err(_) => {
+                // Decode failed: fall back to the full block.
+                session.attempt = MAX_ATTEMPTS;
+                session.phase = RxPhase::Fallback;
+                let mut out = Output::none();
+                out.send.push((from, Message::GetFullBlock(GetFullBlockMsg { block_id })));
+                out.arm_timer = Some((block_id, MAX_ATTEMPTS));
+                out
+            }
+        }
+    }
+
+    fn on_get_graphene_txn(&mut self, from: PeerId, m: GetGrapheneTxnMsg) -> Output {
+        let Some(block) = self.blocks.get(&m.block_id) else {
+            return Output::none();
+        };
+        let lookup: HashMap<u64, &Transaction> =
+            block.txns().iter().map(|tx| (short_id_8(tx.id()), tx)).collect();
+        let txns: Vec<Transaction> = m
+            .short_ids
+            .iter()
+            .filter_map(|s| lookup.get(s).map(|tx| (*tx).clone()))
+            .collect();
+        let mut out = Output::none();
+        out.send.push((from, Message::BlockTxn(BlockTxnMsg { block_id: m.block_id, txns })));
+        out
+    }
+
+    // --- Compact Blocks ----------------------------------------------------
+
+    fn on_cmpct_block(&mut self, from: PeerId, m: CmpctBlockMsg, neighbors: &[PeerId]) -> Output {
+        let block_id = graphene_hashes::sha256d(&m.header.to_bytes());
+        let Some(session) = self.sessions.get_mut(&block_id) else {
+            return Output::none();
+        };
+        let key = cmpct_key(&m.header, m.nonce);
+        let mut by_short: HashMap<u64, Option<TxId>> = HashMap::new();
+        for tx in self.mempool.iter() {
+            by_short
+                .entry(short_id_6(key, tx.id()))
+                .and_modify(|slot| *slot = None)
+                .or_insert(Some(*tx.id()));
+        }
+        let total = m.short_ids.len() + m.prefilled.len();
+        let mut slots: Vec<Option<TxId>> = vec![None; total];
+        for (i, tx) in &m.prefilled {
+            if (*i as usize) < total {
+                slots[*i as usize] = Some(*tx.id());
+                session.bodies.insert(*tx.id(), tx.clone());
+            }
+        }
+        // Short IDs fill the remaining positions in order.
+        let mut short_iter = m.short_ids.iter();
+        let mut missing: Vec<u64> = Vec::new();
+        for (i, slot) in slots.iter_mut().enumerate() {
+            if slot.is_some() {
+                continue;
+            }
+            let Some(short) = short_iter.next() else { break };
+            match by_short.get(short) {
+                Some(Some(id)) => *slot = Some(*id),
+                _ => missing.push(i as u64),
+            }
+        }
+        if missing.is_empty() {
+            let ids: Vec<TxId> = slots.into_iter().flatten().collect();
+            if ids.len() == total {
+                return self.complete_block(block_id, m.header, ids, neighbors);
+            }
+            return Output::none();
+        }
+        session.attempt += 1;
+        let attempt = session.attempt;
+        session.phase = RxPhase::CompactWait { header: m.header, slots, missing: missing.clone() };
+        let mut out = Output::none();
+        out.send.push((from, Message::GetBlockTxn(GetBlockTxnMsg { block_id, indexes: missing })));
+        out.arm_timer = Some((block_id, attempt));
+        out
+    }
+
+    fn on_get_block_txn(&mut self, from: PeerId, m: GetBlockTxnMsg) -> Output {
+        let Some(block) = self.blocks.get(&m.block_id) else {
+            return Output::none();
+        };
+        let txns: Vec<Transaction> = m
+            .indexes
+            .iter()
+            .filter_map(|&i| block.txns().get(i as usize).cloned())
+            .collect();
+        let mut out = Output::none();
+        out.send.push((from, Message::BlockTxn(BlockTxnMsg { block_id: m.block_id, txns })));
+        out
+    }
+
+    fn on_block_txn(&mut self, _from: PeerId, m: BlockTxnMsg, neighbors: &[PeerId]) -> Output {
+        let block_id = m.block_id;
+        let Some(session) = self.sessions.get_mut(&block_id) else {
+            return Output::none();
+        };
+        for tx in &m.txns {
+            session.bodies.insert(*tx.id(), tx.clone());
+        }
+        match &mut session.phase {
+            RxPhase::CompactWait { header, slots, missing } => {
+                let header = *header;
+                if m.txns.len() != missing.len() {
+                    return Output::none(); // wait for timeout
+                }
+                for (&i, tx) in missing.iter().zip(&m.txns) {
+                    slots[i as usize] = Some(*tx.id());
+                }
+                let ids: Vec<TxId> = slots.iter().copied().flatten().collect();
+                if ids.len() == slots.len() {
+                    self.complete_block(block_id, header, ids, neighbors)
+                } else {
+                    Output::none()
+                }
+            }
+            RxPhase::XthinWait { header, ids, unresolved } => {
+                let header = *header;
+                if m.txns.len() != unresolved.len() {
+                    return Output::none();
+                }
+                for (&i, tx) in unresolved.iter().zip(&m.txns) {
+                    ids[i as usize] = *tx.id();
+                }
+                let ids = ids.clone();
+                self.complete_block(block_id, header, ids, neighbors)
+            }
+            RxPhase::GrapheneFetch { resolved, header, order_bytes } => {
+                let header = *header;
+                let order_bytes = order_bytes.clone();
+                for tx in &m.txns {
+                    resolved.insert(short_id_8(tx.id()), *tx.id());
+                }
+                let RelayProtocol::Graphene(cfg) = self.protocol.clone() else {
+                    return Output::none();
+                };
+                let resolved = resolved.clone();
+                match protocol2::finalize_p2(&resolved, header.merkle_root, &order_bytes, &cfg) {
+                    Ok(ok) => {
+                        let ids = ok.ordered_ids.expect("finalized");
+                        self.complete_block(block_id, header, ids, neighbors)
+                    }
+                    Err(_) => {
+                        let server = session.server;
+                        session.attempt = MAX_ATTEMPTS;
+                        session.phase = RxPhase::Fallback;
+                        let mut out = Output::none();
+                        out.send
+                            .push((server, Message::GetFullBlock(GetFullBlockMsg { block_id })));
+                        out.arm_timer = Some((block_id, MAX_ATTEMPTS));
+                        out
+                    }
+                }
+            }
+            _ => Output::none(),
+        }
+    }
+
+    // --- XThin --------------------------------------------------------------
+
+    fn on_xthin_getdata(&mut self, from: PeerId, m: XthinGetDataMsg) -> Output {
+        let Some(block) = self.blocks.get(&m.block_id) else {
+            return Output::none();
+        };
+        let missing: Vec<Transaction> = block
+            .txns()
+            .iter()
+            .filter(|tx| !m.mempool_filter.contains(tx.id()))
+            .cloned()
+            .collect();
+        let short_ids: Vec<u64> = block.txns().iter().map(|tx| short_id_8(tx.id())).collect();
+        let mut out = Output::none();
+        out.send.push((
+            from,
+            Message::XthinBlock(XthinBlockMsg { header: *block.header(), short_ids, missing }),
+        ));
+        out
+    }
+
+    fn on_xthin_block(&mut self, from: PeerId, m: XthinBlockMsg, neighbors: &[PeerId]) -> Output {
+        let block_id = graphene_hashes::sha256d(&m.header.to_bytes());
+        let Some(session) = self.sessions.get_mut(&block_id) else {
+            return Output::none();
+        };
+        for tx in &m.missing {
+            session.bodies.insert(*tx.id(), tx.clone());
+        }
+        // Mempool-first resolution, as deployed clients do (see
+        // `graphene-baselines::xthin` for the §6.1 implications).
+        let mut by_short: HashMap<u64, TxId> = HashMap::new();
+        for tx in m.missing.iter() {
+            by_short.insert(short_id_8(tx.id()), *tx.id());
+        }
+        for tx in self.mempool.iter() {
+            by_short.insert(short_id_8(tx.id()), *tx.id());
+        }
+        let mut ids: Vec<TxId> = Vec::with_capacity(m.short_ids.len());
+        let mut unresolved: Vec<u64> = Vec::new();
+        for (i, short) in m.short_ids.iter().enumerate() {
+            match by_short.get(short) {
+                Some(id) => ids.push(*id),
+                None => {
+                    unresolved.push(i as u64);
+                    ids.push(TxId::ZERO);
+                }
+            }
+        }
+        if unresolved.is_empty() {
+            return self.complete_block(block_id, m.header, ids, neighbors);
+        }
+        session.attempt += 1;
+        let attempt = session.attempt;
+        session.phase = RxPhase::XthinWait { header: m.header, ids, unresolved: unresolved.clone() };
+        let mut out = Output::none();
+        out.send.push((
+            from,
+            Message::GetBlockTxn(GetBlockTxnMsg { block_id, indexes: unresolved }),
+        ));
+        out.arm_timer = Some((block_id, attempt));
+        out
+    }
+
+    // --- Full blocks ---------------------------------------------------------
+
+    fn on_get_full_block(&mut self, from: PeerId, m: GetFullBlockMsg) -> Output {
+        let Some(block) = self.blocks.get(&m.block_id) else {
+            return Output::none();
+        };
+        let mut out = Output::none();
+        out.send.push((
+            from,
+            Message::FullBlock(FullBlockMsg { header: *block.header(), txns: block.txns().to_vec() }),
+        ));
+        out
+    }
+
+    fn on_full_block(&mut self, _from: PeerId, m: FullBlockMsg, neighbors: &[PeerId]) -> Output {
+        let block_id = graphene_hashes::sha256d(&m.header.to_bytes());
+        if self.blocks.contains_key(&block_id) {
+            return Output::none();
+        }
+        if !self.sessions.contains_key(&block_id) {
+            return Output::none(); // unsolicited
+        }
+        let Ok(block) = Block::from_parts(m.header, m.txns, OrderingScheme::Ctor) else {
+            return Output::none(); // corrupt; timeout will retry
+        };
+        self.store_and_announce(block_id, block, neighbors)
+    }
+
+    // --- Completion -----------------------------------------------------------
+
+    /// Assemble a reconstructed block from ordered IDs, bodies coming from
+    /// the mempool and the session's collected transactions.
+    fn complete_block(
+        &mut self,
+        block_id: Digest,
+        header: Header,
+        ordered_ids: Vec<TxId>,
+        neighbors: &[PeerId],
+    ) -> Output {
+        let Some(session) = self.sessions.get(&block_id) else {
+            return Output::none();
+        };
+        let mut txns = Vec::with_capacity(ordered_ids.len());
+        for id in &ordered_ids {
+            if let Some(tx) = self.mempool.get(id) {
+                txns.push(tx.clone());
+            } else if let Some(tx) = session.bodies.get(id) {
+                txns.push(tx.clone());
+            } else {
+                return Output::none(); // body unavailable; let the timer fire
+            }
+        }
+        match Block::from_parts(header, txns, OrderingScheme::Ctor) {
+            Ok(block) => self.store_and_announce(block_id, block, neighbors),
+            Err(_) => Output::none(),
+        }
+    }
+
+    fn store_and_announce(&mut self, block_id: Digest, block: Block, neighbors: &[PeerId]) -> Output {
+        self.sessions.remove(&block_id);
+        self.mempool.confirm(&block.ids());
+        self.blocks.insert(block_id, block);
+        let mut out = Output::none();
+        out.completed_block = Some(block_id);
+        for &n in neighbors {
+            out.send.push((n, Message::Inv(InvMsg { block_id })));
+        }
+        out
+    }
+}
+
+/// Build a BIP152 compact block (shared with `graphene-baselines`' logic).
+pub fn build_cmpctblock(block: &Block) -> CmpctBlockMsg {
+    let nonce = block.id().low_u64();
+    let key = cmpct_key(block.header(), nonce);
+    let prefilled: Vec<(u64, Transaction)> = block
+        .txns()
+        .first()
+        .map(|tx| vec![(0u64, tx.clone())])
+        .unwrap_or_default();
+    let short_ids: Vec<u64> = block
+        .txns()
+        .iter()
+        .skip(1)
+        .map(|tx| short_id_6(key, tx.id()))
+        .collect();
+    CmpctBlockMsg { header: *block.header(), nonce, short_ids, prefilled }
+}
+
+/// BIP152 short-ID key derivation: SHA-256 of header ‖ nonce.
+pub fn cmpct_key(header: &Header, nonce: u64) -> SipKey {
+    let mut data = Vec::with_capacity(88);
+    data.extend_from_slice(&header.to_bytes());
+    data.extend_from_slice(&nonce.to_le_bytes());
+    let h = sha256(&data);
+    SipKey::new(
+        u64::from_le_bytes(h.0[0..8].try_into().expect("8 bytes")),
+        u64::from_le_bytes(h.0[8..16].try_into().expect("8 bytes")),
+    )
+}

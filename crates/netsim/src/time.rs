@@ -1,0 +1,79 @@
+//! Simulated time: microsecond ticks.
+
+use core::fmt;
+use core::ops::{Add, AddAssign, Sub};
+
+/// A point in simulated time, in microseconds since simulation start.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SimTime(pub u64);
+
+impl SimTime {
+    /// The origin.
+    pub const ZERO: SimTime = SimTime(0);
+
+    /// Construct from milliseconds.
+    pub fn from_millis(ms: u64) -> SimTime {
+        SimTime(ms * 1000)
+    }
+
+    /// Construct from microseconds.
+    pub fn from_micros(us: u64) -> SimTime {
+        SimTime(us)
+    }
+
+    /// Value in milliseconds (truncating).
+    pub fn as_millis(self) -> u64 {
+        self.0 / 1000
+    }
+
+    /// Value in microseconds.
+    pub fn as_micros(self) -> u64 {
+        self.0
+    }
+}
+
+impl Add<SimTime> for SimTime {
+    type Output = SimTime;
+    fn add(self, rhs: SimTime) -> SimTime {
+        SimTime(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign<SimTime> for SimTime {
+    fn add_assign(&mut self, rhs: SimTime) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub<SimTime> for SimTime {
+    type Output = SimTime;
+    fn sub(self, rhs: SimTime) -> SimTime {
+        SimTime(self.0.saturating_sub(rhs.0))
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.3}ms", self.0 as f64 / 1000.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic() {
+        let t = SimTime::from_millis(2) + SimTime::from_micros(500);
+        assert_eq!(t.as_micros(), 2500);
+        assert_eq!(t.as_millis(), 2);
+        assert_eq!((t - SimTime::from_millis(3)).as_micros(), 0); // saturates
+        assert_eq!(format!("{t}"), "2.500ms");
+    }
+
+    #[test]
+    fn ordering() {
+        assert!(SimTime::from_millis(1) < SimTime::from_millis(2));
+        assert_eq!(SimTime::ZERO, SimTime::default());
+    }
+}

@@ -1,0 +1,115 @@
+//! Encode/decode traits and the wire error type.
+
+use bytes::{Buf, BufMut};
+use core::fmt;
+
+/// Errors raised while decoding hostile or truncated input.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireError {
+    /// The buffer ended before the value was complete.
+    UnexpectedEnd,
+    /// A varint used a longer encoding than necessary.
+    NonCanonical,
+    /// A structurally invalid value (bad tag, inconsistent lengths, ...).
+    Invalid(&'static str),
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::UnexpectedEnd => write!(f, "unexpected end of buffer"),
+            WireError::NonCanonical => write!(f, "non-canonical varint"),
+            WireError::Invalid(what) => write!(f, "invalid wire data: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// Serialize into a growable buffer.
+pub trait Encode {
+    /// Append this value's encoding to `buf`.
+    fn encode(&self, buf: &mut Vec<u8>);
+
+    /// Exact number of bytes [`Encode::encode`] will append.
+    fn encoded_len(&self) -> usize;
+
+    /// Encode into a fresh vector.
+    fn to_vec(&self) -> Vec<u8> {
+        let mut buf = Vec::with_capacity(self.encoded_len());
+        self.encode(&mut buf);
+        debug_assert_eq!(buf.len(), self.encoded_len(), "encoded_len out of sync");
+        buf
+    }
+}
+
+/// Deserialize from a byte cursor.
+pub trait Decode: Sized {
+    /// Read one value, advancing `buf`.
+    fn decode(buf: &mut &[u8]) -> Result<Self, WireError>;
+
+    /// Decode a value that must consume the entire buffer.
+    fn decode_exact(mut buf: &[u8]) -> Result<Self, WireError> {
+        let v = Self::decode(&mut buf)?;
+        if !buf.is_empty() {
+            return Err(WireError::Invalid("trailing bytes"));
+        }
+        Ok(v)
+    }
+}
+
+/// Checked fixed-size reads over `&[u8]` cursors.
+pub(crate) fn take<'a>(buf: &mut &'a [u8], n: usize) -> Result<&'a [u8], WireError> {
+    if buf.remaining() < n {
+        return Err(WireError::UnexpectedEnd);
+    }
+    let (head, tail) = buf.split_at(n);
+    *buf = tail;
+    Ok(head)
+}
+
+pub(crate) fn get_u8(buf: &mut &[u8]) -> Result<u8, WireError> {
+    Ok(take(buf, 1)?[0])
+}
+
+pub(crate) fn get_u32_le(buf: &mut &[u8]) -> Result<u32, WireError> {
+    Ok(u32::from_le_bytes(take(buf, 4)?.try_into().expect("4 bytes")))
+}
+
+pub(crate) fn get_u64_le(buf: &mut &[u8]) -> Result<u64, WireError> {
+    Ok(u64::from_le_bytes(take(buf, 8)?.try_into().expect("8 bytes")))
+}
+
+/// Append helpers mirroring the getters.
+pub(crate) fn put_u32_le(buf: &mut Vec<u8>, v: u32) {
+    buf.put_u32_le(v);
+}
+
+pub(crate) fn put_u64_le(buf: &mut Vec<u8>, v: u64) {
+    buf.put_u64_le(v);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn take_respects_bounds() {
+        let data = [1u8, 2, 3];
+        let mut cur = &data[..];
+        assert_eq!(take(&mut cur, 2).unwrap(), &[1, 2]);
+        assert_eq!(take(&mut cur, 2), Err(WireError::UnexpectedEnd));
+        assert_eq!(take(&mut cur, 1).unwrap(), &[3]);
+    }
+
+    #[test]
+    fn primitive_getters() {
+        let mut buf = Vec::new();
+        put_u32_le(&mut buf, 0xdead_beef);
+        put_u64_le(&mut buf, 42);
+        let mut cur = buf.as_slice();
+        assert_eq!(get_u32_le(&mut cur).unwrap(), 0xdead_beef);
+        assert_eq!(get_u64_le(&mut cur).unwrap(), 42);
+        assert_eq!(get_u8(&mut cur), Err(WireError::UnexpectedEnd));
+    }
+}

@@ -1,0 +1,24 @@
+//! Wire protocol: exact byte encodings for every message in the suite.
+//!
+//! The paper's evaluation is entirely about *bytes on the wire*, so the
+//! encodings here are real, not estimated: every figure's "encoding size" is
+//! the length of the buffer these codecs produce. The message set covers
+//! Graphene Protocols 1 and 2 (per the public BUIP093-style network spec),
+//! Compact Blocks (BIP152), XThin (BUIP010), and plain inv/getdata/full-
+//! block relay.
+//!
+//! Framing follows the guides' idiom: length-prefixed frames over
+//! `bytes::{Buf, BufMut}`, with checked decoding that never panics on
+//! truncated or hostile input.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod codec;
+pub mod filters;
+pub mod messages;
+pub mod varint;
+
+pub use codec::{Decode, Encode, WireError};
+pub use messages::Message;
+pub use varint::{read_varint, varint_len, write_varint};

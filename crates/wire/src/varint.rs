@@ -1,0 +1,131 @@
+//! Bitcoin CompactSize variable-length integers.
+//!
+//! `< 0xfd`: 1 byte; `<= 0xffff`: 0xfd + u16; `<= 0xffff_ffff`: 0xfe + u32;
+//! otherwise 0xff + u64. All multi-byte values little-endian.
+
+use crate::codec::WireError;
+use bytes::{Buf, BufMut};
+
+/// Encoded length of `v` in bytes.
+pub fn varint_len(v: u64) -> usize {
+    match v {
+        0..=0xfc => 1,
+        0xfd..=0xffff => 3,
+        0x1_0000..=0xffff_ffff => 5,
+        _ => 9,
+    }
+}
+
+/// Append the CompactSize encoding of `v` to `buf`.
+pub fn write_varint(buf: &mut impl BufMut, v: u64) {
+    match v {
+        0..=0xfc => buf.put_u8(v as u8),
+        0xfd..=0xffff => {
+            buf.put_u8(0xfd);
+            buf.put_u16_le(v as u16);
+        }
+        0x1_0000..=0xffff_ffff => {
+            buf.put_u8(0xfe);
+            buf.put_u32_le(v as u32);
+        }
+        _ => {
+            buf.put_u8(0xff);
+            buf.put_u64_le(v);
+        }
+    }
+}
+
+/// Read a CompactSize integer, rejecting truncation and non-canonical
+/// encodings (a value that would have fit in a shorter form).
+pub fn read_varint(buf: &mut impl Buf) -> Result<u64, WireError> {
+    if buf.remaining() < 1 {
+        return Err(WireError::UnexpectedEnd);
+    }
+    let tag = buf.get_u8();
+    let (v, min) = match tag {
+        0..=0xfc => return Ok(tag as u64),
+        0xfd => {
+            if buf.remaining() < 2 {
+                return Err(WireError::UnexpectedEnd);
+            }
+            (buf.get_u16_le() as u64, 0xfdu64)
+        }
+        0xfe => {
+            if buf.remaining() < 4 {
+                return Err(WireError::UnexpectedEnd);
+            }
+            (buf.get_u32_le() as u64, 0x1_0000)
+        }
+        0xff => {
+            if buf.remaining() < 8 {
+                return Err(WireError::UnexpectedEnd);
+            }
+            (buf.get_u64_le(), 0x1_0000_0000)
+        }
+    };
+    if v < min {
+        return Err(WireError::NonCanonical);
+    }
+    Ok(v)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(v: u64) -> u64 {
+        let mut buf = Vec::new();
+        write_varint(&mut buf, v);
+        assert_eq!(buf.len(), varint_len(v));
+        read_varint(&mut buf.as_slice()).expect("roundtrip")
+    }
+
+    #[test]
+    fn boundaries() {
+        for v in [
+            0u64,
+            1,
+            0xfc,
+            0xfd,
+            0xfffe,
+            0xffff,
+            0x1_0000,
+            0xffff_fffe,
+            0xffff_ffff,
+            0x1_0000_0000,
+            u64::MAX,
+        ] {
+            assert_eq!(roundtrip(v), v, "value {v:#x}");
+        }
+    }
+
+    #[test]
+    fn rejects_truncation() {
+        assert!(matches!(
+            read_varint(&mut &[][..]),
+            Err(WireError::UnexpectedEnd)
+        ));
+        assert!(matches!(
+            read_varint(&mut &[0xfd, 0x01][..]),
+            Err(WireError::UnexpectedEnd)
+        ));
+        assert!(matches!(
+            read_varint(&mut &[0xfe, 0, 0, 0][..]),
+            Err(WireError::UnexpectedEnd)
+        ));
+    }
+
+    #[test]
+    fn rejects_non_canonical() {
+        // 5 encoded with the 3-byte form.
+        assert!(matches!(
+            read_varint(&mut &[0xfd, 5, 0][..]),
+            Err(WireError::NonCanonical)
+        ));
+        // 0xffff encoded with the 5-byte form.
+        assert!(matches!(
+            read_varint(&mut &[0xfe, 0xff, 0xff, 0, 0][..]),
+            Err(WireError::NonCanonical)
+        ));
+    }
+}

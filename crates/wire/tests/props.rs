@@ -1,0 +1,152 @@
+//! Property-based wire-format tests: every message round-trips, and every
+//! declared length is exact.
+
+use graphene_blockchain::{Block, OrderingScheme, Transaction};
+use graphene_bloom::BloomFilter;
+use graphene_hashes::Digest;
+use graphene_iblt::Iblt;
+use graphene_wire::messages::*;
+use graphene_wire::{Decode, Encode, Message};
+use proptest::prelude::*;
+
+fn header() -> graphene_blockchain::Header {
+    let txns = vec![Transaction::new(&b"x"[..])];
+    *Block::assemble(Digest::ZERO, 1, txns, OrderingScheme::Ctor).header()
+}
+
+fn txns_from(payloads: &[Vec<u8>]) -> Vec<Transaction> {
+    payloads.iter().map(|p| Transaction::new(p.clone())).collect()
+}
+
+fn assert_roundtrip(msg: Message) -> Result<(), TestCaseError> {
+    let bytes = msg.to_vec();
+    prop_assert_eq!(bytes.len(), msg.wire_size(), "wire_size mismatch");
+    let back = Message::decode_exact(&bytes).expect("decode");
+    prop_assert_eq!(back.to_vec(), bytes, "re-encode differs");
+    Ok(())
+}
+
+proptest! {
+    #[test]
+    fn inv_roundtrip(id: [u8; 32]) {
+        assert_roundtrip(Message::Inv(InvMsg { block_id: Digest(id) }))?;
+    }
+
+    #[test]
+    fn getdata_roundtrip(id: [u8; 32], m: u64) {
+        assert_roundtrip(Message::GetData(GetDataMsg { block_id: Digest(id), mempool_count: m }))?;
+    }
+
+    #[test]
+    fn graphene_block_roundtrip(
+        n in 0u64..500,
+        fpr in 0.001f64..1.0,
+        cells in 3usize..60,
+        payloads in proptest::collection::vec(proptest::collection::vec(any::<u8>(), 0..80), 0..5),
+        order in proptest::collection::vec(any::<u8>(), 0..40),
+        salt: u64,
+    ) {
+        let mut bloom = BloomFilter::new((n as usize).max(1), fpr, salt);
+        let mut iblt = Iblt::new(cells, 3, salt);
+        for i in 0..n.min(50) {
+            bloom.insert(&graphene_hashes::sha256(&i.to_le_bytes()));
+            iblt.insert(i);
+        }
+        assert_roundtrip(Message::GrapheneBlock(GrapheneBlockMsg {
+            header: header(),
+            block_tx_count: n,
+            bloom_s: bloom,
+            iblt_i: iblt,
+            prefilled: txns_from(&payloads),
+            order_bytes: order,
+        }))?;
+    }
+
+    #[test]
+    fn graphene_request_roundtrip(
+        id: [u8; 32], y in 0u64..100_000, b in 0u64..100_000, special: bool, fpr in 0.001f64..1.0,
+    ) {
+        assert_roundtrip(Message::GrapheneRequest(GrapheneRequestMsg {
+            block_id: Digest(id),
+            bloom_r: BloomFilter::new(20, fpr, 3),
+            y_star: y,
+            b,
+            special_mn: special,
+        }))?;
+    }
+
+    #[test]
+    fn graphene_recovery_roundtrip(
+        id: [u8; 32],
+        payloads in proptest::collection::vec(proptest::collection::vec(any::<u8>(), 0..60), 0..6),
+        with_f: bool,
+        cells in 3usize..40,
+    ) {
+        assert_roundtrip(Message::GrapheneRecovery(GrapheneRecoveryMsg {
+            block_id: Digest(id),
+            missing: txns_from(&payloads),
+            iblt_j: Iblt::new(cells, 3, 9),
+            bloom_f: with_f.then(|| BloomFilter::new(10, 0.1, 4)),
+        }))?;
+    }
+
+    #[test]
+    fn cmpct_roundtrip(
+        ids in proptest::collection::vec(0u64..0xffff_ffff_ffff, 0..200),
+        nonce: u64,
+    ) {
+        assert_roundtrip(Message::CmpctBlock(CmpctBlockMsg {
+            header: header(),
+            nonce,
+            short_ids: ids,
+            prefilled: vec![(0, Transaction::new(&b"coinbase"[..]))],
+        }))?;
+    }
+
+    #[test]
+    fn getblocktxn_roundtrip(mut idx in proptest::collection::hash_set(0u64..100_000, 0..100)) {
+        let mut indexes: Vec<u64> = idx.drain().collect();
+        indexes.sort_unstable();
+        assert_roundtrip(Message::GetBlockTxn(GetBlockTxnMsg {
+            block_id: Digest([1; 32]),
+            indexes,
+        }))?;
+    }
+
+    #[test]
+    fn xthin_roundtrip(
+        shorts in proptest::collection::vec(any::<u64>(), 0..150),
+        payloads in proptest::collection::vec(proptest::collection::vec(any::<u8>(), 0..50), 0..4),
+    ) {
+        assert_roundtrip(Message::XthinBlock(XthinBlockMsg {
+            header: header(),
+            short_ids: shorts,
+            missing: txns_from(&payloads),
+        }))?;
+        assert_roundtrip(Message::XthinGetData(XthinGetDataMsg {
+            block_id: Digest([2; 32]),
+            mempool_filter: BloomFilter::new(30, 0.01, 5),
+        }))?;
+    }
+
+    #[test]
+    fn fetch_messages_roundtrip(
+        shorts in proptest::collection::vec(any::<u64>(), 0..100),
+        id: [u8; 32],
+    ) {
+        assert_roundtrip(Message::GetGrapheneTxn(GetGrapheneTxnMsg {
+            block_id: Digest(id),
+            short_ids: shorts,
+        }))?;
+        assert_roundtrip(Message::GetFullBlock(GetFullBlockMsg { block_id: Digest(id) }))?;
+    }
+
+    /// Arbitrary bytes: decode never panics, and any successful decode
+    /// re-encodes to a frame of the same declared size.
+    #[test]
+    fn arbitrary_bytes_safe(bytes in proptest::collection::vec(any::<u8>(), 0..300)) {
+        if let Ok(msg) = Message::decode_exact(&bytes) {
+            prop_assert_eq!(msg.to_vec().len(), msg.wire_size());
+        }
+    }
+}

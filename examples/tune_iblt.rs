@@ -1,0 +1,50 @@
+//! Tune an IBLT with Algorithm 1 (paper §4.1): find the smallest geometry
+//! that decodes `j` items at a target failure rate, then verify it
+//! empirically against both the embedded table and a naive static choice.
+//!
+//! ```sh
+//! cargo run --release --example tune_iblt [j] [rate_denom]
+//! ```
+
+use graphene_iblt_params::hypergraph::failure_rate;
+use graphene_iblt_params::{optimize, params_for, FailureRate, SearchConfig};
+use rand::{rngs::StdRng, SeedableRng};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let j: usize = args.first().and_then(|s| s.parse().ok()).unwrap_or(40);
+    let denom: u32 = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(240);
+    let rate = FailureRate(1.0 / denom as f64);
+
+    println!("tuning an IBLT for j = {j} items at target failure rate 1/{denom}\n");
+
+    // Live Algorithm 1 search (the table generator runs exactly this).
+    let cfg = SearchConfig::default();
+    let t0 = std::time::Instant::now();
+    let (k, c) = optimize(j, rate, 3..=7, &cfg).expect("search converges");
+    println!("algorithm 1 search:  k = {k}, c = {c} cells (tau = {:.2}) in {:?}",
+        c as f64 / j as f64, t0.elapsed());
+
+    // The shipped table (generated once, like the paper's released files).
+    let p = params_for(j, denom);
+    println!("embedded table:      k = {}, c = {} cells (tau = {:.2})", p.k, p.c, p.tau(j));
+
+    // Naive static parameterization for contrast (the Fig. 7 black dots).
+    let c_static = ((j as f64 * 1.5).ceil() as usize).div_ceil(4) * 4;
+
+    // Validate all three empirically.
+    let trials = 20_000;
+    let mut rng = StdRng::seed_from_u64(1);
+    for (label, kk, cc) in [
+        ("search result", k, c),
+        ("embedded table", p.k, p.c),
+        ("static k=4 tau=1.5", 4, c_static),
+    ] {
+        let f = failure_rate(j, kk, cc, trials, &mut rng);
+        let verdict = if f <= 1.0 / denom as f64 * 1.5 { "ok" } else { "MISSES TARGET" };
+        println!(
+            "  measured {label:<20} {f:.5} over {trials} trials (budget {:.5}) {verdict}",
+            1.0 / denom as f64
+        );
+    }
+}

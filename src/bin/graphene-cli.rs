@@ -1,0 +1,169 @@
+//! `graphene-cli` — poke at the suite from a shell.
+//!
+//! ```text
+//! graphene-cli relay   --n 2000 --mempool-multiple 1.0 --fraction 1.0
+//! graphene-cli params  --j 50 --rate 240
+//! graphene-cli sync    --n 2000 --common 0.8
+//! graphene-cli gossip  --peers 12 --degree 3 --drop 0.05
+//! ```
+//!
+//! Argument parsing is deliberately hand-rolled (no CLI dependency); every
+//! subcommand prints a compact human-readable report and exits non-zero on
+//! failure.
+
+use graphene::config::GrapheneConfig;
+use graphene::mempool_sync::sync_mempools;
+use graphene::session::relay_block;
+use graphene_blockchain::{Scenario, ScenarioParams, TxProfile};
+use graphene_iblt_params::params_for;
+use graphene_netsim::{LinkParams, Network, PeerId, RelayProtocol, SimTime};
+use rand::{rngs::StdRng, SeedableRng};
+use std::collections::HashMap;
+use std::process::ExitCode;
+
+fn parse_flags(args: &[String]) -> HashMap<String, String> {
+    let mut out = HashMap::new();
+    let mut i = 0;
+    while i < args.len() {
+        if let Some(key) = args[i].strip_prefix("--") {
+            if let Some(v) = args.get(i + 1) {
+                out.insert(key.to_string(), v.clone());
+                i += 1;
+            }
+        }
+        i += 1;
+    }
+    out
+}
+
+fn get<T: std::str::FromStr>(flags: &HashMap<String, String>, key: &str, default: T) -> T {
+    flags.get(key).and_then(|s| s.parse().ok()).unwrap_or(default)
+}
+
+fn cmd_relay(flags: &HashMap<String, String>) -> ExitCode {
+    let n = get(flags, "n", 2000usize);
+    let multiple = get(flags, "mempool-multiple", 1.0f64);
+    let fraction = get(flags, "fraction", 1.0f64);
+    let seed = get(flags, "seed", 7u64);
+    let params = ScenarioParams {
+        block_size: n,
+        extra_mempool_multiple: multiple,
+        block_fraction_in_mempool: fraction,
+        profile: TxProfile::BtcLike,
+        ..Default::default()
+    };
+    let s = Scenario::generate(&params, &mut StdRng::seed_from_u64(seed));
+    let r = relay_block(&s.block, None, &s.receiver_mempool, &GrapheneConfig::default());
+    println!("outcome:   {:?} in {} round trips", r.outcome, r.rounds);
+    println!("bloom S:   {:>8} B   iblt I: {:>8} B", r.bytes.bloom_s, r.bytes.iblt_i);
+    println!("bloom R:   {:>8} B   iblt J: {:>8} B", r.bytes.bloom_r, r.bytes.iblt_j);
+    println!("total:     {:>8} B (excluding tx bodies)", r.bytes.total_excluding_txns());
+    println!("vs 6n CB ≈ {:>8} B | full block = {} B", 6 * n, s.block.serialized_size());
+    if r.outcome.is_success() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+fn cmd_params(flags: &HashMap<String, String>) -> ExitCode {
+    let j = get(flags, "j", 50usize);
+    let rate = get(flags, "rate", 240u32);
+    let p = params_for(j, rate);
+    println!(
+        "IBLT for {j} recoverable items at failure ≤ 1/{rate}: k = {}, c = {} cells \
+         (tau = {:.2}), {} bytes on the wire",
+        p.k,
+        p.c,
+        p.tau(j),
+        graphene_iblt::HEADER_BYTES + p.c * graphene_iblt::CELL_BYTES
+    );
+    ExitCode::SUCCESS
+}
+
+fn cmd_sync(flags: &HashMap<String, String>) -> ExitCode {
+    let n = get(flags, "n", 2000usize);
+    let common = get(flags, "common", 0.8f64);
+    let seed = get(flags, "seed", 7u64);
+    let (a, b) = Scenario::mempool_sync(n, common, TxProfile::BtcLike, &mut StdRng::seed_from_u64(seed));
+    let (report, sa, sb) = sync_mempools(&a, &b, &GrapheneConfig::default());
+    println!(
+        "union of two {n}-txn pools ({}% common): {} txns in {} round trips",
+        (common * 100.0) as u32,
+        report.union_size,
+        report.rounds
+    );
+    println!(
+        "structures: {} B | bodies: {} B | success: {}",
+        report.bytes.total_excluding_txns(),
+        report.bytes.missing_txns + report.h_transfer,
+        report.success
+    );
+    if report.success && sa.len() == report.union_size && sb.len() == report.union_size {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+fn cmd_gossip(flags: &HashMap<String, String>) -> ExitCode {
+    let peers = get(flags, "peers", 12usize);
+    let degree = get(flags, "degree", 3usize);
+    let drop = get(flags, "drop", 0.0f64);
+    let n = get(flags, "n", 1000usize);
+    let seed = get(flags, "seed", 7u64);
+    let params = ScenarioParams {
+        block_size: n,
+        extra_mempool_multiple: 1.0,
+        block_fraction_in_mempool: 1.0,
+        profile: TxProfile::BtcLike,
+        ..Default::default()
+    };
+    let s = Scenario::generate(&params, &mut StdRng::seed_from_u64(seed));
+    let mut net = Network::new(peers, RelayProtocol::Graphene(GrapheneConfig::default()), seed);
+    net.set_default_link(LinkParams { drop_chance: drop, ..LinkParams::default() });
+    net.connect_random(degree);
+    for i in 0..peers {
+        net.peer_mut(PeerId(i)).mempool = s.receiver_mempool.clone();
+    }
+    let r = net.propagate(PeerId(0), s.block, SimTime::from_millis(600_000));
+    println!(
+        "reached {}/{} peers | {} bytes | {} | {} frames ({} dropped)",
+        r.peers_reached,
+        peers,
+        r.total_bytes,
+        r.completion_time.map(|t| t.to_string()).unwrap_or_else(|| "incomplete".into()),
+        r.frames.0,
+        r.frames.1
+    );
+    if r.peers_reached == peers {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: graphene-cli <relay|params|sync|gossip> [--flag value ...]\n\
+         \n\
+         relay   --n N --mempool-multiple F --fraction F --seed S\n\
+         params  --j N --rate DENOM\n\
+         sync    --n N --common F --seed S\n\
+         gossip  --peers N --degree N --drop F --n N --seed S"
+    );
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = args.first() else { return usage() };
+    let flags = parse_flags(&args[1..]);
+    match cmd.as_str() {
+        "relay" => cmd_relay(&flags),
+        "params" => cmd_params(&flags),
+        "sync" => cmd_sync(&flags),
+        "gossip" => cmd_gossip(&flags),
+        _ => usage(),
+    }
+}

@@ -1,0 +1,2 @@
+//! Umbrella crate for the Graphene suite.
+pub use graphene;

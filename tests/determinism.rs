@@ -1,0 +1,55 @@
+//! Reproducibility: identical seeds must give identical results everywhere.
+//! The evaluation's credibility rests on this — a figure regenerated on
+//! another machine must match byte for byte.
+
+use graphene::config::GrapheneConfig;
+use graphene::session::relay_block;
+use graphene_blockchain::{Scenario, ScenarioParams};
+use graphene_iblt_params::{search_c, FailureRate, SearchConfig};
+use graphene_netsim::{Network, PeerId, RelayProtocol, SimTime};
+use rand::{rngs::StdRng, SeedableRng};
+
+#[test]
+fn relay_reports_are_deterministic() {
+    let cfg = GrapheneConfig::default();
+    let params = ScenarioParams {
+        block_size: 300,
+        extra_mempool_multiple: 1.5,
+        block_fraction_in_mempool: 0.7,
+        ..Default::default()
+    };
+    let run = || {
+        let s = Scenario::generate(&params, &mut StdRng::seed_from_u64(77));
+        relay_block(&s.block, None, &s.receiver_mempool, &cfg)
+    };
+    let a = run();
+    let b = run();
+    assert_eq!(a, b);
+}
+
+#[test]
+fn param_search_is_deterministic() {
+    let cfg = SearchConfig { max_trials: 4000, ..SearchConfig::default() };
+    let a = search_c(40, 4, FailureRate(1.0 / 24.0), &cfg);
+    let b = search_c(40, 4, FailureRate(1.0 / 24.0), &cfg);
+    assert_eq!(a, b);
+}
+
+#[test]
+fn network_simulation_is_deterministic() {
+    let run = || {
+        let params = ScenarioParams {
+            block_size: 120,
+            extra_mempool_multiple: 1.0,
+            ..Default::default()
+        };
+        let s = Scenario::generate(&params, &mut StdRng::seed_from_u64(3));
+        let mut net = Network::new(6, RelayProtocol::Graphene(GrapheneConfig::default()), 11);
+        for i in 0..6 {
+            net.peer_mut(PeerId(i)).mempool = s.receiver_mempool.clone();
+        }
+        net.connect_random(2);
+        net.propagate(PeerId(0), s.block, SimTime::from_millis(120_000))
+    };
+    assert_eq!(run(), run());
+}

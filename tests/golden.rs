@@ -1,0 +1,80 @@
+//! Golden wire-format vectors: these byte strings are the protocol.
+//!
+//! If any of these tests fail, the change broke wire compatibility with
+//! every deployed node (docs/PROTOCOL.md) and must bump a protocol version
+//! instead.
+
+use graphene_blockchain::Transaction;
+use graphene_hashes::{hex, Digest};
+use graphene_wire::messages::{GetDataMsg, GetGrapheneTxnMsg, InvMsg, Message};
+use graphene_wire::{Decode, Encode};
+
+#[test]
+fn golden_inv() {
+    let id = Digest([0x11; 32]);
+    let bytes = Message::Inv(InvMsg { block_id: id }).to_vec();
+    assert_eq!(
+        hex::encode(&bytes),
+        "0120000000\
+         1111111111111111111111111111111111111111111111111111111111111111"
+            .replace(char::is_whitespace, "")
+    );
+}
+
+#[test]
+fn golden_getdata() {
+    let id = Digest([0x22; 32]);
+    let bytes = Message::GetData(GetDataMsg { block_id: id, mempool_count: 60_000 }).to_vec();
+    // type 02, len 35 (32 id + 3-byte varint), id, fd 60ea (60000 LE).
+    assert_eq!(
+        hex::encode(&bytes),
+        "0223000000\
+         2222222222222222222222222222222222222222222222222222222222222222\
+         fd60ea"
+            .replace(char::is_whitespace, "")
+    );
+}
+
+#[test]
+fn golden_get_graphene_txn() {
+    let bytes = Message::GetGrapheneTxn(GetGrapheneTxnMsg {
+        block_id: Digest([0x33; 32]),
+        short_ids: vec![1, 0x0102030405060708],
+    })
+    .to_vec();
+    assert_eq!(
+        hex::encode(&bytes),
+        "1331000000\
+         3333333333333333333333333333333333333333333333333333333333333333\
+         02\
+         0100000000000000\
+         0807060504030201"
+            .replace(char::is_whitespace, "")
+    );
+}
+
+#[test]
+fn golden_txid() {
+    // Transaction IDs are double-SHA256 of the payload; pin one vector.
+    let tx = Transaction::new(&b"graphene golden vector"[..]);
+    assert_eq!(
+        tx.id().to_hex(),
+        graphene_hashes::sha256d(b"graphene golden vector").to_hex()
+    );
+    // And the short ID is its little-endian 8-byte prefix.
+    let expect = u64::from_le_bytes(tx.id().0[..8].try_into().unwrap());
+    assert_eq!(graphene_hashes::short_id_8(tx.id()), expect);
+}
+
+#[test]
+fn golden_frames_decode_back() {
+    // The golden encodings above must decode to equal values.
+    for msg in [
+        Message::Inv(InvMsg { block_id: Digest([0x11; 32]) }),
+        Message::GetData(GetDataMsg { block_id: Digest([0x22; 32]), mempool_count: 60_000 }),
+    ] {
+        let bytes = msg.to_vec();
+        let back = Message::decode_exact(&bytes).expect("golden frame decodes");
+        assert_eq!(back.to_vec(), bytes);
+    }
+}

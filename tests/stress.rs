@@ -1,0 +1,82 @@
+//! Stress tests — `#[ignore]`d by default; run with
+//! `cargo test --release -- --ignored` when you want the heavy assurances.
+
+use graphene::config::GrapheneConfig;
+use graphene::session::{relay_block, RelayOutcome};
+use graphene_blockchain::{Scenario, ScenarioParams, TxProfile};
+use rand::{rngs::StdRng, SeedableRng};
+
+/// A 50,000-transaction block against a 150,000-transaction mempool —
+/// well beyond any mainnet block to date.
+#[test]
+#[ignore = "heavy: ~1 minute in release"]
+fn giant_block_relay() {
+    let cfg = GrapheneConfig::default();
+    let params = ScenarioParams {
+        block_size: 50_000,
+        extra_mempool_multiple: 2.0,
+        block_fraction_in_mempool: 1.0,
+        profile: TxProfile::Fixed(32),
+        ..Default::default()
+    };
+    let s = Scenario::generate(&params, &mut StdRng::seed_from_u64(1));
+    let r = relay_block(&s.block, None, &s.receiver_mempool, &cfg);
+    assert!(r.outcome.is_success(), "{:?}", r.outcome);
+    assert_eq!(r.ordered_ids.as_deref(), Some(&s.block.ids()[..]));
+    // Compact Blocks would need 300 KB; Graphene must stay far below.
+    assert!(
+        r.bytes.total_excluding_txns() < 150_000,
+        "{} bytes",
+        r.bytes.total_excluding_txns()
+    );
+}
+
+/// 500 consecutive relays with mixed parameters: no failures beyond the
+/// configured 1/240 budget, no wrong blocks, ever.
+#[test]
+#[ignore = "heavy: a few minutes in release"]
+fn sustained_relay_marathon() {
+    let cfg = GrapheneConfig::default();
+    let mut failures = 0usize;
+    for seed in 0..500u64 {
+        let params = ScenarioParams {
+            block_size: 200 + (seed as usize % 5) * 400,
+            extra_mempool_multiple: (seed % 4) as f64,
+            block_fraction_in_mempool: if seed % 3 == 0 { 1.0 } else { 0.8 },
+            profile: TxProfile::Fixed(64),
+            ..Default::default()
+        };
+        let s = Scenario::generate(&params, &mut StdRng::seed_from_u64(seed));
+        let r = relay_block(&s.block, None, &s.receiver_mempool, &cfg);
+        match r.outcome {
+            RelayOutcome::Failed { .. } => failures += 1,
+            _ => {
+                assert_eq!(
+                    r.ordered_ids.as_deref(),
+                    Some(&s.block.ids()[..]),
+                    "seed {seed}: wrong block accepted"
+                );
+            }
+        }
+    }
+    // 500 relays at a 1/240 per-structure failure budget: a handful of
+    // end-to-end failures would still be within spec; more means a bug.
+    assert!(failures <= 6, "{failures}/500 relay failures");
+}
+
+/// A 60,000-transaction mempool sync (the ETH-scale shape).
+#[test]
+#[ignore = "heavy: ~1 minute in release"]
+fn giant_mempool_sync() {
+    use graphene::mempool_sync::sync_mempools;
+    let (a, b) = Scenario::mempool_sync(
+        60_000,
+        0.9,
+        TxProfile::Fixed(32),
+        &mut StdRng::seed_from_u64(2),
+    );
+    let (report, sa, sb) = sync_mempools(&a, &b, &GrapheneConfig::default());
+    assert!(report.success);
+    assert_eq!(sa.len(), report.union_size);
+    assert_eq!(sb.len(), report.union_size);
+}
