@@ -37,22 +37,15 @@ pub fn compact_blocks_relay(block: &Block, mempool: &Mempool) -> BaselineReport 
     let key = short_id_key(block, nonce);
 
     report.total += Message::Inv(InvMsg { block_id: block.id() }).wire_size();
-    report.total += Message::GetData(GetDataMsg { block_id: block.id(), mempool_count: 0 })
-        .wire_size();
+    report.total +=
+        Message::GetData(GetDataMsg { block_id: block.id(), mempool_count: 0 }).wire_size();
     report.rounds = 1;
 
     // Sender: cmpctblock with short IDs for all but the prefilled coinbase.
-    let prefilled: Vec<(u64, _)> = block
-        .txns()
-        .first()
-        .map(|tx| vec![(0u64, tx.clone())])
-        .unwrap_or_default();
-    let short_ids: Vec<u64> = block
-        .txns()
-        .iter()
-        .skip(1)
-        .map(|tx| short_id_6(key, tx.id()))
-        .collect();
+    let prefilled: Vec<(u64, _)> =
+        block.txns().first().map(|tx| vec![(0u64, tx.clone())]).unwrap_or_default();
+    let short_ids: Vec<u64> =
+        block.txns().iter().skip(1).map(|tx| short_id_6(key, tx.id())).collect();
     let msg = CmpctBlockMsg { header: *block.header(), nonce, short_ids, prefilled };
     let prefilled_bytes: usize = msg.prefilled.iter().map(|(_, tx)| tx.size()).sum();
     report.total += Message::CmpctBlock(msg.clone()).wire_size();
@@ -88,13 +81,11 @@ pub fn compact_blocks_relay(block: &Block, mempool: &Mempool) -> BaselineReport 
         report.rounds += 1;
         let req = GetBlockTxnMsg { block_id: block.id(), indexes: missing_indexes.clone() };
         report.total += Message::GetBlockTxn(req).wire_size();
-        let txns: Vec<_> = missing_indexes
-            .iter()
-            .map(|&i| block.txns()[i as usize].clone())
-            .collect();
+        let txns: Vec<_> =
+            missing_indexes.iter().map(|&i| block.txns()[i as usize].clone()).collect();
         let body_bytes: usize = txns.iter().map(|t| t.size()).sum();
-        report.total += Message::BlockTxn(BlockTxnMsg { block_id: block.id(), txns: txns.clone() })
-            .wire_size();
+        report.total +=
+            Message::BlockTxn(BlockTxnMsg { block_id: block.id(), txns: txns.clone() }).wire_size();
         report.txn_bytes += body_bytes;
         for (&i, tx) in missing_indexes.iter().zip(&txns) {
             reconstruction[i as usize] = Some(*tx.id());
@@ -103,8 +94,7 @@ pub fn compact_blocks_relay(block: &Block, mempool: &Mempool) -> BaselineReport 
 
     // Validate: ids in order must match the Merkle commitment.
     let ids: Vec<_> = reconstruction.into_iter().flatten().collect();
-    report.success =
-        ids.len() == block.len() && block.validate_reconstruction(&ids).is_ok();
+    report.success = ids.len() == block.len() && block.validate_reconstruction(&ids).is_ok();
     report
 }
 

@@ -73,26 +73,16 @@ pub fn diff_digest_relay(block: &Block, mempool: &Mempool) -> BaselineReport {
 
     // inv (with n) / strata exchange.
     report.total += Message::Inv(InvMsg { block_id: block.id() }).wire_size();
-    report.total += Message::GetData(GetDataMsg {
-        block_id: block.id(),
-        mempool_count: m as u64,
-    })
-    .wire_size()
+    report.total += Message::GetData(GetDataMsg { block_id: block.id(), mempool_count: m as u64 })
+        .wire_size()
         + varint_len(block.len() as u64);
 
-    let receiver_strata = build_strata(
-        mempool.iter().map(|tx| short_id_8(tx.id())),
-        levels,
-        salt,
-    );
+    let receiver_strata = build_strata(mempool.iter().map(|tx| short_id_8(tx.id())), levels, salt);
     // The whole estimator crosses the wire.
     report.total += levels * (HEADER_BYTES + STRATA_CELLS * CELL_BYTES);
 
-    let sender_strata = build_strata(
-        block.txns().iter().map(|tx| short_id_8(tx.id())),
-        levels,
-        salt,
-    );
+    let sender_strata =
+        build_strata(block.txns().iter().map(|tx| short_id_8(tx.id())), levels, salt);
     let estimate = estimate_difference(&sender_strata, &receiver_strata);
 
     // Sender ships an IBLT with 2·d̂ cells.
@@ -167,10 +157,7 @@ mod tests {
         let a = build_strata(0..2000u64, levels, salt);
         let b = build_strata(100..2100u64, levels, salt);
         let est = estimate_difference(&a, &b);
-        assert!(
-            (50..=800).contains(&est),
-            "estimate {est} wildly off from true 200"
-        );
+        assert!((50..=800).contains(&est), "estimate {est} wildly off from true 200");
     }
 
     #[test]

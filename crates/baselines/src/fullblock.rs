@@ -8,8 +8,8 @@ use graphene_wire::messages::{FullBlockMsg, GetDataMsg, InvMsg, Message};
 pub fn full_block_relay(block: &Block) -> BaselineReport {
     let mut report = BaselineReport { success: true, rounds: 1, ..Default::default() };
     report.total += Message::Inv(InvMsg { block_id: block.id() }).wire_size();
-    report.total += Message::GetData(GetDataMsg { block_id: block.id(), mempool_count: 0 })
-        .wire_size();
+    report.total +=
+        Message::GetData(GetDataMsg { block_id: block.id(), mempool_count: 0 }).wire_size();
     let msg = FullBlockMsg { header: *block.header(), txns: block.txns().to_vec() };
     report.txn_bytes = block.txns().iter().map(|t| t.size()).sum();
     report.total += Message::FullBlock(msg).wire_size();

@@ -244,10 +244,8 @@ mod tests {
 
     #[test]
     fn roots_recovers_all() {
-        let roots: Vec<Fe> = [7u64, 1_000_003, 0xdead_beef, 0x1234_5678_9abc, 999]
-            .iter()
-            .map(|&v| fe(v))
-            .collect();
+        let roots: Vec<Fe> =
+            [7u64, 1_000_003, 0xdead_beef, 0x1234_5678_9abc, 999].iter().map(|&v| fe(v)).collect();
         let f = Poly::from_roots(&roots);
         let mut expect = roots.clone();
         expect.sort();

@@ -97,13 +97,10 @@ pub fn xthin_relay(block: &Block, mempool: &Mempool, acct: &XthinAccounting) -> 
             indexes: unresolved.clone(),
         })
         .wire_size();
-        let txns: Vec<_> = unresolved
-            .iter()
-            .map(|&i| block.txns()[i as usize].clone())
-            .collect();
+        let txns: Vec<_> = unresolved.iter().map(|&i| block.txns()[i as usize].clone()).collect();
         report.txn_bytes += txns.iter().map(|t| t.size()).sum::<usize>();
-        report.total += Message::BlockTxn(BlockTxnMsg { block_id: block.id(), txns: txns.clone() })
-            .wire_size();
+        report.total +=
+            Message::BlockTxn(BlockTxnMsg { block_id: block.id(), txns: txns.clone() }).wire_size();
         for (&i, tx) in unresolved.iter().zip(&txns) {
             ids[i as usize] = *tx.id();
         }
@@ -167,10 +164,7 @@ mod tests {
     fn xthin_star_excludes_filter() {
         let s = scenario(100, 2.0, 1.0, 5);
         let r = xthin_relay(&s.block, &s.receiver_mempool, &XthinAccounting::default());
-        assert_eq!(
-            r.total_xthin_star(),
-            r.total_excluding_txns() - r.receiver_filter_bytes
-        );
+        assert_eq!(r.total_xthin_star(), r.total_excluding_txns() - r.receiver_filter_bytes);
     }
 
     #[test]

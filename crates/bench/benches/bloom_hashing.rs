@@ -19,10 +19,9 @@ fn bench_mempool_pass(c: &mut Criterion) {
     let block = &mempool[..2000];
     let mut g = c.benchmark_group("mempool_pass_through_S");
     g.throughput(Throughput::Elements(mempool.len() as u64));
-    for (label, strategy) in [
-        ("double_hashing", HashStrategy::DoubleHashing),
-        ("k_piece", HashStrategy::KPiece),
-    ] {
+    for (label, strategy) in
+        [("double_hashing", HashStrategy::DoubleHashing), ("k_piece", HashStrategy::KPiece)]
+    {
         let mut filter = BloomFilter::with_strategy(block.len(), 0.02, 7, strategy);
         for id in block {
             filter.insert(id);
@@ -46,10 +45,9 @@ fn bench_insert(c: &mut Criterion) {
     let block = ids(2000);
     let mut g = c.benchmark_group("bloom_insert_block");
     g.throughput(Throughput::Elements(block.len() as u64));
-    for (label, strategy) in [
-        ("double_hashing", HashStrategy::DoubleHashing),
-        ("k_piece", HashStrategy::KPiece),
-    ] {
+    for (label, strategy) in
+        [("double_hashing", HashStrategy::DoubleHashing), ("k_piece", HashStrategy::KPiece)]
+    {
         g.bench_function(label, |b| {
             b.iter(|| {
                 let mut f = BloomFilter::with_strategy(block.len(), 0.02, 7, strategy);

@@ -5,8 +5,8 @@ use criterion::{criterion_group, criterion_main, Criterion};
 use graphene::config::GrapheneConfig;
 use graphene::protocol1;
 use graphene::session::relay_block;
-use graphene_baselines::{compact_blocks_relay, full_block_relay, xthin_relay};
 use graphene_baselines::xthin::XthinAccounting;
+use graphene_baselines::{compact_blocks_relay, full_block_relay, xthin_relay};
 use graphene_bench::bench_scenario;
 use std::hint::black_box;
 
@@ -29,7 +29,8 @@ fn bench_receiver_decode(c: &mut Criterion) {
     let mut g = c.benchmark_group("graphene_receiver_decode");
     for n in [200usize, 2000] {
         let s = bench_scenario(n, 2);
-        let (msg, _) = protocol1::sender_encode(&s.block, s.receiver_mempool.len() as u64, None, &cfg);
+        let (msg, _) =
+            protocol1::sender_encode(&s.block, s.receiver_mempool.len() as u64, None, &cfg);
         g.bench_function(format!("n{n}"), |b| {
             b.iter(|| protocol1::receiver_decode(black_box(&msg), &s.receiver_mempool, &cfg))
         });
@@ -48,7 +49,9 @@ fn bench_full_relay_comparison(c: &mut Criterion) {
         b.iter(|| compact_blocks_relay(black_box(&s.block), &s.receiver_mempool))
     });
     g.bench_function("xthin", |b| {
-        b.iter(|| xthin_relay(black_box(&s.block), &s.receiver_mempool, &XthinAccounting::default()))
+        b.iter(|| {
+            xthin_relay(black_box(&s.block), &s.receiver_mempool, &XthinAccounting::default())
+        })
     });
     g.bench_function("full_block", |b| b.iter(|| full_block_relay(black_box(&s.block))));
     g.finish();

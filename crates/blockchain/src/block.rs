@@ -172,10 +172,7 @@ impl Block {
     pub fn validate_reconstruction(&self, ids: &[TxId]) -> Result<(), BlockError> {
         let computed = merkle_root(ids);
         if computed != self.header.merkle_root {
-            return Err(BlockError::MerkleMismatch {
-                expected: self.header.merkle_root,
-                computed,
-            });
+            return Err(BlockError::MerkleMismatch { expected: self.header.merkle_root, computed });
         }
         Ok(())
     }
@@ -222,9 +219,7 @@ mod tests {
     use super::*;
 
     fn txns(n: usize) -> Vec<Transaction> {
-        (0..n as u64)
-            .map(|i| Transaction::new(i.to_le_bytes().to_vec()))
-            .collect()
+        (0..n as u64).map(|i| Transaction::new(i.to_le_bytes().to_vec())).collect()
     }
 
     #[test]

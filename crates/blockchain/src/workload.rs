@@ -121,8 +121,7 @@ impl Scenario {
         let held = ((n as f64) * params.block_fraction_in_mempool).round() as usize;
         let extras = ((n as f64) * params.extra_mempool_multiple).round() as usize;
 
-        let mut receiver_mempool: Mempool =
-            block_txns.iter().take(held).cloned().collect();
+        let mut receiver_mempool: Mempool = block_txns.iter().take(held).cloned().collect();
         for _ in 0..extras {
             receiver_mempool.insert(mk_tx(rng));
         }
@@ -226,12 +225,7 @@ mod tests {
             ..Default::default()
         };
         let s = Scenario::generate(&params, &mut rng(2));
-        let held = s
-            .block
-            .ids()
-            .iter()
-            .filter(|id| s.receiver_mempool.contains(id))
-            .count();
+        let held = s.block.ids().iter().filter(|id| s.receiver_mempool.contains(id)).count();
         assert_eq!(held, 120);
         assert_eq!(s.receiver_mempool.len(), 120 + 200);
     }
@@ -260,10 +254,7 @@ mod tests {
         assert_eq!(s.held, 400);
         assert_eq!(s.mempool_size(), 400 + 1000);
         // The held prefix is in the receiver's set.
-        assert!(s.receiver_ids[..400]
-            .iter()
-            .zip(&s.block_ids[..400])
-            .all(|(a, b)| a == b));
+        assert!(s.receiver_ids[..400].iter().zip(&s.block_ids[..400]).all(|(a, b)| a == b));
     }
 
     #[test]

@@ -195,9 +195,7 @@ mod tests {
     use graphene_hashes::sha256;
 
     fn ids(n: usize, tag: u64) -> Vec<Digest> {
-        (0..n as u64)
-            .map(|i| sha256(&[i.to_le_bytes(), tag.to_le_bytes()].concat()))
-            .collect()
+        (0..n as u64).map(|i| sha256(&[i.to_le_bytes(), tag.to_le_bytes()].concat())).collect()
     }
 
     #[test]
@@ -225,10 +223,7 @@ mod tests {
             let fp = probes.iter().filter(|id| f.contains(id)).count();
             let rate = fp as f64 / probes.len() as f64;
             // Allow generous slack: the estimate itself has variance.
-            assert!(
-                rate < target * 1.8,
-                "{strategy:?}: observed fpr {rate} vs target {target}"
-            );
+            assert!(rate < target * 1.8, "{strategy:?}: observed fpr {rate} vs target {target}");
             assert!(rate > target * 0.3, "{strategy:?}: observed fpr {rate} suspiciously low");
         }
     }
@@ -256,10 +251,7 @@ mod tests {
         let f2 = build(2);
         // False positives of one filter should be (mostly) independent of the
         // other: joint FPR ≈ fpr², far below single-filter FPR.
-        let joint = probes
-            .iter()
-            .filter(|id| f1.contains(id) && f2.contains(id))
-            .count();
+        let joint = probes.iter().filter(|id| f1.contains(id) && f2.contains(id)).count();
         let single = probes.iter().filter(|id| f1.contains(id)).count();
         assert!(
             joint * 5 < single.max(1),
@@ -286,10 +278,7 @@ mod tests {
     #[test]
     fn empty_filter_contains_nothing() {
         let f = BloomFilter::new(100, 0.01, 0);
-        let misses = ids(1000, 9)
-            .iter()
-            .filter(|id| f.contains(id))
-            .count();
+        let misses = ids(1000, 9).iter().filter(|id| f.contains(id)).count();
         assert_eq!(misses, 0, "an empty filter must reject essentially all probes");
     }
 }

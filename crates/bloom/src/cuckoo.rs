@@ -32,8 +32,8 @@ impl CuckooFilter {
     /// Create a filter for about `n` items at target rate `fpr`.
     pub fn new(n: usize, fpr: f64, salt: u64) -> Self {
         // Fingerprint size: ceil(log2(2b/ε)) bits, clamped to [4, 16].
-        let bits = ((2.0 * SLOTS_PER_BUCKET as f64 / fpr.max(1e-9)).log2().ceil() as u32)
-            .clamp(4, 16);
+        let bits =
+            ((2.0 * SLOTS_PER_BUCKET as f64 / fpr.max(1e-9)).log2().ceil() as u32).clamp(4, 16);
         // 95% target load factor for b = 4.
         let nbuckets = ((n as f64 / (SLOTS_PER_BUCKET as f64 * 0.95)).ceil() as usize)
             .next_power_of_two()
@@ -161,9 +161,7 @@ mod tests {
     use graphene_hashes::sha256;
 
     fn ids(n: usize, tag: u64) -> Vec<Digest> {
-        (0..n as u64)
-            .map(|i| sha256(&[i.to_le_bytes(), tag.to_le_bytes()].concat()))
-            .collect()
+        (0..n as u64).map(|i| sha256(&[i.to_le_bytes(), tag.to_le_bytes()].concat())).collect()
     }
 
     #[test]

@@ -114,13 +114,7 @@ impl GcsBuilder {
             w.push_bits(delta & ((1u64 << p) - 1), p);
             prev = v;
         }
-        Gcs {
-            data: w.bytes,
-            count: self.hashed.len(),
-            n: self.n,
-            fpr: self.fpr,
-            salt: self.salt,
-        }
+        Gcs { data: w.bytes, count: self.hashed.len(), n: self.n, fpr: self.fpr, salt: self.salt }
     }
 }
 
@@ -196,9 +190,7 @@ mod tests {
     use graphene_hashes::sha256;
 
     fn ids(n: usize, tag: u64) -> Vec<Digest> {
-        (0..n as u64)
-            .map(|i| sha256(&[i.to_le_bytes(), tag.to_le_bytes()].concat()))
-            .collect()
+        (0..n as u64).map(|i| sha256(&[i.to_le_bytes(), tag.to_le_bytes()].concat())).collect()
     }
 
     fn build(set: &[Digest], fpr: f64) -> Gcs {

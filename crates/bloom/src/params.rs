@@ -69,10 +69,7 @@ mod tests {
             let n = 5000;
             let k = optimal_hash_count(bloom_bits(n, f), n);
             let expect = (-f.log2()).round() as u32;
-            assert!(
-                (k as i64 - expect as i64).abs() <= 1,
-                "f={f}: k={k} expect≈{expect}"
-            );
+            assert!((k as i64 - expect as i64).abs() <= 1, "f={f}: k={k} expect≈{expect}");
         }
     }
 
@@ -83,10 +80,7 @@ mod tests {
             let bits = bloom_bits(n, f);
             let k = optimal_hash_count(bits, n);
             let actual = theoretical_fpr(bits, k, n);
-            assert!(
-                actual <= f * 1.25,
-                "f={f}: theoretical {actual} too far above target"
-            );
+            assert!(actual <= f * 1.25, "f={f}: theoretical {actual} too far above target");
         }
     }
 

@@ -1,6 +1,8 @@
 //! Property-based tests for the membership structures.
 
-use graphene_bloom::{bitvec::BitVec, BloomFilter, CuckooFilter, GcsBuilder, HashStrategy, Membership};
+use graphene_bloom::{
+    bitvec::BitVec, BloomFilter, CuckooFilter, GcsBuilder, HashStrategy, Membership,
+};
 use graphene_hashes::sha256;
 use proptest::prelude::*;
 

@@ -60,9 +60,7 @@ impl GrapheneConfig {
             return Err(crate::GrapheneError::BadConfig("iblt_rate_denom must be positive"));
         }
         if !(0.0 < self.special_case_fpr && self.special_case_fpr < 1.0) {
-            return Err(crate::GrapheneError::BadConfig(
-                "special_case_fpr must be in (0, 1)",
-            ));
+            return Err(crate::GrapheneError::BadConfig("special_case_fpr must be in (0, 1)"));
         }
         Ok(())
     }

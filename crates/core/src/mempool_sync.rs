@@ -54,11 +54,8 @@ pub fn sync_mempools(
     let block = Block::assemble(Digest::ZERO, 0, txns, OrderingScheme::Ctor);
 
     // Handshake: receiver announces its pool size (getdata shape).
-    bytes.getdata = Message::GetData(GetDataMsg {
-        block_id: block.id(),
-        mempool_count: m as u64,
-    })
-    .wire_size();
+    bytes.getdata =
+        Message::GetData(GetDataMsg { block_id: block.id(), mempool_count: m as u64 }).wire_size();
 
     let (p1_msg, _) = protocol1::sender_encode(&block, m as u64, None, cfg);
     bytes.bloom_s = p1_msg.bloom_s.serialized_size();
@@ -86,18 +83,14 @@ pub fn sync_mempools(
         }
         Err((_why, mut state)) => {
             rounds += 2;
-            let (req, _rs) =
-                protocol2::receiver_request(&state, block.id(), block.len(), m, cfg);
+            let (req, _rs) = protocol2::receiver_request(&state, block.id(), block.len(), m, cfg);
             let req_wire = Message::GrapheneRequest(req.clone()).wire_size();
             bytes.bloom_r = req.bloom_r.serialized_size();
             bytes.p2_request_overhead = req_wire - bytes.bloom_r;
 
             let rec = protocol2::sender_respond(&block, &req, m, cfg);
-            bytes.missing_txns = rec
-                .missing
-                .iter()
-                .map(|tx| varint_len(tx.size() as u64) + tx.size())
-                .sum();
+            bytes.missing_txns =
+                rec.missing.iter().map(|tx| varint_len(tx.size() as u64) + tx.size()).sum();
             bytes.iblt_j = rec.iblt_j.serialized_size();
             bytes.bloom_f = rec.bloom_f.as_ref().map_or(0, |f| f.serialized_size());
             bytes.p2_response_overhead = Message::GrapheneRecovery(rec.clone()).wire_size()
@@ -126,11 +119,8 @@ pub fn sync_mempools(
                     } else {
                         // Extra round: fetch stragglers by short ID.
                         rounds += 2;
-                        let lookup: HashMap<u64, &graphene_blockchain::Transaction> = block
-                            .txns()
-                            .iter()
-                            .map(|tx| (short_id_8(tx.id()), tx))
-                            .collect();
+                        let lookup: HashMap<u64, &graphene_blockchain::Transaction> =
+                            block.txns().iter().map(|tx| (short_id_8(tx.id()), tx)).collect();
                         let mut fetched = Vec::new();
                         for s in &ok.needs_fetch {
                             if let Some(tx) = lookup.get(s) {
@@ -138,10 +128,8 @@ pub fn sync_mempools(
                             }
                         }
                         let all_found = fetched.len() == ok.needs_fetch.len();
-                        let body_bytes: usize = fetched
-                            .iter()
-                            .map(|tx| varint_len(tx.size() as u64) + tx.size())
-                            .sum();
+                        let body_bytes: usize =
+                            fetched.iter().map(|tx| varint_len(tx.size() as u64) + tx.size()).sum();
                         bytes.extra_fetch = 5
                             + 32
                             + varint_len(ok.needs_fetch.len() as u64)
@@ -175,11 +163,7 @@ pub fn sync_mempools(
     let h_ids: Vec<TxId> = match &known_sender_set {
         Some(set) => {
             let set: std::collections::HashSet<TxId> = set.iter().copied().collect();
-            receiver
-                .iter()
-                .filter(|tx| !set.contains(tx.id()))
-                .map(|tx| *tx.id())
-                .collect()
+            receiver.iter().filter(|tx| !set.contains(tx.id())).map(|tx| *tx.id()).collect()
         }
         None => receiver
             .iter()
@@ -187,11 +171,7 @@ pub fn sync_mempools(
             .map(|tx| *tx.id())
             .collect(),
     };
-    let h_txns: Vec<_> = h_ids
-        .iter()
-        .filter_map(|id| receiver.get(id))
-        .cloned()
-        .collect();
+    let h_txns: Vec<_> = h_ids.iter().filter_map(|id| receiver.get(id)).cloned().collect();
     let h_transfer = if h_txns.is_empty() {
         0
     } else {
@@ -205,11 +185,8 @@ pub fn sync_mempools(
     // remaining novel transactions all failed S or were discovered above.
 
     // Ground truth: both pools must now equal the union.
-    let mut union_ids: Vec<TxId> = sender
-        .iter()
-        .chain(receiver.iter())
-        .map(|tx| *tx.id())
-        .collect();
+    let mut union_ids: Vec<TxId> =
+        sender.iter().chain(receiver.iter()).map(|tx| *tx.id()).collect();
     union_ids.sort();
     union_ids.dedup();
     let success = reconciled

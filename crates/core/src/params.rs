@@ -164,11 +164,7 @@ pub struct BChoice {
 
 fn eval_b(z: usize, n_minus_xstar: usize, ystar: usize, b: usize, rate_denom: u32) -> BChoice {
     let b = b.clamp(1, n_minus_xstar.max(1));
-    let fpr = if n_minus_xstar == 0 {
-        1.0
-    } else {
-        (b as f64 / n_minus_xstar as f64).min(1.0)
-    };
+    let fpr = if n_minus_xstar == 0 { 1.0 } else { (b as f64 / n_minus_xstar as f64).min(1.0) };
     let bloom_bytes = if fpr >= 1.0 { 1 } else { 14 + bloom_size_bytes(z, fpr) };
     let j = b + ystar;
     let iblt = params_for(j.max(1), rate_denom);
@@ -382,9 +378,6 @@ mod tests {
         let (n, m) = (10_000usize, 30_000usize);
         let bloom_alone = bloom_size_bytes(n, 1.0 / (144.0 * (m - n) as f64));
         let graphene = optimal_a(n, m, BETA, 240).total;
-        assert!(
-            graphene < bloom_alone,
-            "graphene {graphene} >= bloom-alone {bloom_alone}"
-        );
+        assert!(graphene < bloom_alone, "graphene {graphene} >= bloom-alone {bloom_alone}");
     }
 }

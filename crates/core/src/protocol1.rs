@@ -45,12 +45,9 @@ pub fn sender_encode(
     }
 
     let prefilled = match (cfg.prefill, peer) {
-        (true, Some(view)) => block
-            .txns()
-            .iter()
-            .filter(|tx| !view.knows(tx.id()))
-            .cloned()
-            .collect(),
+        (true, Some(view)) => {
+            block.txns().iter().filter(|tx| !view.knows(tx.id())).cloned().collect()
+        }
         _ => Vec::new(),
     };
 
@@ -156,11 +153,8 @@ pub fn receiver_decode(
     }
 
     // Step 4b: I′ over the candidates' short IDs, then peel I ⊖ I′.
-    let mut iblt_prime = Iblt::new(
-        msg.iblt_i.cell_count(),
-        msg.iblt_i.hash_count(),
-        msg.iblt_i.salt(),
-    );
+    let mut iblt_prime =
+        Iblt::new(msg.iblt_i.cell_count(), msg.iblt_i.hash_count(), msg.iblt_i.salt());
     for short in state.by_short.keys() {
         iblt_prime.insert(*short);
     }

@@ -60,13 +60,8 @@ pub fn receiver_request(
         bloom_r.insert(id);
     }
 
-    let msg = GrapheneRequestMsg {
-        block_id,
-        bloom_r,
-        y_star: ys as u64,
-        b: choice.b as u64,
-        special_mn,
-    };
+    let msg =
+        GrapheneRequestMsg { block_id, bloom_r, y_star: ys as u64, b: choice.b as u64, special_mn };
     (msg, RequestState { choice, x_star: xs, y_star: ys, special_mn })
 }
 
@@ -84,12 +79,8 @@ pub fn sender_respond(
     let salt = block.id().low_u64();
 
     // Transactions failing R are definitely missing at the receiver.
-    let missing: Vec<Transaction> = block
-        .txns()
-        .iter()
-        .filter(|tx| !req.bloom_r.contains(tx.id()))
-        .cloned()
-        .collect();
+    let missing: Vec<Transaction> =
+        block.txns().iter().filter(|tx| !req.bloom_r.contains(tx.id())).cloned().collect();
 
     let (j_capacity, bloom_f) = if req.special_mn {
         // Reversed roles (§3.3.1): the *sender* bounds the false positives
@@ -99,17 +90,17 @@ pub fn sender_respond(
         let fpr_r = if req.bloom_r.bit_len() == 0 {
             1.0
         } else {
-            theoretical_fpr(req.bloom_r.bit_len(), req.bloom_r.hash_count(), req.bloom_r.inserted().max(z2))
+            theoretical_fpr(
+                req.bloom_r.bit_len(),
+                req.bloom_r.hash_count(),
+                req.bloom_r.inserted().max(z2),
+            )
         };
         let xs2 = x_star(z2, n, fpr_r, cfg.beta, z2);
         let ys2 = y_star(n, xs2, fpr_r, cfg.beta);
         let choice2 = optimal_b(z2, m, xs2, ys2, cfg.iblt_rate_denom);
-        let mut f = BloomFilter::with_strategy(
-            z2.max(1),
-            choice2.fpr,
-            salt ^ SALT_F,
-            cfg.bloom_strategy,
-        );
+        let mut f =
+            BloomFilter::with_strategy(z2.max(1), choice2.fpr, salt ^ SALT_F, cfg.bloom_strategy);
         for tx in block.txns() {
             if req.bloom_r.contains(tx.id()) {
                 f.insert(tx.id());
@@ -198,11 +189,8 @@ pub fn receiver_complete(
     }
 
     // J′ and the difference.
-    let mut j_prime = Iblt::new(
-        msg.iblt_j.cell_count(),
-        msg.iblt_j.hash_count(),
-        msg.iblt_j.salt(),
-    );
+    let mut j_prime =
+        Iblt::new(msg.iblt_j.cell_count(), msg.iblt_j.hash_count(), msg.iblt_j.salt());
     for short in by_short.keys() {
         j_prime.insert(*short);
     }
@@ -220,47 +208,44 @@ pub fn receiver_complete(
     // where PL/PR are the values Protocol 1's partial peel already removed
     // and T the newly delivered transactions. Cancelling T∖PL out of the
     // former and PL∖T, PR out of the latter makes both differences equal.
-    let (result, extra_left, extra_right) = if cfg.pingpong
-        && msg.bloom_f.is_none()
-        && p1_state.i_delta.is_some()
-    {
-        use std::collections::HashSet;
-        let pl: HashSet<u64> = p1_state.partial_left.iter().copied().collect();
-        let t_set: HashSet<u64> =
-            msg.missing.iter().map(|tx| short_id_8(tx.id())).collect();
-        let Some(i_delta) = p1_state.i_delta.as_mut() else { unreachable!("guarded above") };
-        for s in &t_set {
-            if !pl.contains(s) {
-                // Residual §6.1 corner: if a delivered transaction's short
-                // ID collides with a Z candidate, the pair already XOR-
-                // cancelled inside I ⊖ I′ and this cancel inserts a phantom
-                // −1 entry. The joint decode then fails (never miscorrects —
-                // the Merkle check guards finalization) and the session
-                // falls back; probability ≈ f_S · Pr[P1 IBLT failure].
-                i_delta.cancel(*s, 1);
+    let (result, extra_left, extra_right) =
+        if cfg.pingpong && msg.bloom_f.is_none() && p1_state.i_delta.is_some() {
+            use std::collections::HashSet;
+            let pl: HashSet<u64> = p1_state.partial_left.iter().copied().collect();
+            let t_set: HashSet<u64> = msg.missing.iter().map(|tx| short_id_8(tx.id())).collect();
+            let Some(i_delta) = p1_state.i_delta.as_mut() else { unreachable!("guarded above") };
+            for s in &t_set {
+                if !pl.contains(s) {
+                    // Residual §6.1 corner: if a delivered transaction's short
+                    // ID collides with a Z candidate, the pair already XOR-
+                    // cancelled inside I ⊖ I′ and this cancel inserts a phantom
+                    // −1 entry. The joint decode then fails (never miscorrects —
+                    // the Merkle check guards finalization) and the session
+                    // falls back; probability ≈ f_S · Pr[P1 IBLT failure].
+                    i_delta.cancel(*s, 1);
+                }
             }
-        }
-        for l in &pl {
-            if !t_set.contains(l) {
-                j_delta.cancel(*l, 1);
+            for l in &pl {
+                if !t_set.contains(l) {
+                    j_delta.cancel(*l, 1);
+                }
             }
-        }
-        for r in &p1_state.partial_right {
-            j_delta.cancel(*r, -1);
-        }
-        let r = match ping_pong_decode(i_delta, &mut j_delta) {
-            Ok(r) => r,
-            Err(_) => return Err(P2Failure::IbltIncomplete),
+            for r in &p1_state.partial_right {
+                j_delta.cancel(*r, -1);
+            }
+            let r = match ping_pong_decode(i_delta, &mut j_delta) {
+                Ok(r) => r,
+                Err(_) => return Err(P2Failure::IbltIncomplete),
+            };
+            // The partial-peel results are part of the difference too.
+            (r, p1_state.partial_left.clone(), p1_state.partial_right.clone())
+        } else {
+            let r = match j_delta.peel() {
+                Ok(r) => r,
+                Err(_) => return Err(P2Failure::IbltIncomplete),
+            };
+            (r, Vec::new(), Vec::new())
         };
-        // The partial-peel results are part of the difference too.
-        (r, p1_state.partial_left.clone(), p1_state.partial_right.clone())
-    } else {
-        let r = match j_delta.peel() {
-            Ok(r) => r,
-            Err(_) => return Err(P2Failure::IbltIncomplete),
-        };
-        (r, Vec::new(), Vec::new())
-    };
 
     if !result.complete {
         return Err(P2Failure::IbltIncomplete);
@@ -345,16 +330,9 @@ mod tests {
             }
             Err(e) => e,
         };
-        let (req, _req_state) =
-            receiver_request(&state, s.block.id(), s.block.len(), m, cfg);
+        let (req, _req_state) = receiver_request(&state, s.block.id(), s.block.len(), m, cfg);
         let rec = sender_respond(&s.block, &req, m, cfg);
-        receiver_complete(
-            &mut state,
-            &rec,
-            p1_msg.header.merkle_root,
-            &p1_msg.order_bytes,
-            cfg,
-        )
+        receiver_complete(&mut state, &rec, p1_msg.header.merkle_root, &p1_msg.order_bytes, cfg)
     }
 
     #[test]
@@ -374,8 +352,7 @@ mod tests {
     fn recovers_across_fractions() {
         for (seed, held) in [(2u64, 0.0), (3, 0.2), (4, 0.8), (5, 0.95)] {
             let s = scenario(150, 1.0, held, seed);
-            let got = run_full(&s, &cfg())
-                .unwrap_or_else(|e| panic!("held = {held}: {e:?}"));
+            let got = run_full(&s, &cfg()).unwrap_or_else(|e| panic!("held = {held}: {e:?}"));
             if let Some(ids) = got.ordered_ids {
                 assert_eq!(ids, s.block.ids(), "held = {held}");
             }
@@ -456,12 +433,7 @@ mod tests {
         };
         let (req, rs) = receiver_request(&state, s.block.id(), s.block.len(), m, &cfg());
         // x* must lower-bound the true x = 280; y* must upper-bound true y.
-        let true_x = s
-            .block
-            .ids()
-            .iter()
-            .filter(|id| s.receiver_mempool.contains(id))
-            .count();
+        let true_x = s.block.ids().iter().filter(|id| s.receiver_mempool.contains(id)).count();
         assert!(rs.x_star <= true_x, "x* = {} vs x = {true_x}", rs.x_star);
         let true_y = state.by_short.len() - true_x;
         assert!(rs.y_star >= true_y, "y* = {} vs y = {true_y}", rs.y_star);

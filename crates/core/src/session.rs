@@ -14,9 +14,7 @@ use graphene_blockchain::{Block, Mempool, PeerView, TxId};
 use graphene_bloom::Membership;
 use graphene_hashes::short_id_8;
 use graphene_iblt::Iblt;
-use graphene_wire::messages::{
-    BlockTxnMsg, GetDataMsg, GrapheneBlockMsg, InvMsg, Message,
-};
+use graphene_wire::messages::{BlockTxnMsg, GetDataMsg, GrapheneBlockMsg, InvMsg, Message};
 use graphene_wire::varint::varint_len;
 use std::collections::HashMap;
 
@@ -150,18 +148,14 @@ pub fn relay_block(
 
     // inv / getdata round.
     bytes.inv = Message::Inv(InvMsg { block_id: block.id() }).wire_size();
-    bytes.getdata = Message::GetData(GetDataMsg {
-        block_id: block.id(),
-        mempool_count: m as u64,
-    })
-    .wire_size();
+    bytes.getdata =
+        Message::GetData(GetDataMsg { block_id: block.id(), mempool_count: m as u64 }).wire_size();
 
     // Protocol 1.
     let (p1_msg, _choice) = protocol1::sender_encode(block, m as u64, peer, cfg);
     account_p1(&p1_msg, &mut bytes);
 
-    let (p1_failure, mut state) = match protocol1::receiver_decode(&p1_msg, receiver_mempool, cfg)
-    {
+    let (p1_failure, mut state) = match protocol1::receiver_decode(&p1_msg, receiver_mempool, cfg) {
         Ok(ok) => {
             return RelayReport {
                 outcome: RelayOutcome::DecodedP1,
@@ -196,15 +190,11 @@ pub fn relay_block(
 
     let rec = protocol2::sender_respond(block, &req, m, cfg);
     let rec_wire = Message::GrapheneRecovery(rec.clone()).wire_size();
-    bytes.missing_txns = rec
-        .missing
-        .iter()
-        .map(|tx| varint_len(tx.size() as u64) + tx.size())
-        .sum();
+    bytes.missing_txns =
+        rec.missing.iter().map(|tx| varint_len(tx.size() as u64) + tx.size()).sum();
     bytes.iblt_j = rec.iblt_j.serialized_size();
     bytes.bloom_f = rec.bloom_f.as_ref().map_or(0, |f| f.serialized_size());
-    bytes.p2_response_overhead =
-        rec_wire - bytes.missing_txns - bytes.iblt_j - bytes.bloom_f;
+    bytes.p2_response_overhead = rec_wire - bytes.missing_txns - bytes.iblt_j - bytes.bloom_f;
 
     let completed = protocol2::receiver_complete(
         &mut state,
@@ -228,7 +218,12 @@ pub fn relay_block(
                 fetch_extras(block, ok.resolved, ok.needs_fetch, &p1_msg, bytes, cfg)
             }
         }
-        Err(p2) => RelayReport { outcome: RelayOutcome::Failed { p2 }, rounds: 3, bytes, ordered_ids: None },
+        Err(p2) => RelayReport {
+            outcome: RelayOutcome::Failed { p2 },
+            rounds: 3,
+            bytes,
+            ordered_ids: None,
+        },
     }
 }
 
@@ -248,11 +243,8 @@ fn fetch_extras(
     let req_bytes = 5 + 32 + varint_len(needs.len() as u64) + 8 * needs.len();
 
     // Sender side: look the short IDs up in the block.
-    let lookup: HashMap<u64, &graphene_blockchain::Transaction> = block
-        .txns()
-        .iter()
-        .map(|tx| (short_id_8(tx.id()), tx))
-        .collect();
+    let lookup: HashMap<u64, &graphene_blockchain::Transaction> =
+        block.txns().iter().map(|tx| (short_id_8(tx.id()), tx)).collect();
     let mut fetched = Vec::new();
     for s in &needs {
         if let Some(tx) = lookup.get(s) {
@@ -261,10 +253,7 @@ fn fetch_extras(
     }
     let resp = Message::BlockTxn(BlockTxnMsg { block_id: block.id(), txns: fetched.clone() });
     // Split bodies out of the structure metric, as with `missing_txns`.
-    let body_bytes: usize = fetched
-        .iter()
-        .map(|tx| varint_len(tx.size() as u64) + tx.size())
-        .sum();
+    let body_bytes: usize = fetched.iter().map(|tx| varint_len(tx.size() as u64) + tx.size()).sum();
     bytes.extra_fetch = req_bytes + resp.wire_size() - body_bytes;
     bytes.missing_txns += body_bytes;
 
@@ -282,15 +271,19 @@ fn fetch_extras(
     for tx in &fetched {
         resolved.insert(short_id_8(tx.id()), *tx.id());
     }
-    match protocol2::finalize_p2(&resolved, block.header().merkle_root, &p1_msg.order_bytes, cfg)
-    {
+    match protocol2::finalize_p2(&resolved, block.header().merkle_root, &p1_msg.order_bytes, cfg) {
         Ok(ok) => RelayReport {
             outcome: RelayOutcome::DecodedP2 { extra_fetch: true },
             rounds: 4,
             bytes,
             ordered_ids: ok.ordered_ids,
         },
-        Err(p2) => RelayReport { outcome: RelayOutcome::Failed { p2 }, rounds: 4, bytes, ordered_ids: None },
+        Err(p2) => RelayReport {
+            outcome: RelayOutcome::Failed { p2 },
+            rounds: 4,
+            bytes,
+            ordered_ids: None,
+        },
     }
 }
 
@@ -299,11 +292,7 @@ fn account_p1(msg: &GrapheneBlockMsg, bytes: &mut ByteBreakdown) {
     let wire = Message::GrapheneBlock(msg.clone()).wire_size();
     bytes.bloom_s = msg.bloom_s.encoded_len();
     bytes.iblt_i = msg.iblt_i.serialized_size();
-    bytes.prefilled = msg
-        .prefilled
-        .iter()
-        .map(|tx| varint_len(tx.size() as u64) + tx.size())
-        .sum();
+    bytes.prefilled = msg.prefilled.iter().map(|tx| varint_len(tx.size() as u64) + tx.size()).sum();
     bytes.order = msg.order_bytes.len();
     bytes.p1_overhead = wire - bytes.bloom_s - bytes.iblt_i - bytes.prefilled - bytes.order;
 }
@@ -404,8 +393,7 @@ mod tests {
             if r_direct.bytes.bloom_r == 0 && r_direct.bytes.extra_fetch > 0 {
                 hit += 1;
                 assert!(
-                    r_direct.bytes.total_excluding_txns()
-                        < r_paper.bytes.total_excluding_txns(),
+                    r_direct.bytes.total_excluding_txns() < r_paper.bytes.total_excluding_txns(),
                     "seed {seed}: direct {} !< paper {}",
                     r_direct.bytes.total_excluding_txns(),
                     r_paper.bytes.total_excluding_txns()
@@ -422,10 +410,19 @@ mod tests {
         let b = &r.bytes;
         assert_eq!(
             b.total(),
-            b.inv + b.getdata
-                + b.bloom_s + b.iblt_i + b.prefilled + b.order + b.p1_overhead
-                + b.bloom_r + b.p2_request_overhead
-                + b.missing_txns + b.iblt_j + b.bloom_f + b.p2_response_overhead
+            b.inv
+                + b.getdata
+                + b.bloom_s
+                + b.iblt_i
+                + b.prefilled
+                + b.order
+                + b.p1_overhead
+                + b.bloom_r
+                + b.p2_request_overhead
+                + b.missing_txns
+                + b.iblt_j
+                + b.bloom_f
+                + b.p2_response_overhead
                 + b.extra_fetch
         );
         assert!(b.total_excluding_txns() <= b.total());

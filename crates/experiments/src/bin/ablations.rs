@@ -10,10 +10,8 @@
 //!    equal FPR: the size/query tradeoff behind §3.3's "alternatives" note.
 
 use graphene::params::{a_star, optimal_a};
-use graphene_bloom::{
-    params::bloom_size_bytes, BloomFilter, CuckooFilter, GcsBuilder, Membership,
-};
-use graphene_experiments::{RunOpts, Table, TableWriter};
+use graphene_bloom::{params::bloom_size_bytes, BloomFilter, CuckooFilter, GcsBuilder, Membership};
+use graphene_experiments::{PropAcc, RunOpts, Table, TableWriter};
 use graphene_hashes::{short_id_8, Digest};
 use graphene_iblt::{Iblt, CELL_BYTES, HEADER_BYTES};
 use graphene_iblt_params::params_for;
@@ -31,46 +29,46 @@ fn padding_ablation(opts: &RunOpts) -> Table {
         let choice = optimal_a(n, m, beta, 240);
         let (a, astar) = (choice.a, choice.a_star);
         let trials = opts.trials_for(n);
-        let mut fail = [0usize; 2]; // [unpadded, padded]
-        let mut rng = StdRng::seed_from_u64(opts.seed ^ n as u64);
-        for _ in 0..trials {
-            let block: Vec<Digest> = (0..n).map(|_| Digest(rng.random())).collect();
-            let extras: Vec<Digest> = (0..m - n).map(|_| Digest(rng.random())).collect();
-            let salt: u64 = rng.random();
-            let mut s = BloomFilter::new(n, choice.fpr, salt);
-            for id in &block {
-                s.insert(id);
-            }
-            for (which, j) in [(0usize, a), (1, astar)] {
-                let p = params_for(j.max(1), 240);
-                let mut i = Iblt::new(p.c, p.k, salt ^ (which as u64 + 1));
-                let mut i_prime = Iblt::new(p.c, p.k, salt ^ (which as u64 + 1));
+        let fail = opts.engine().run(
+            &format!("ablation padding n={n}"),
+            trials,
+            |_, rng: &mut StdRng, acc: &mut [PropAcc; 2]| {
+                let block: Vec<Digest> = (0..n).map(|_| Digest(rng.random())).collect();
+                let extras: Vec<Digest> = (0..m - n).map(|_| Digest(rng.random())).collect();
+                let salt: u64 = rng.random();
+                let mut s = BloomFilter::new(n, choice.fpr, salt);
                 for id in &block {
-                    i.insert(short_id_8(id));
-                    i_prime.insert(short_id_8(id)); // receiver holds all
+                    s.insert(id);
                 }
-                for id in &extras {
-                    if s.contains(id) {
-                        i_prime.insert(short_id_8(id));
+                for (which, j) in [(0usize, a), (1, astar)] {
+                    let p = params_for(j.max(1), 240);
+                    let mut i = Iblt::new(p.c, p.k, salt ^ (which as u64 + 1));
+                    let mut i_prime = Iblt::new(p.c, p.k, salt ^ (which as u64 + 1));
+                    for id in &block {
+                        i.insert(short_id_8(id));
+                        i_prime.insert(short_id_8(id)); // receiver holds all
                     }
+                    for id in &extras {
+                        if s.contains(id) {
+                            i_prime.insert(short_id_8(id));
+                        }
+                    }
+                    let ok = i
+                        .subtract(&i_prime)
+                        .and_then(|mut d| d.peel())
+                        .map(|r| r.complete)
+                        .unwrap_or(false);
+                    acc[which].push(!ok);
                 }
-                let ok = i
-                    .subtract(&i_prime)
-                    .and_then(|mut d| d.peel())
-                    .map(|r| r.complete)
-                    .unwrap_or(false);
-                if !ok {
-                    fail[which] += 1;
-                }
-            }
-        }
+            },
+        );
         table.row(&[
             n.to_string(),
             m.to_string(),
             a.to_string(),
             astar.to_string(),
-            format!("{:.4}", fail[0] as f64 / trials as f64),
-            format!("{:.4}", fail[1] as f64 / trials as f64),
+            format!("{:.4}", fail[0].rate()),
+            format!("{:.4}", fail[1].rate()),
             trials.to_string(),
         ]);
     }
@@ -85,12 +83,11 @@ fn closed_form_ablation() -> Table {
         &["n", "m", "a_closed", "T_closed", "a_exact", "T_exact", "penalty_%"],
     );
     let ln2sq = core::f64::consts::LN_2 * core::f64::consts::LN_2;
-    for (n, m) in [(50usize, 500usize), (200, 1000), (500, 2000), (2000, 6000), (10_000, 30_000)]
-    {
+    for (n, m) in [(50usize, 500usize), (200, 1000), (500, 2000), (2000, 6000), (10_000, 30_000)] {
         let mn = m - n;
         // Closed form with τ = 1.5, r = CELL_BYTES, clamped like Eq. 3 users must.
-        let a_closed = ((n as f64 / (8.0 * CELL_BYTES as f64 * 1.5 * ln2sq)).round() as usize)
-            .clamp(1, mn);
+        let a_closed =
+            ((n as f64 / (8.0 * CELL_BYTES as f64 * 1.5 * ln2sq)).round() as usize).clamp(1, mn);
         let t = |a: usize| -> usize {
             let fpr = (a as f64 / mn as f64).min(1.0);
             let bloom = if fpr >= 1.0 { 1 } else { 14 + bloom_size_bytes(n, fpr) };

@@ -67,13 +67,9 @@ fn main() {
         "§3.3 — Graphene P1 size by filter backend (Eq. 2 with each size law)",
         &["n", "m", "bloom_total", "gcs_total", "cuckoo_total", "gcs_vs_bloom_%"],
     );
-    for (n, m) in [
-        (200usize, 600usize),
-        (2000, 6000),
-        (10_000, 30_000),
-        (2000, 2200),
-        (2000, 12_000),
-    ] {
+    for (n, m) in
+        [(200usize, 600usize), (2000, 6000), (10_000, 30_000), (2000, 2200), (2000, 12_000)]
+    {
         let (_, bloom) = optimize(Backend::Bloom, n, m, beta);
         let (_, gcs) = optimize(Backend::Gcs, n, m, beta);
         let (_, cuckoo) = optimize(Backend::Cuckoo, n, m, beta);

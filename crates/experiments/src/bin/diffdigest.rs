@@ -7,11 +7,12 @@ use graphene::session::relay_block;
 use graphene::GrapheneConfig;
 use graphene_baselines::diff_digest_relay;
 use graphene_blockchain::{Scenario, ScenarioParams, TxProfile};
-use graphene_experiments::{mean, RunOpts, Table, TableWriter};
-use rand::{rngs::StdRng, SeedableRng};
+use graphene_experiments::{MeanAcc, RunOpts, Table, TableWriter};
+use rand::rngs::StdRng;
 
 fn main() {
     let opts = RunOpts::from_args(50);
+    let engine = opts.engine();
     let cfg = GrapheneConfig::default();
     let mut table = Table::new(
         "§5.3.2 — Graphene vs IBLT-only Difference Digest (receiver holds block, m = 2n)",
@@ -19,26 +20,25 @@ fn main() {
     );
     for n in [200usize, 500, 1000, 2000, 5000, 10_000] {
         let trials = opts.trials_for(n);
-        let mut g_bytes = Vec::new();
-        let mut d_bytes = Vec::new();
-        for t in 0..trials {
-            let params = ScenarioParams {
-                block_size: n,
-                extra_mempool_multiple: 1.0,
-                block_fraction_in_mempool: 1.0,
-                profile: TxProfile::Fixed(64),
-                ..Default::default()
-            };
-            let s = Scenario::generate(
-                &params,
-                &mut StdRng::seed_from_u64(opts.seed ^ (n as u64) << 16 ^ t as u64),
-            );
-            let g = relay_block(&s.block, None, &s.receiver_mempool, &cfg);
-            g_bytes.push(g.bytes.total_excluding_txns() as f64);
-            let d = diff_digest_relay(&s.block, &s.receiver_mempool);
-            d_bytes.push(d.total_excluding_txns() as f64);
-        }
-        let (gm, dm) = (mean(&g_bytes), mean(&d_bytes));
+        let params = ScenarioParams {
+            block_size: n,
+            extra_mempool_multiple: 1.0,
+            block_fraction_in_mempool: 1.0,
+            profile: TxProfile::Fixed(64),
+            ..Default::default()
+        };
+        let (g_bytes, d_bytes) = engine.run(
+            &format!("diffdigest n={n}"),
+            trials,
+            |_, rng: &mut StdRng, acc: &mut (MeanAcc, MeanAcc)| {
+                let s = Scenario::generate(&params, rng);
+                let g = relay_block(&s.block, None, &s.receiver_mempool, &cfg);
+                acc.0.push(g.bytes.total_excluding_txns() as f64);
+                let d = diff_digest_relay(&s.block, &s.receiver_mempool);
+                acc.1.push(d.total_excluding_txns() as f64);
+            },
+        );
+        let (gm, dm) = (g_bytes.mean(), d_bytes.mean());
         table.row(&[
             n.to_string(),
             format!("{gm:.0}"),

@@ -2,13 +2,28 @@
 //! (k = 4, τ = 1.5) versus Algorithm 1's optimal geometries, for target
 //! failure rates 1/24, 1/240 and 1/2400.
 
-use graphene_experiments::{RunOpts, Table, TableWriter};
-use graphene_iblt_params::hypergraph::failure_rate;
+use graphene_experiments::{Accum, PropAcc, RunOpts, Table, TableWriter};
+use graphene_iblt_params::hypergraph::{decode_trial_with, Scratch};
 use graphene_iblt_params::params_for;
-use rand::{rngs::StdRng, SeedableRng};
+use rand::rngs::StdRng;
+
+/// Decode-failure accumulator with per-chunk [`Scratch`] reuse (the scratch
+/// is working memory only and is dropped on merge).
+#[derive(Default)]
+struct DecodeAcc {
+    fail: PropAcc,
+    scratch: Scratch,
+}
+
+impl Accum for DecodeAcc {
+    fn merge(&mut self, other: Self) {
+        self.fail.merge(other.fail);
+    }
+}
 
 fn main() {
     let opts = RunOpts::from_args(20_000);
+    let engine = opts.engine();
     let mut table = Table::new(
         "Fig. 7 — IBLT decode failure: static (k=4, tau=1.5) vs optimal parameters",
         &["rate", "j", "k_opt", "c_opt", "fail_static", "fail_optimal", "target"],
@@ -17,12 +32,20 @@ fn main() {
     for rate in [24u32, 240, 2400] {
         for &j in &js {
             let trials = opts.trials_for(j * 10); // large j decodes are slower
-            let mut rng = StdRng::seed_from_u64(opts.seed ^ (rate as u64) << 32 ^ j as u64);
-            // Static: c = 1.5 j rounded up to a multiple of 4.
+                                                  // Static: c = 1.5 j rounded up to a multiple of 4.
             let c_static = ((j as f64 * 1.5).ceil() as usize).div_ceil(4) * 4;
-            let f_static = failure_rate(j, 4, c_static, trials, &mut rng);
             let p = params_for(j, rate);
-            let f_opt = failure_rate(j, p.k, p.c, trials, &mut rng);
+            let run = |label: &str, k: u32, c: usize| {
+                engine
+                    .run(label, trials, |_, rng: &mut StdRng, acc: &mut DecodeAcc| {
+                        let ok = decode_trial_with(j, k, c, rng, &mut acc.scratch);
+                        acc.fail.push(!ok);
+                    })
+                    .fail
+                    .rate()
+            };
+            let f_static = run(&format!("fig07 static rate=1/{rate} j={j}"), 4, c_static);
+            let f_opt = run(&format!("fig07 optimal rate=1/{rate} j={j}"), p.k, p.c);
             table.row(&[
                 format!("1/{rate}"),
                 j.to_string(),

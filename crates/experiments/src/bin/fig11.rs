@@ -3,13 +3,14 @@
 //! same items) of capacity i ≤ j is decoded jointly. The joint failure rate
 //! approaches (1/240)² when i = j and improves even for small i.
 
-use graphene_experiments::{RunOpts, Table, TableWriter};
+use graphene_experiments::{PropAcc, RunOpts, Table, TableWriter};
 use graphene_iblt::{ping_pong_decode, Iblt};
 use graphene_iblt_params::params_for;
-use rand::{rngs::StdRng, RngExt, SeedableRng};
+use rand::{rngs::StdRng, RngExt};
 
 fn main() {
     let opts = RunOpts::from_args(40_000);
+    let engine = opts.engine();
     let mut table = Table::new(
         "Fig. 11 — single vs ping-pong (sibling) decode failure, primary at 1/240",
         &["j", "i_sibling", "fail_single", "fail_pingpong", "trials"],
@@ -21,36 +22,31 @@ fn main() {
             let pj = params_for(j, 240);
             let pi = params_for(i, 240);
             let trials = opts.trials;
-            let mut single_fail = 0usize;
-            let mut joint_fail = 0usize;
-            let mut rng =
-                StdRng::seed_from_u64(opts.seed ^ (j as u64) << 24 ^ (i as u64) << 4);
-            for _ in 0..trials {
-                let salt_a: u64 = rng.random();
-                let salt_b: u64 = rng.random();
-                let mut a = Iblt::new(pj.c, pj.k, salt_a);
-                let mut b = Iblt::new(pi.c, pi.k, salt_b);
-                for _ in 0..j {
-                    let v: u64 = rng.random();
-                    a.insert(v);
-                    b.insert(v);
-                }
-                let single_ok = a.peel_clone().map(|r| r.complete).unwrap_or(false);
-                if !single_ok {
-                    single_fail += 1;
-                }
-                let joint_ok = ping_pong_decode(&mut a, &mut b)
-                    .map(|r| r.complete)
-                    .unwrap_or(false);
-                if !joint_ok {
-                    joint_fail += 1;
-                }
-            }
+            let (single, joint) = engine.run(
+                &format!("fig11 j={j} i={i}"),
+                trials,
+                |_, rng: &mut StdRng, acc: &mut (PropAcc, PropAcc)| {
+                    let salt_a: u64 = rng.random();
+                    let salt_b: u64 = rng.random();
+                    let mut a = Iblt::new(pj.c, pj.k, salt_a);
+                    let mut b = Iblt::new(pi.c, pi.k, salt_b);
+                    for _ in 0..j {
+                        let v: u64 = rng.random();
+                        a.insert(v);
+                        b.insert(v);
+                    }
+                    let single_ok = a.peel_clone().map(|r| r.complete).unwrap_or(false);
+                    acc.0.push(!single_ok);
+                    let joint_ok =
+                        ping_pong_decode(&mut a, &mut b).map(|r| r.complete).unwrap_or(false);
+                    acc.1.push(!joint_ok);
+                },
+            );
             table.row(&[
                 j.to_string(),
                 i.to_string(),
-                format!("{:.6}", single_fail as f64 / trials as f64),
-                format!("{:.6}", joint_fail as f64 / trials as f64),
+                format!("{:.6}", single.rate()),
+                format!("{:.6}", joint.rate()),
                 trials.to_string(),
             ]);
         }

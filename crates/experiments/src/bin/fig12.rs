@@ -12,11 +12,12 @@ use graphene::session::{relay_block, RelayOutcome};
 use graphene::GrapheneConfig;
 use graphene_baselines::xthin::{xthin_relay, XthinAccounting};
 use graphene_blockchain::{Scenario, ScenarioParams, TxProfile};
-use graphene_experiments::{mean_ci95, RunOpts, Table, TableWriter};
-use rand::{rngs::StdRng, SeedableRng};
+use graphene_experiments::{MeanAcc, PropAcc, RunOpts, Table, TableWriter};
+use rand::rngs::StdRng;
 
 fn main() {
     let opts = RunOpts::from_args(100);
+    let engine = opts.engine();
     let cfg = GrapheneConfig::default();
     let mut table = Table::new(
         "Fig. 12 — deployment substitute: Graphene P1 vs XThin* bytes vs block size",
@@ -25,38 +26,34 @@ fn main() {
     let sizes = [50usize, 100, 200, 500, 1000, 1500, 2000, 2500, 3000, 3500, 4000, 4500, 5000];
     for &n in &sizes {
         let trials = opts.trials_for(n);
-        let mut graphene_bytes = Vec::with_capacity(trials);
-        let mut xthin_bytes = Vec::with_capacity(trials);
-        let mut failures = 0usize;
-        for t in 0..trials {
-            let params = ScenarioParams {
-                block_size: n,
-                extra_mempool_multiple: 1.0,
-                block_fraction_in_mempool: 1.0,
-                profile: TxProfile::BtcLike,
-                ..Default::default()
-            };
-            let s = Scenario::generate(
-                &params,
-                &mut StdRng::seed_from_u64(opts.seed ^ (n as u64) << 20 ^ t as u64),
-            );
-            let g = relay_block(&s.block, None, &s.receiver_mempool, &cfg);
-            if !matches!(g.outcome, RelayOutcome::DecodedP1) {
-                failures += 1;
-            }
-            graphene_bytes.push(g.bytes.total_excluding_txns() as f64);
-            let x = xthin_relay(&s.block, &s.receiver_mempool, &XthinAccounting::default());
-            xthin_bytes.push(x.total_xthin_star() as f64);
-        }
-        let (gm, gci) = mean_ci95(&graphene_bytes);
-        let (xm, _) = mean_ci95(&xthin_bytes);
+        let params = ScenarioParams {
+            block_size: n,
+            extra_mempool_multiple: 1.0,
+            block_fraction_in_mempool: 1.0,
+            profile: TxProfile::BtcLike,
+            ..Default::default()
+        };
+        let (g_acc, x_acc, fail) = engine.run(
+            &format!("fig12 n={n}"),
+            trials,
+            |_, rng: &mut StdRng, acc: &mut (MeanAcc, MeanAcc, PropAcc)| {
+                let s = Scenario::generate(&params, rng);
+                let g = relay_block(&s.block, None, &s.receiver_mempool, &cfg);
+                acc.2.push(!matches!(g.outcome, RelayOutcome::DecodedP1));
+                acc.0.push(g.bytes.total_excluding_txns() as f64);
+                let x = xthin_relay(&s.block, &s.receiver_mempool, &XthinAccounting::default());
+                acc.1.push(x.total_xthin_star() as f64);
+            },
+        );
+        let (gm, gci) = g_acc.ci95();
+        let xm = x_acc.mean();
         table.row(&[
             n.to_string(),
             format!("{gm:.0}"),
             format!("{gci:.0}"),
             format!("{xm:.0}"),
             format!("{:.3}", gm / xm),
-            format!("{:.4}", failures as f64 / trials as f64),
+            format!("{:.4}", fail.rate()),
         ]);
     }
     TableWriter::new().emit("fig12", &table);

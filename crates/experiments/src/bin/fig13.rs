@@ -12,14 +12,15 @@
 use graphene::protocol1::sender_encode;
 use graphene::GrapheneConfig;
 use graphene_blockchain::{Scenario, ScenarioParams, TxProfile};
-use graphene_experiments::{mean_ci95, RunOpts, Table, TableWriter};
+use graphene_experiments::{MeanAcc, RunOpts, Table, TableWriter};
 use graphene_wire::messages::Message;
-use rand::{rngs::StdRng, SeedableRng};
+use rand::rngs::StdRng;
 
 const ETH_MEMPOOL: u64 = 60_000;
 
 fn main() {
     let opts = RunOpts::from_args(50);
+    let engine = opts.engine();
     let cfg = GrapheneConfig::default();
     let mut table = Table::new(
         "Fig. 13 — Ethereum substitute: full block vs Graphene P1 vs 8 B/txn, m = 60,000",
@@ -27,27 +28,25 @@ fn main() {
     );
     let sizes = [25usize, 50, 100, 200, 300, 400, 500, 600, 700, 800, 900, 1000];
     for &n in &sizes {
-        let trials = opts.trials;
-        let mut full = Vec::with_capacity(trials);
-        let mut graphene = Vec::with_capacity(trials);
-        for t in 0..trials {
-            let params = ScenarioParams {
-                block_size: n,
-                extra_mempool_multiple: 0.0,
-                block_fraction_in_mempool: 1.0,
-                profile: TxProfile::EthLike,
-                ..Default::default()
-            };
-            let s = Scenario::generate(
-                &params,
-                &mut StdRng::seed_from_u64(opts.seed ^ (n as u64) << 16 ^ t as u64),
-            );
-            full.push(s.block.serialized_size() as f64);
-            let (msg, _) = sender_encode(&s.block, ETH_MEMPOOL, None, &cfg);
-            graphene.push(Message::GrapheneBlock(msg).wire_size() as f64);
-        }
-        let (fm, _) = mean_ci95(&full);
-        let (gm, gci) = mean_ci95(&graphene);
+        let params = ScenarioParams {
+            block_size: n,
+            extra_mempool_multiple: 0.0,
+            block_fraction_in_mempool: 1.0,
+            profile: TxProfile::EthLike,
+            ..Default::default()
+        };
+        let (full, graphene) = engine.run(
+            &format!("fig13 n={n}"),
+            opts.trials,
+            |_, rng: &mut StdRng, acc: &mut (MeanAcc, MeanAcc)| {
+                let s = Scenario::generate(&params, rng);
+                acc.0.push(s.block.serialized_size() as f64);
+                let (msg, _) = sender_encode(&s.block, ETH_MEMPOOL, None, &cfg);
+                acc.1.push(Message::GrapheneBlock(msg).wire_size() as f64);
+            },
+        );
+        let fm = full.mean();
+        let (gm, gci) = graphene.ci95();
         table.row(&[
             n.to_string(),
             format!("{fm:.0}"),

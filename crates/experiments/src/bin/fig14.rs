@@ -7,11 +7,12 @@ use graphene::session::relay_block;
 use graphene::GrapheneConfig;
 use graphene_baselines::compact_blocks_relay;
 use graphene_blockchain::{Scenario, ScenarioParams, TxProfile};
-use graphene_experiments::{mean_ci95, RunOpts, Table, TableWriter};
-use rand::{rngs::StdRng, SeedableRng};
+use graphene_experiments::{MeanAcc, RunOpts, Table, TableWriter};
+use rand::rngs::StdRng;
 
 fn main() {
     let opts = RunOpts::from_args(200);
+    let engine = opts.engine();
     let cfg = GrapheneConfig::default();
     let mut table = Table::new(
         "Fig. 14 — [Sim P1] Graphene vs Compact Blocks bytes vs mempool multiple",
@@ -21,29 +22,26 @@ fn main() {
         let trials = opts.trials_for(n);
         for mult10 in (0..=50).step_by(5) {
             let multiple = mult10 as f64 / 10.0;
-            let mut g_bytes = Vec::with_capacity(trials);
-            let mut c_bytes = Vec::with_capacity(trials);
-            for t in 0..trials {
-                let params = ScenarioParams {
-                    block_size: n,
-                    extra_mempool_multiple: multiple,
-                    block_fraction_in_mempool: 1.0,
-                    profile: TxProfile::Fixed(64),
-                    ..Default::default()
-                };
-                let s = Scenario::generate(
-                    &params,
-                    &mut StdRng::seed_from_u64(
-                        opts.seed ^ (n as u64) << 32 ^ (mult10 as u64) << 16 ^ t as u64,
-                    ),
-                );
-                let g = relay_block(&s.block, None, &s.receiver_mempool, &cfg);
-                g_bytes.push(g.bytes.total_excluding_txns() as f64);
-                let c = compact_blocks_relay(&s.block, &s.receiver_mempool);
-                c_bytes.push(c.total_excluding_txns() as f64);
-            }
-            let (gm, gci) = mean_ci95(&g_bytes);
-            let (cm, _) = mean_ci95(&c_bytes);
+            let params = ScenarioParams {
+                block_size: n,
+                extra_mempool_multiple: multiple,
+                block_fraction_in_mempool: 1.0,
+                profile: TxProfile::Fixed(64),
+                ..Default::default()
+            };
+            let (g_acc, c_acc) = engine.run(
+                &format!("fig14 n={n} mult={multiple:.1}"),
+                trials,
+                |_, rng: &mut StdRng, acc: &mut (MeanAcc, MeanAcc)| {
+                    let s = Scenario::generate(&params, rng);
+                    let g = relay_block(&s.block, None, &s.receiver_mempool, &cfg);
+                    acc.0.push(g.bytes.total_excluding_txns() as f64);
+                    let c = compact_blocks_relay(&s.block, &s.receiver_mempool);
+                    acc.1.push(c.total_excluding_txns() as f64);
+                },
+            );
+            let (gm, gci) = g_acc.ci95();
+            let cm = c_acc.mean();
             table.row(&[
                 n.to_string(),
                 format!("{multiple:.1}"),

@@ -4,11 +4,12 @@
 //! 1/240 at every point.
 
 use graphene::GrapheneConfig;
-use graphene_experiments::{simulate_relay, FastConfig, RunOpts, Table, TableWriter};
-use rand::{rngs::StdRng, SeedableRng};
+use graphene_experiments::{simulate_relay, FastConfig, PropAcc, RunOpts, Table, TableWriter};
+use rand::rngs::StdRng;
 
 fn main() {
     let opts = RunOpts::from_args(10_000);
+    let engine = opts.engine();
     let cfg = GrapheneConfig::default();
     let mut table = Table::new(
         "Fig. 15 — [Sim P1] decode failure probability vs mempool multiple (target 1/240)",
@@ -24,19 +25,17 @@ fn main() {
                 fraction_held: 1.0,
                 force_m_equals_n: false,
             };
-            let mut rng = StdRng::seed_from_u64(
-                opts.seed ^ (n as u64) << 32 ^ (mult10 as u64) << 8,
+            let fail = engine.run(
+                &format!("fig15 n={n} mult={multiple:.1}"),
+                trials,
+                |_, rng: &mut StdRng, acc: &mut PropAcc| {
+                    acc.push(!simulate_relay(&fc, &cfg, rng).p1_success);
+                },
             );
-            let mut failures = 0usize;
-            for _ in 0..trials {
-                if !simulate_relay(&fc, &cfg, &mut rng).p1_success {
-                    failures += 1;
-                }
-            }
             table.row(&[
                 n.to_string(),
                 format!("{multiple:.1}"),
-                format!("{:.5}", failures as f64 / trials as f64),
+                format!("{:.5}", fail.rate()),
                 trials.to_string(),
                 format!("{:.5}", 1.0 / 240.0),
             ]);

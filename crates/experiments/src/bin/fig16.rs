@@ -4,11 +4,12 @@
 //! magnitude.
 
 use graphene::GrapheneConfig;
-use graphene_experiments::{simulate_relay, FastConfig, RunOpts, Table, TableWriter};
-use rand::{rngs::StdRng, SeedableRng};
+use graphene_experiments::{simulate_relay, FastConfig, PropAcc, RunOpts, Table, TableWriter};
+use rand::rngs::StdRng;
 
 fn main() {
     let opts = RunOpts::from_args(10_000);
+    let engine = opts.engine();
     let cfg = GrapheneConfig::default();
     let mut table = Table::new(
         "Fig. 16 — [Sim P2] decode failure vs fraction of block held, ping-pong ablation",
@@ -24,25 +25,20 @@ fn main() {
                 fraction_held: fraction,
                 force_m_equals_n: false,
             };
-            let mut rng = StdRng::seed_from_u64(
-                opts.seed ^ (n as u64) << 32 ^ (frac10 as u64) << 8,
+            let (pp_fail, single_fail) = engine.run(
+                &format!("fig16 n={n} frac={fraction:.1}"),
+                trials,
+                |_, rng: &mut StdRng, acc: &mut (PropAcc, PropAcc)| {
+                    let o = simulate_relay(&fc, &cfg, rng);
+                    acc.0.push(!o.p2_success);
+                    acc.1.push(!o.p2_success_no_pingpong);
+                },
             );
-            let mut pp_failures = 0usize;
-            let mut single_failures = 0usize;
-            for _ in 0..trials {
-                let o = simulate_relay(&fc, &cfg, &mut rng);
-                if !o.p2_success {
-                    pp_failures += 1;
-                }
-                if !o.p2_success_no_pingpong {
-                    single_failures += 1;
-                }
-            }
             table.row(&[
                 n.to_string(),
                 format!("{fraction:.1}"),
-                format!("{:.5}", pp_failures as f64 / trials as f64),
-                format!("{:.5}", single_failures as f64 / trials as f64),
+                format!("{:.5}", pp_fail.rate()),
+                format!("{:.5}", single_fail.rate()),
                 trials.to_string(),
             ]);
         }

@@ -8,65 +8,59 @@ use graphene::session::relay_block;
 use graphene::GrapheneConfig;
 use graphene_baselines::compact_blocks_relay;
 use graphene_blockchain::{Scenario, ScenarioParams, TxProfile};
-use graphene_experiments::{mean, RunOpts, Table, TableWriter};
-use rand::{rngs::StdRng, SeedableRng};
+use graphene_experiments::{MeanAcc, RunOpts, Table, TableWriter};
+use rand::rngs::StdRng;
 
 fn main() {
     let opts = RunOpts::from_args(100);
+    let engine = opts.engine();
     let cfg = GrapheneConfig::default();
     let mut table = Table::new(
         "Fig. 17 — [Sim P2] bytes by component vs fraction of block held",
         &[
-            "n", "fraction", "getdata", "bloom_s", "iblt_i", "bloom_r", "iblt_j",
-            "graphene_total", "compact_total",
+            "n",
+            "fraction",
+            "getdata",
+            "bloom_s",
+            "iblt_i",
+            "bloom_r",
+            "iblt_j",
+            "graphene_total",
+            "compact_total",
         ],
     );
     for n in [200usize, 2000, 10_000] {
         let trials = opts.trials_for(n);
         for frac10 in (0..=10).step_by(2) {
             let fraction = frac10 as f64 / 10.0;
-            let mut getdata = Vec::new();
-            let mut bloom_s = Vec::new();
-            let mut iblt_i = Vec::new();
-            let mut bloom_r = Vec::new();
-            let mut iblt_j = Vec::new();
-            let mut g_total = Vec::new();
-            let mut c_total = Vec::new();
-            for t in 0..trials {
-                let params = ScenarioParams {
-                    block_size: n,
-                    extra_mempool_multiple: 1.0,
-                    block_fraction_in_mempool: fraction,
-                    profile: TxProfile::Fixed(64),
-                    ..Default::default()
-                };
-                let s = Scenario::generate(
-                    &params,
-                    &mut StdRng::seed_from_u64(
-                        opts.seed ^ (n as u64) << 32 ^ (frac10 as u64) << 16 ^ t as u64,
-                    ),
-                );
-                let g = relay_block(&s.block, None, &s.receiver_mempool, &cfg);
-                getdata.push(g.bytes.getdata as f64);
-                bloom_s.push(g.bytes.bloom_s as f64);
-                iblt_i.push(g.bytes.iblt_i as f64);
-                bloom_r.push((g.bytes.bloom_r + g.bytes.bloom_f) as f64);
-                iblt_j.push(g.bytes.iblt_j as f64);
-                g_total.push(g.bytes.total_excluding_txns() as f64);
-                let c = compact_blocks_relay(&s.block, &s.receiver_mempool);
-                c_total.push(c.total_excluding_txns() as f64);
-            }
-            table.row(&[
-                n.to_string(),
-                format!("{fraction:.1}"),
-                format!("{:.0}", mean(&getdata)),
-                format!("{:.0}", mean(&bloom_s)),
-                format!("{:.0}", mean(&iblt_i)),
-                format!("{:.0}", mean(&bloom_r)),
-                format!("{:.0}", mean(&iblt_j)),
-                format!("{:.0}", mean(&g_total)),
-                format!("{:.0}", mean(&c_total)),
-            ]);
+            let params = ScenarioParams {
+                block_size: n,
+                extra_mempool_multiple: 1.0,
+                block_fraction_in_mempool: fraction,
+                profile: TxProfile::Fixed(64),
+                ..Default::default()
+            };
+            // Component order: getdata, bloom_s, iblt_i, bloom_r(+f),
+            // iblt_j, graphene total, compact total.
+            let parts = engine.run(
+                &format!("fig17 n={n} frac={fraction:.1}"),
+                trials,
+                |_, rng: &mut StdRng, acc: &mut [MeanAcc; 7]| {
+                    let s = Scenario::generate(&params, rng);
+                    let g = relay_block(&s.block, None, &s.receiver_mempool, &cfg);
+                    acc[0].push(g.bytes.getdata as f64);
+                    acc[1].push(g.bytes.bloom_s as f64);
+                    acc[2].push(g.bytes.iblt_i as f64);
+                    acc[3].push((g.bytes.bloom_r + g.bytes.bloom_f) as f64);
+                    acc[4].push(g.bytes.iblt_j as f64);
+                    acc[5].push(g.bytes.total_excluding_txns() as f64);
+                    let c = compact_blocks_relay(&s.block, &s.receiver_mempool);
+                    acc[6].push(c.total_excluding_txns() as f64);
+                },
+            );
+            let mut row = vec![n.to_string(), format!("{fraction:.1}")];
+            row.extend(parts.iter().map(|m| format!("{:.0}", m.mean())));
+            table.row(&row);
         }
     }
     TableWriter::new().emit("fig17", &table);

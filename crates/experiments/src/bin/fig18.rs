@@ -6,12 +6,13 @@ use graphene::config::GrapheneConfig;
 use graphene::mempool_sync::sync_mempools;
 use graphene_baselines::compact_blocks_relay;
 use graphene_blockchain::{Block, OrderingScheme, Scenario, TxProfile};
-use graphene_experiments::{mean, mean_ci95, RunOpts, Table, TableWriter};
+use graphene_experiments::{MeanAcc, PropAcc, RunOpts, Table, TableWriter};
 use graphene_hashes::Digest;
-use rand::{rngs::StdRng, SeedableRng};
+use rand::rngs::StdRng;
 
 fn main() {
     let opts = RunOpts::from_args(100);
+    let engine = opts.engine();
     let cfg = GrapheneConfig::default();
     let mut table = Table::new(
         "Fig. 18 — mempool sync (m = n): Graphene vs Compact Blocks vs overlap",
@@ -21,51 +22,47 @@ fn main() {
         let trials = opts.trials_for(n);
         for frac10 in (0..=10).step_by(2) {
             let fraction = frac10 as f64 / 10.0;
-            let mut g_bytes = Vec::new();
-            let mut c_bytes = Vec::new();
-            let mut successes = 0usize;
-            for t in 0..trials {
-                let mut rng = StdRng::seed_from_u64(
-                    opts.seed ^ (n as u64) << 32 ^ (frac10 as u64) << 16 ^ t as u64,
-                );
-                let (sender, receiver) =
-                    Scenario::mempool_sync(n, fraction, TxProfile::Fixed(64), &mut rng);
-                let (report, ..) = sync_mempools(&sender, &receiver, &cfg);
-                if report.success {
-                    successes += 1;
-                }
-                let b = &report.bytes;
-                // Structures only, as the paper plots.
-                g_bytes.push(
-                    (b.getdata
-                        + b.bloom_s
-                        + b.iblt_i
-                        + b.p1_overhead
-                        + b.bloom_r
-                        + b.p2_request_overhead
-                        + b.iblt_j
-                        + b.bloom_f
-                        + b.p2_response_overhead) as f64,
-                );
-                // Compact Blocks doing the same job: relay the sender's pool
-                // as a pseudo-block.
-                let block = Block::assemble(
-                    Digest::ZERO,
-                    0,
-                    sender.iter().cloned().collect(),
-                    OrderingScheme::Ctor,
-                );
-                let c = compact_blocks_relay(&block, &receiver);
-                c_bytes.push(c.total_excluding_txns() as f64);
-            }
-            let (gm, gci) = mean_ci95(&g_bytes);
+            let (g_acc, c_acc, success) = engine.run(
+                &format!("fig18 n={n} frac={fraction:.1}"),
+                trials,
+                |_, rng: &mut StdRng, acc: &mut (MeanAcc, MeanAcc, PropAcc)| {
+                    let (sender, receiver) =
+                        Scenario::mempool_sync(n, fraction, TxProfile::Fixed(64), rng);
+                    let (report, ..) = sync_mempools(&sender, &receiver, &cfg);
+                    acc.2.push(report.success);
+                    let b = &report.bytes;
+                    // Structures only, as the paper plots.
+                    acc.0.push(
+                        (b.getdata
+                            + b.bloom_s
+                            + b.iblt_i
+                            + b.p1_overhead
+                            + b.bloom_r
+                            + b.p2_request_overhead
+                            + b.iblt_j
+                            + b.bloom_f
+                            + b.p2_response_overhead) as f64,
+                    );
+                    // Compact Blocks doing the same job: relay the sender's
+                    // pool as a pseudo-block.
+                    let block = Block::assemble(
+                        Digest::ZERO,
+                        0,
+                        sender.iter().cloned().collect(),
+                        OrderingScheme::Ctor,
+                    );
+                    let c = compact_blocks_relay(&block, &receiver);
+                    acc.1.push(c.total_excluding_txns() as f64);
+                },
+            );
+            let (gm, gci) = g_acc.ci95();
             table.row(&[
                 n.to_string(),
                 format!("{fraction:.1}"),
                 format!("{gm:.0}"),
                 format!("{gci:.0}"),
-                format!("{:.0}", mean(&c_bytes)),
-                format!("{:.3}", successes as f64 / trials as f64),
+                format!("{:.0}", c_acc.mean()),
+                format!("{:.3}", success.rate()),
             ]);
         }
     }

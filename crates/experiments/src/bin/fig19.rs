@@ -3,11 +3,12 @@
 //! receiver's mempool. Must stay at or above β = 239/240.
 
 use graphene::GrapheneConfig;
-use graphene_experiments::{simulate_relay, FastConfig, RunOpts, Table, TableWriter};
-use rand::{rngs::StdRng, SeedableRng};
+use graphene_experiments::{simulate_relay, FastConfig, PropAcc, RunOpts, Table, TableWriter};
+use rand::rngs::StdRng;
 
 fn main() {
     let opts = RunOpts::from_args(10_000);
+    let engine = opts.engine();
     let cfg = GrapheneConfig::default();
     let mut table = Table::new(
         "Fig. 19 — Theorem 2 validation: Pr[x* <= x] vs fraction of block held (beta = 239/240)",
@@ -23,27 +24,23 @@ fn main() {
                 fraction_held: fraction,
                 force_m_equals_n: false,
             };
-            let mut rng = StdRng::seed_from_u64(
-                opts.seed ^ (n as u64) << 32 ^ (frac10 as u64) << 8,
+            let holds = engine.run(
+                &format!("fig19 n={n} frac={fraction:.1}"),
+                trials,
+                |_, rng: &mut StdRng, acc: &mut PropAcc| {
+                    let o = simulate_relay(&fc, &cfg, rng);
+                    // The theorem is only engaged when Protocol 2 runs.
+                    if !o.p1_success {
+                        acc.push(o.x_star_ok);
+                    }
+                },
             );
-            let mut holds = 0usize;
-            let mut counted = 0usize;
-            for _ in 0..trials {
-                let o = simulate_relay(&fc, &cfg, &mut rng);
-                if o.p1_success {
-                    continue; // theorem only engaged when Protocol 2 runs
-                }
-                counted += 1;
-                if o.x_star_ok {
-                    holds += 1;
-                }
-            }
-            let rate = if counted == 0 { 1.0 } else { holds as f64 / counted as f64 };
+            let rate = if holds.trials() == 0 { 1.0 } else { holds.rate() };
             table.row(&[
                 n.to_string(),
                 format!("{fraction:.1}"),
                 format!("{rate:.5}"),
-                counted.to_string(),
+                holds.trials().to_string(),
                 format!("{:.5}", 239.0 / 240.0),
             ]);
         }

@@ -8,47 +8,48 @@
 //! how many neighbors buy back the decode rate — i.e., how much smaller
 //! each sender's IBLT could be if receivers pooled responses.
 
-use graphene_experiments::{RunOpts, Table, TableWriter};
+use graphene_experiments::{PropAcc, RunOpts, Table, TableWriter};
 use graphene_iblt::{joint_decode, Iblt};
-use rand::{rngs::StdRng, RngExt, SeedableRng};
+use rand::{rngs::StdRng, RngExt};
 
 fn main() {
     let opts = RunOpts::from_args(4000);
+    let engine = opts.engine();
     let mut table = Table::new(
         "§4.2 extension — joint decode failure rate vs neighbor count (j = 40 items, k = 3)",
         &["tau", "cells", "neighbors_1", "neighbors_2", "neighbors_3", "neighbors_5", "trials"],
     );
     let j = 40usize;
+    let counts = [1usize, 2, 3, 5];
     for tau10 in [10usize, 11, 12, 13, 15] {
         let cells = (j * tau10 / 10).div_ceil(3) * 3;
-        let mut failures = [0usize; 4]; // 1, 2, 3, 5 neighbors
-        let counts = [1usize, 2, 3, 5];
         let trials = opts.trials;
-        let mut rng = StdRng::seed_from_u64(opts.seed ^ tau10 as u64);
-        for _ in 0..trials {
-            let values: Vec<u64> = (0..j).map(|_| rng.random()).collect();
-            let salts: Vec<u64> = (0..5).map(|_| rng.random()).collect();
-            let build = |salt: u64| {
-                let mut t = Iblt::new(cells, 3, salt);
-                for &v in &values {
-                    t.insert(v);
+        let failures = engine.run(
+            &format!("multipeer tau={:.1}", tau10 as f64 / 10.0),
+            trials,
+            |_, rng: &mut StdRng, acc: &mut [PropAcc; 4]| {
+                let values: Vec<u64> = (0..j).map(|_| rng.random()).collect();
+                let salts: Vec<u64> = (0..5).map(|_| rng.random()).collect();
+                let build = |salt: u64| {
+                    let mut t = Iblt::new(cells, 3, salt);
+                    for &v in &values {
+                        t.insert(v);
+                    }
+                    t
+                };
+                for (slot, &count) in counts.iter().enumerate() {
+                    let mut tables: Vec<Iblt> = salts[..count].iter().map(|&s| build(s)).collect();
+                    acc[slot].push(!joint_decode(&mut tables).map(|r| r.complete).unwrap_or(false));
                 }
-                t
-            };
-            for (slot, &count) in counts.iter().enumerate() {
-                let mut tables: Vec<Iblt> = salts[..count].iter().map(|&s| build(s)).collect();
-                if !joint_decode(&mut tables).map(|r| r.complete).unwrap_or(false) {
-                    failures[slot] += 1;
-                }
-            }
-        }
+            },
+        );
         table.row(&[
             format!("{:.1}", tau10 as f64 / 10.0),
             cells.to_string(),
-            format!("{:.4}", failures[0] as f64 / trials as f64),
-            format!("{:.4}", failures[1] as f64 / trials as f64),
-            format!("{:.4}", failures[2] as f64 / trials as f64),
-            format!("{:.4}", failures[3] as f64 / trials as f64),
+            format!("{:.4}", failures[0].rate()),
+            format!("{:.4}", failures[1].rate()),
+            format!("{:.4}", failures[2].rate()),
+            format!("{:.4}", failures[3].rate()),
             trials.to_string(),
         ]);
     }

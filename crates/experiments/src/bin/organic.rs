@@ -6,18 +6,14 @@
 
 use graphene::GrapheneConfig;
 use graphene_blockchain::{Block, OrderingScheme, Transaction};
-use graphene_experiments::{RunOpts, Table, TableWriter};
+use graphene_experiments::{RunOpts, SumAcc, Table, TableWriter};
 use graphene_hashes::Digest;
 use graphene_netsim::{LinkParams, Network, PeerId, RelayProtocol, SimTime};
 use rand::{rngs::StdRng, RngExt, SeedableRng};
 
 const PEERS: usize = 10;
 
-fn run_once(
-    protocol: RelayProtocol,
-    drop_chance: f64,
-    seed: u64,
-) -> (usize, u64, f64) {
+fn run_once(protocol: RelayProtocol, drop_chance: f64, seed: u64) -> (usize, u64, f64) {
     let mut net = Network::new(PEERS, protocol, seed);
     net.set_default_link(LinkParams {
         latency: SimTime::from_millis(40),
@@ -46,10 +42,7 @@ fn run_once(
     let miner_pool: Vec<_> = net.peer(PeerId(0)).mempool.sorted_ids();
     let mut divergence = 0.0;
     for p in 1..PEERS {
-        let held = miner_pool
-            .iter()
-            .filter(|id| net.peer(PeerId(p)).mempool.contains(id))
-            .count();
+        let held = miner_pool.iter().filter(|id| net.peer(PeerId(p)).mempool.contains(id)).count();
         divergence += 1.0 - held as f64 / miner_pool.len().max(1) as f64;
     }
     divergence /= (PEERS - 1) as f64;
@@ -64,6 +57,7 @@ fn run_once(
 
 fn main() {
     let opts = RunOpts::from_args(10);
+    let engine = opts.engine();
     let mut table = Table::new(
         "Organic divergence — gossip txns under loss, then relay the mined block (10 peers)",
         &["drop_%", "protocol", "block_n", "relay_bytes", "avg_missing_%"],
@@ -73,23 +67,26 @@ fn main() {
             ("graphene", RelayProtocol::Graphene(GrapheneConfig::default())),
             ("compact", RelayProtocol::CompactBlocks),
         ] {
-            let mut n_sum = 0usize;
-            let mut bytes_sum = 0u64;
-            let mut div_sum = 0.0;
             let trials = opts.trials.min(20);
-            for t in 0..trials {
-                let (n, bytes, div) =
-                    run_once(protocol.clone(), drop, opts.seed ^ (t as u64) << 8);
-                n_sum += n;
-                bytes_sum += bytes;
-                div_sum += div;
-            }
+            let (n_sum, bytes_sum, div_sum) = engine.run(
+                &format!("organic drop={:.0}% {label}", drop * 100.0),
+                trials,
+                |_, rng: &mut StdRng, acc: &mut (SumAcc, SumAcc, SumAcc)| {
+                    // The network drives its own RNG; hand it a per-trial seed.
+                    let (n, bytes, div) = run_once(protocol.clone(), drop, rng.random());
+                    acc.0.push(n as f64);
+                    acc.1.push(bytes as f64);
+                    acc.2.push(div);
+                },
+            );
+            // Counts are exact in f64, so the integer means match the old
+            // integer-division output.
             table.row(&[
                 format!("{:.0}", drop * 100.0),
                 label.into(),
-                (n_sum / trials).to_string(),
-                (bytes_sum / trials as u64).to_string(),
-                format!("{:.1}", 100.0 * div_sum / trials as f64),
+                (n_sum.sum() as usize / trials).to_string(),
+                (bytes_sum.sum() as u64 / trials as u64).to_string(),
+                format!("{:.1}", 100.0 * div_sum.sum() / trials as f64),
             ]);
         }
     }

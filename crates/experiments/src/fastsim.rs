@@ -84,11 +84,8 @@ pub fn simulate_relay(fc: &FastConfig, cfg: &GrapheneConfig, rng: &mut StdRng) -
     }
 
     // --- Protocol 1 receiver ---
-    let candidates: Vec<TxId> = mempool_ids
-        .iter()
-        .filter(|id| bloom_s.contains(id))
-        .copied()
-        .collect();
+    let candidates: Vec<TxId> =
+        mempool_ids.iter().filter(|id| bloom_s.contains(id)).copied().collect();
     out.z = candidates.len();
     out.x = held.min(n);
     out.y = out.z - out.x; // no false negatives: all held block ids pass
@@ -140,11 +137,7 @@ pub fn simulate_relay(fc: &FastConfig, cfg: &GrapheneConfig, rng: &mut StdRng) -
     }
 
     // --- Protocol 2 sender ---
-    let missing: Vec<TxId> = block_ids
-        .iter()
-        .filter(|id| !bloom_r.contains(id))
-        .copied()
-        .collect();
+    let missing: Vec<TxId> = block_ids.iter().filter(|id| !bloom_r.contains(id)).copied().collect();
     let (j_capacity, bloom_f) = if special {
         let h = missing.len();
         let z2 = n - h;
@@ -160,8 +153,7 @@ pub fn simulate_relay(fc: &FastConfig, cfg: &GrapheneConfig, rng: &mut StdRng) -
         let xs2 = x_star(z2, n, fpr_r_real, cfg.beta, z2);
         let ys2 = y_star(n, xs2, fpr_r_real, cfg.beta);
         let c2 = optimal_b(z2, m, xs2, ys2, cfg.iblt_rate_denom);
-        let mut f =
-            BloomFilter::with_strategy(z2.max(1), c2.fpr, salt ^ 0x46, cfg.bloom_strategy);
+        let mut f = BloomFilter::with_strategy(z2.max(1), c2.fpr, salt ^ 0x46, cfg.bloom_strategy);
         for id in &block_ids {
             if bloom_r.contains(id) {
                 f.insert(id);
@@ -179,12 +171,9 @@ pub fn simulate_relay(fc: &FastConfig, cfg: &GrapheneConfig, rng: &mut StdRng) -
 
     // --- Protocol 2 receiver completion ---
     let c_set: Vec<TxId> = match &bloom_f {
-        Some(f) => candidates
-            .iter()
-            .filter(|id| f.contains(id))
-            .chain(missing.iter())
-            .copied()
-            .collect(),
+        Some(f) => {
+            candidates.iter().filter(|id| f.contains(id)).chain(missing.iter()).copied().collect()
+        }
         None => candidates.iter().chain(missing.iter()).copied().collect(),
     };
     let mut j_prime = Iblt::new(iblt_j.cell_count(), iblt_j.hash_count(), iblt_j.salt());
@@ -251,11 +240,8 @@ fn verify_set(block_ids: &[TxId], candidates: &[TxId], fps: &[u64]) -> bool {
 /// arrive via the extra-fetch round and complete the set.
 fn verify_p2(block_ids: &[TxId], candidates: &[TxId], fps: &[u64], fetched: &[u64]) -> bool {
     let fp_set: HashSet<u64> = fps.iter().copied().collect();
-    let mut resolved: HashSet<u64> = candidates
-        .iter()
-        .map(short_id_8)
-        .filter(|s| !fp_set.contains(s))
-        .collect();
+    let mut resolved: HashSet<u64> =
+        candidates.iter().map(short_id_8).filter(|s| !fp_set.contains(s)).collect();
     resolved.extend(fetched.iter().copied());
     let expect: HashSet<u64> = block_ids.iter().map(short_id_8).collect();
     resolved == expect
@@ -272,12 +258,8 @@ mod tests {
 
     #[test]
     fn p1_succeeds_when_holding_everything() {
-        let fc = FastConfig {
-            n: 200,
-            extra_multiple: 1.0,
-            fraction_held: 1.0,
-            force_m_equals_n: false,
-        };
+        let fc =
+            FastConfig { n: 200, extra_multiple: 1.0, fraction_held: 1.0, force_m_equals_n: false };
         let mut rng = StdRng::seed_from_u64(1);
         let mut failures = 0;
         for _ in 0..200 {
@@ -290,12 +272,8 @@ mod tests {
 
     #[test]
     fn p2_recovers_partial_blocks() {
-        let fc = FastConfig {
-            n: 200,
-            extra_multiple: 1.0,
-            fraction_held: 0.5,
-            force_m_equals_n: false,
-        };
+        let fc =
+            FastConfig { n: 200, extra_multiple: 1.0, fraction_held: 0.5, force_m_equals_n: false };
         let mut rng = StdRng::seed_from_u64(2);
         let mut p2_failures = 0;
         for _ in 0..200 {
@@ -310,12 +288,8 @@ mod tests {
 
     #[test]
     fn bounds_hold_at_beta_rate() {
-        let fc = FastConfig {
-            n: 500,
-            extra_multiple: 1.0,
-            fraction_held: 0.6,
-            force_m_equals_n: false,
-        };
+        let fc =
+            FastConfig { n: 500, extra_multiple: 1.0, fraction_held: 0.6, force_m_equals_n: false };
         let mut rng = StdRng::seed_from_u64(3);
         let (mut xs_bad, mut ys_bad) = (0, 0);
         for _ in 0..300 {
@@ -334,12 +308,8 @@ mod tests {
 
     #[test]
     fn m_equals_n_special_path_runs() {
-        let fc = FastConfig {
-            n: 300,
-            extra_multiple: 0.0,
-            fraction_held: 0.4,
-            force_m_equals_n: true,
-        };
+        let fc =
+            FastConfig { n: 300, extra_multiple: 0.0, fraction_held: 0.4, force_m_equals_n: true };
         let mut rng = StdRng::seed_from_u64(4);
         let mut successes = 0;
         for _ in 0..100 {
@@ -386,5 +356,53 @@ mod tests {
         }
         let diff = (full_p1 as i64 - fast_p1 as i64).unsigned_abs();
         assert!(diff <= 5, "full {full_p1} vs fast {fast_p1} P1 successes");
+    }
+
+    /// Protocol 2 cross-validation: with the receiver holding only half the
+    /// block, both the full (Transaction-level) relay and the fast model
+    /// must fall through Protocol 1 and recover via Protocol 2 at
+    /// statistically similar rates.
+    #[test]
+    fn agrees_with_full_protocol_on_p2() {
+        use graphene::session::{relay_block, RelayOutcome};
+        use graphene_blockchain::{Scenario, ScenarioParams};
+
+        let trials = 60;
+        let mut full_p2 = 0;
+        let mut fast_p2 = 0;
+        for seed in 0..trials {
+            let params = ScenarioParams {
+                block_size: 150,
+                extra_mempool_multiple: 2.0,
+                block_fraction_in_mempool: 0.5,
+                ..Default::default()
+            };
+            let s = Scenario::generate(&params, &mut StdRng::seed_from_u64(seed));
+            let r = relay_block(&s.block, None, &s.receiver_mempool, &cfg());
+            assert_ne!(
+                r.outcome,
+                RelayOutcome::DecodedP1,
+                "P1 cannot succeed at 50% possession (seed {seed})"
+            );
+            if matches!(r.outcome, RelayOutcome::DecodedP2 { .. }) {
+                full_p2 += 1;
+            }
+            let fc = FastConfig {
+                n: 150,
+                extra_multiple: 2.0,
+                fraction_held: 0.5,
+                force_m_equals_n: false,
+            };
+            let o = simulate_relay(&fc, &cfg(), &mut StdRng::seed_from_u64(seed));
+            assert!(!o.p1_success, "fast P1 cannot succeed at 50% possession (seed {seed})");
+            if o.p2_success {
+                fast_p2 += 1;
+            }
+        }
+        // Protocol 2 targets a 1/240 failure rate; both sides should be
+        // near-perfect here and certainly within a few trials of each other.
+        assert!(full_p2 >= trials - 3, "full P2 only {full_p2}/{trials}");
+        let diff = (full_p2 as i64 - fast_p2 as i64).unsigned_abs();
+        assert!(diff <= 5, "full {full_p2} vs fast {fast_p2} P2 successes");
     }
 }

@@ -7,7 +7,9 @@
 //!
 //! * prints the same series the paper's figure plots, as an aligned table;
 //! * writes a CSV under `results/` for plotting;
-//! * accepts `--quick` (fewer Monte Carlo trials) and `--trials N`.
+//! * accepts `--quick` (fewer Monte Carlo trials), `--trials N`, `--seed N`
+//!   and `--threads N` (parallel trial engine; output bytes are identical
+//!   for every thread count).
 //!
 //! `EXPERIMENTS.md` at the repository root records paper-vs-measured for
 //! every figure.
@@ -16,12 +18,14 @@
 #![warn(missing_docs)]
 
 pub mod fastsim;
+pub mod mc;
 pub mod output;
 pub mod stats;
 
 pub use fastsim::{simulate_relay, FastConfig, FastOutcome};
+pub use mc::{run_trials, Engine};
 pub use output::{Table, TableWriter};
-pub use stats::{mean, mean_ci95};
+pub use stats::{mean, mean_ci95, proportion_ci95, Accum, MeanAcc, PropAcc, SumAcc};
 
 /// Common CLI knobs for experiment binaries.
 #[derive(Clone, Copy, Debug)]
@@ -30,17 +34,23 @@ pub struct RunOpts {
     pub trials: usize,
     /// RNG seed base.
     pub seed: u64,
+    /// Worker threads for the trial engine (`--threads`, default: available
+    /// parallelism). Results are bit-identical for any value.
+    pub threads: usize,
 }
 
 impl RunOpts {
-    /// Parse `--quick` / `--trials N` / `--seed N` from `std::env::args`.
+    /// Parse `--quick` / `--trials N` / `--seed N` / `--threads N` from
+    /// `std::env::args`.
     ///
     /// `default_trials` is the full-run trial count; `--quick` divides it
-    /// by 10 (min 50).
+    /// by 10 (min 50). `--threads` defaults to the available parallelism
+    /// and never affects results, only wall-clock time.
     pub fn from_args(default_trials: usize) -> RunOpts {
         let args: Vec<String> = std::env::args().skip(1).collect();
         let mut trials = default_trials;
         let mut seed = 0xeca1u64;
+        let mut threads = mc::default_threads();
         let mut i = 0;
         while i < args.len() {
             match args[i].as_str() {
@@ -57,11 +67,22 @@ impl RunOpts {
                         i += 1;
                     }
                 }
+                "--threads" => {
+                    if let Some(v) = args.get(i + 1).and_then(|s| s.parse().ok()) {
+                        threads = v;
+                        i += 1;
+                    }
+                }
                 _ => {}
             }
             i += 1;
         }
-        RunOpts { trials, seed }
+        RunOpts { trials, seed, threads }
+    }
+
+    /// The trial engine configured by these options.
+    pub fn engine(&self) -> Engine {
+        Engine::new(self.threads, self.seed)
     }
 
     /// Scale trials down for expensive (large `n`) points.

@@ -37,19 +37,12 @@ impl Table {
         }
         let mut out = String::new();
         let _ = writeln!(out, "# {}", self.title);
-        let header: Vec<String> = self
-            .columns
-            .iter()
-            .zip(&widths)
-            .map(|(c, w)| format!("{c:>w$}"))
-            .collect();
+        let header: Vec<String> =
+            self.columns.iter().zip(&widths).map(|(c, w)| format!("{c:>w$}")).collect();
         let _ = writeln!(out, "{}", header.join("  "));
         for row in &self.rows {
-            let line: Vec<String> = row
-                .iter()
-                .zip(&widths)
-                .map(|(c, w)| format!("{c:>w$}"))
-                .collect();
+            let line: Vec<String> =
+                row.iter().zip(&widths).map(|(c, w)| format!("{c:>w$}")).collect();
             let _ = writeln!(out, "{}", line.join("  "));
         }
         out

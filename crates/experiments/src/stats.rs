@@ -1,4 +1,170 @@
-//! Small statistics helpers for the harness.
+//! Small statistics helpers for the harness, including the mergeable
+//! accumulators consumed by the parallel trial engine ([`crate::mc`]).
+
+/// A statistic that can be accumulated per trial in independent shards and
+/// merged afterwards. The engine merges shard accumulators in a fixed
+/// (chunk-index) order, so any `merge` implementation — even one summing
+/// floats — produces bit-identical results for every thread count.
+pub trait Accum: Default + Send {
+    /// Fold another shard's accumulator into this one. `other` holds trials
+    /// strictly later in the trial order than `self`.
+    fn merge(&mut self, other: Self);
+}
+
+/// Accumulates a sample mean and its 95% confidence half-width.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct MeanAcc {
+    n: u64,
+    sum: f64,
+    sum_sq: f64,
+}
+
+impl MeanAcc {
+    /// Record one observation.
+    pub fn push(&mut self, x: f64) {
+        self.n += 1;
+        self.sum += x;
+        self.sum_sq += x * x;
+    }
+
+    /// Number of observations.
+    pub fn n(&self) -> u64 {
+        self.n
+    }
+
+    /// Arithmetic mean (0 for no observations).
+    pub fn mean(&self) -> f64 {
+        if self.n == 0 {
+            return 0.0;
+        }
+        self.sum / self.n as f64
+    }
+
+    /// Mean with a 95% normal-approximation confidence half-width
+    /// (same statistic as [`mean_ci95`]).
+    pub fn ci95(&self) -> (f64, f64) {
+        let m = self.mean();
+        if self.n < 2 {
+            return (m, 0.0);
+        }
+        let n = self.n as f64;
+        // Sample variance from the running sums; clamp the cancellation
+        // residue so a constant series reports exactly zero width.
+        let var = ((self.sum_sq - self.sum * self.sum / n) / (n - 1.0)).max(0.0);
+        (m, 1.96 * (var / n).sqrt())
+    }
+}
+
+impl Accum for MeanAcc {
+    fn merge(&mut self, other: Self) {
+        self.n += other.n;
+        self.sum += other.sum;
+        self.sum_sq += other.sum_sq;
+    }
+}
+
+/// Accumulates a success proportion with a Wilson 95% interval.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct PropAcc {
+    successes: u64,
+    trials: u64,
+}
+
+impl PropAcc {
+    /// Record one Bernoulli outcome.
+    pub fn push(&mut self, success: bool) {
+        self.trials += 1;
+        self.successes += success as u64;
+    }
+
+    /// Successes so far.
+    pub fn successes(&self) -> u64 {
+        self.successes
+    }
+
+    /// Trials so far.
+    pub fn trials(&self) -> u64 {
+        self.trials
+    }
+
+    /// Failures so far.
+    pub fn failures(&self) -> u64 {
+        self.trials - self.successes
+    }
+
+    /// Success fraction (0 for no trials).
+    pub fn rate(&self) -> f64 {
+        if self.trials == 0 {
+            return 0.0;
+        }
+        self.successes as f64 / self.trials as f64
+    }
+
+    /// `(p, lo, hi)` Wilson 95% interval (same statistic as
+    /// [`proportion_ci95`]).
+    pub fn ci95(&self) -> (f64, f64, f64) {
+        proportion_ci95(self.successes as usize, self.trials as usize)
+    }
+}
+
+impl Accum for PropAcc {
+    fn merge(&mut self, other: Self) {
+        self.successes += other.successes;
+        self.trials += other.trials;
+    }
+}
+
+/// Accumulates a plain sum.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct SumAcc {
+    sum: f64,
+}
+
+impl SumAcc {
+    /// Add to the sum.
+    pub fn push(&mut self, x: f64) {
+        self.sum += x;
+    }
+
+    /// The sum so far.
+    pub fn sum(&self) -> f64 {
+        self.sum
+    }
+}
+
+impl Accum for SumAcc {
+    fn merge(&mut self, other: Self) {
+        self.sum += other.sum;
+    }
+}
+
+macro_rules! impl_accum_tuple {
+    ($($name:ident : $idx:tt),+) => {
+        impl<$($name: Accum),+> Accum for ($($name,)+) {
+            fn merge(&mut self, other: Self) {
+                $(self.$idx.merge(other.$idx);)+
+            }
+        }
+    };
+}
+
+impl_accum_tuple!(A: 0);
+impl_accum_tuple!(A: 0, B: 1);
+impl_accum_tuple!(A: 0, B: 1, C: 2);
+impl_accum_tuple!(A: 0, B: 1, C: 2, D: 3);
+impl_accum_tuple!(A: 0, B: 1, C: 2, D: 3, E: 4);
+impl_accum_tuple!(A: 0, B: 1, C: 2, D: 3, E: 4, F: 5);
+
+impl<A: Accum, const N: usize> Accum for [A; N]
+where
+    [A; N]: Default,
+{
+    fn merge(&mut self, other: Self) {
+        for (slot, o) in self.iter_mut().zip(other) {
+            slot.merge(o);
+        }
+    }
+}
 
 /// Arithmetic mean (0 for empty input).
 pub fn mean(xs: &[f64]) -> f64 {
@@ -49,6 +215,79 @@ mod tests {
         let (_, ci_few) = mean_ci95(&few);
         let (_, ci_many) = mean_ci95(&many);
         assert!(ci_many < ci_few);
+    }
+
+    #[test]
+    fn mean_acc_matches_slice_helpers() {
+        let xs: Vec<f64> = (0..100).map(|i| (i as f64).sin() * 10.0).collect();
+        let mut acc = MeanAcc::default();
+        for &x in &xs {
+            acc.push(x);
+        }
+        let (m_ref, ci_ref) = mean_ci95(&xs);
+        let (m, ci) = acc.ci95();
+        assert!((m - m_ref).abs() < 1e-9, "{m} vs {m_ref}");
+        assert!((ci - ci_ref).abs() < 1e-9, "{ci} vs {ci_ref}");
+    }
+
+    #[test]
+    fn identical_chunking_merges_bit_identically() {
+        // Float addition is not associative, so a chunked fold need not
+        // equal a serial fold — the engine instead guarantees a *fixed*
+        // chunk layout. Two folds over the same chunk boundaries must agree
+        // bit for bit (and stay statistically close to the serial fold).
+        let xs: Vec<f64> = (0..1000).map(|i| 1.0 / (i + 1) as f64).collect();
+        let fold = || {
+            let mut total = MeanAcc::default();
+            for chunk in xs.chunks(64) {
+                let mut acc = MeanAcc::default();
+                for &x in chunk {
+                    acc.push(x);
+                }
+                total.merge(acc);
+            }
+            total
+        };
+        let (a, b) = (fold(), fold());
+        assert_eq!(a.mean().to_bits(), b.mean().to_bits());
+        assert_eq!(a.ci95(), b.ci95());
+
+        let mut serial = MeanAcc::default();
+        for &x in &xs {
+            serial.push(x);
+        }
+        assert_eq!(serial.n(), a.n());
+        assert!((serial.mean() - a.mean()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn prop_acc_matches_wilson() {
+        let mut acc = PropAcc::default();
+        for i in 0..100 {
+            acc.push(i % 2 == 0);
+        }
+        assert_eq!(acc.ci95(), proportion_ci95(50, 100));
+        assert_eq!(acc.failures(), 50);
+    }
+
+    #[test]
+    fn tuple_and_array_accums_merge_elementwise() {
+        let mut a = (MeanAcc::default(), PropAcc::default());
+        let mut b = (MeanAcc::default(), PropAcc::default());
+        a.0.push(1.0);
+        a.1.push(true);
+        b.0.push(3.0);
+        b.1.push(false);
+        a.merge(b);
+        assert_eq!(a.0.mean(), 2.0);
+        assert_eq!(a.1.trials(), 2);
+
+        let mut arr = [SumAcc::default(), SumAcc::default()];
+        let mut arr2 = [SumAcc::default(), SumAcc::default()];
+        arr[0].push(1.0);
+        arr2[1].push(2.0);
+        arr.merge(arr2);
+        assert_eq!((arr[0].sum(), arr[1].sum()), (1.0, 2.0));
     }
 
     #[test]

@@ -1,0 +1,39 @@
+//! End-to-end thread-count invariance: a figure binary run with a fixed
+//! `--seed` must emit byte-identical stdout *and* `results/*.csv` no matter
+//! what `--threads` is. Timing lines go to stderr precisely so this holds.
+
+use std::fs;
+use std::process::Command;
+
+/// Run the `multipeer` binary in a scratch directory and return its stdout
+/// and the CSV it wrote. 130 trials spans three engine chunks, so the
+/// multi-threaded runs genuinely shard work.
+fn run_multipeer(threads: usize) -> (Vec<u8>, Vec<u8>) {
+    let dir = std::env::temp_dir()
+        .join(format!("graphene-thread-invariance-{}-t{threads}", std::process::id()));
+    fs::create_dir_all(&dir).unwrap();
+    let out = Command::new(env!("CARGO_BIN_EXE_multipeer"))
+        .args(["--trials", "130", "--seed", "1234", "--threads", &threads.to_string()])
+        .current_dir(&dir)
+        .output()
+        .expect("spawn multipeer");
+    assert!(
+        out.status.success(),
+        "multipeer --threads {threads} failed:\n{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let csv = fs::read(dir.join("results").join("multipeer.csv")).expect("CSV written");
+    fs::remove_dir_all(&dir).ok();
+    (out.stdout, csv)
+}
+
+#[test]
+fn multipeer_output_is_byte_identical_across_thread_counts() {
+    let (stdout_1, csv_1) = run_multipeer(1);
+    assert!(!csv_1.is_empty());
+    for threads in [2usize, 8] {
+        let (stdout_n, csv_n) = run_multipeer(threads);
+        assert_eq!(stdout_1, stdout_n, "stdout differs at --threads {threads}");
+        assert_eq!(csv_1, csv_n, "CSV differs at --threads {threads}");
+    }
+}

@@ -189,11 +189,7 @@ mod tests {
         let msg: Vec<u8> = (0u8..16).collect();
         for (len, expect) in EXPECT.iter().enumerate() {
             let got = siphash24(ref_key(), &msg[..len]);
-            assert_eq!(
-                got,
-                u64::from_le_bytes(*expect),
-                "vector for message length {len}"
-            );
+            assert_eq!(got, u64::from_le_bytes(*expect), "vector for message length {len}");
         }
     }
 

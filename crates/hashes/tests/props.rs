@@ -1,6 +1,8 @@
 //! Property-based tests for the hash substrate.
 
-use graphene_hashes::{merkle_root, sha256, siphash24, Digest, MerkleTree, Sha256, SipHasher24, SipKey};
+use graphene_hashes::{
+    merkle_root, sha256, siphash24, Digest, MerkleTree, Sha256, SipHasher24, SipKey,
+};
 use proptest::prelude::*;
 
 proptest! {

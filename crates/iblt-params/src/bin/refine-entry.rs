@@ -9,10 +9,7 @@
 use graphene_iblt_params::{optimize, FailureRate, SearchConfig};
 
 fn main() {
-    let args: Vec<u64> = std::env::args()
-        .skip(1)
-        .filter_map(|s| s.parse().ok())
-        .collect();
+    let args: Vec<u64> = std::env::args().skip(1).filter_map(|s| s.parse().ok()).collect();
     assert!(
         !args.is_empty() && args.len().is_multiple_of(2),
         "usage: refine-entry <rate_denom> <j> [...]"

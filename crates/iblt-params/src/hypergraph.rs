@@ -32,13 +32,7 @@ pub fn decode_trial(j: usize, k: u32, c: usize, rng: &mut StdRng) -> bool {
 
 /// As [`decode_trial`], reusing caller-provided scratch space. This is the
 /// hot path of Algorithm 1.
-pub fn decode_trial_with(
-    j: usize,
-    k: u32,
-    c: usize,
-    rng: &mut StdRng,
-    s: &mut Scratch,
-) -> bool {
+pub fn decode_trial_with(j: usize, k: u32, c: usize, rng: &mut StdRng, s: &mut Scratch) -> bool {
     let k = k as usize;
     debug_assert!(c.is_multiple_of(k) && c > 0, "c must be a positive multiple of k");
     let part = c / k;
@@ -153,10 +147,7 @@ mod tests {
         let j = 50;
         let lo = failure_rate(j, 3, 60, 2000, &mut r);
         let hi = failure_rate(j, 3, 120, 2000, &mut r);
-        assert!(
-            hi <= lo + 0.02,
-            "failure rate rose with more cells: {lo} -> {hi}"
-        );
+        assert!(hi <= lo + 0.02, "failure rate rose with more cells: {lo} -> {hi}");
     }
 
     #[test]

@@ -112,7 +112,7 @@ mod tests {
         c.apply(20, check_hash(7, 20), -1);
         assert_eq!(c.count, 1);
         assert!(c.is_pure(7)); // this one is genuinely pure (holds 30)
-        // Now fabricate: count forced to 1 with mismatched sums.
+                               // Now fabricate: count forced to 1 with mismatched sums.
         let fake = Cell { count: 1, key_sum: 10 ^ 20 ^ 30, check_sum: 0 };
         assert!(!fake.is_pure(7));
     }

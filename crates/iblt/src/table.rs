@@ -30,10 +30,9 @@ impl fmt::Display for DecodeError {
             DecodeError::Malformed { value } => {
                 write!(f, "malformed IBLT: value {value:#x} decoded twice")
             }
-            DecodeError::GeometryMismatch { left, right } => write!(
-                f,
-                "IBLT geometry mismatch: {left:?} vs {right:?} (cells, k, salt)"
-            ),
+            DecodeError::GeometryMismatch { left, right } => {
+                write!(f, "IBLT geometry mismatch: {left:?} vs {right:?} (cells, k, salt)")
+            }
         }
     }
 }
@@ -169,12 +168,7 @@ impl Iblt {
                 right: (other.cells.len(), other.k, other.salt),
             });
         }
-        let cells = self
-            .cells
-            .iter()
-            .zip(&other.cells)
-            .map(|(a, b)| a.subtract(b))
-            .collect();
+        let cells = self.cells.iter().zip(&other.cells).map(|(a, b)| a.subtract(b)).collect();
         Ok(Iblt { cells, k: self.k, salt: self.salt })
     }
 
@@ -189,9 +183,8 @@ impl Iblt {
         // Track decoded values to detect the malformed-IBLT attack.
         let mut seen = std::collections::HashSet::new();
         // Worklist of candidate pure cells.
-        let mut queue: Vec<usize> = (0..self.cells.len())
-            .filter(|&i| self.cells[i].is_pure(self.salt))
-            .collect();
+        let mut queue: Vec<usize> =
+            (0..self.cells.len()).filter(|&i| self.cells[i].is_pure(self.salt)).collect();
         while let Some(idx) = queue.pop() {
             let cell = self.cells[idx];
             if !cell.is_pure(self.salt) {
@@ -348,10 +341,7 @@ mod tests {
     fn geometry_mismatch_detected() {
         let a = Iblt::new(12, 3, 0);
         for b in [Iblt::new(24, 3, 0), Iblt::new(12, 4, 0), Iblt::new(12, 3, 9)] {
-            assert!(matches!(
-                a.subtract(&b),
-                Err(DecodeError::GeometryMismatch { .. })
-            ));
+            assert!(matches!(a.subtract(&b), Err(DecodeError::GeometryMismatch { .. })));
         }
     }
 

@@ -94,11 +94,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(3);
         let frame = vec![0u8; 64];
         let out = link.inject_faults(frame.clone(), &mut rng).expect("not dropped");
-        let diff: u32 = frame
-            .iter()
-            .zip(&out)
-            .map(|(a, b)| (a ^ b).count_ones())
-            .sum();
+        let diff: u32 = frame.iter().zip(&out).map(|(a, b)| (a ^ b).count_ones()).sum();
         assert_eq!(diff, 1);
     }
 }

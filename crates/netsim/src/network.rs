@@ -41,9 +41,8 @@ pub struct PropagationResult {
 impl Network {
     /// Build a network of `n` peers all speaking `protocol`, with no links.
     pub fn new(n: usize, protocol: RelayProtocol, seed: u64) -> Network {
-        let peers = (0..n)
-            .map(|i| Peer::new(PeerId(i), protocol.clone(), Mempool::new()))
-            .collect();
+        let peers =
+            (0..n).map(|i| Peer::new(PeerId(i), protocol.clone(), Mempool::new())).collect();
         Network {
             peers,
             adjacency: vec![Vec::new(); n],
@@ -145,7 +144,12 @@ impl Network {
 
     /// Seed `block` at `origin` and run the simulation until quiescence or
     /// `max_time`. Returns propagation statistics.
-    pub fn propagate(&mut self, origin: PeerId, block: Block, max_time: SimTime) -> PropagationResult {
+    pub fn propagate(
+        &mut self,
+        origin: PeerId,
+        block: Block,
+        max_time: SimTime,
+    ) -> PropagationResult {
         let neighbors = self.adjacency[origin.0].clone();
         let out = self.peers[origin.0].originate(block, &neighbors);
         self.metrics.record_block_arrival(origin, SimTime::ZERO);
@@ -154,9 +158,7 @@ impl Network {
 
         let peers_reached = self.metrics.peers_with_block();
         let completion_time = if peers_reached == self.peers.len() {
-            (0..self.peers.len())
-                .filter_map(|i| self.metrics.arrival(PeerId(i)))
-                .max()
+            (0..self.peers.len()).filter_map(|i| self.metrics.arrival(PeerId(i))).max()
         } else {
             None
         };
@@ -205,11 +207,7 @@ mod tests {
 
     /// Build a network where every peer's mempool holds the whole block
     /// plus extras.
-    fn build(
-        n_peers: usize,
-        protocol: RelayProtocol,
-        scenario_seed: u64,
-    ) -> (Network, Block) {
+    fn build(n_peers: usize, protocol: RelayProtocol, scenario_seed: u64) -> (Network, Block) {
         let params = ScenarioParams {
             block_size: 150,
             extra_mempool_multiple: 1.0,
@@ -361,12 +359,8 @@ mod tests {
 
         // Mine a block from peer 0's pool and relay it.
         let txns: Vec<Transaction> = net.peer(PeerId(0)).mempool.iter().cloned().collect();
-        let block = graphene_blockchain::Block::assemble(
-            Digest::ZERO,
-            1,
-            txns,
-            OrderingScheme::Ctor,
-        );
+        let block =
+            graphene_blockchain::Block::assemble(Digest::ZERO, 1, txns, OrderingScheme::Ctor);
         let r = net.propagate(PeerId(0), block, SimTime::from_millis(300_000));
         assert_eq!(r.peers_reached, 8, "{r:?}");
         // Mempools are purged of confirmed transactions.

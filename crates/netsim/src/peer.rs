@@ -182,10 +182,18 @@ impl Peer {
     }
 
     fn on_tx_inv(&mut self, from: PeerId, m: TxInvMsg) -> Output {
+        // Request every announced transaction we do not hold yet, even if a
+        // previous announcement was already seen: on lossy links the earlier
+        // getdata/tx exchange may have been dropped, and a later inv from
+        // another neighbor is the only recovery path. `seen_tx_inv` still
+        // suppresses re-relaying, so this cannot loop.
         let wanted: Vec<TxId> = m
             .txids
             .into_iter()
-            .filter(|id| self.seen_tx_inv.insert(*id) && !self.mempool.contains(id))
+            .filter(|id| {
+                self.seen_tx_inv.insert(*id);
+                !self.mempool.contains(id)
+            })
             .collect();
         let mut out = Output::none();
         if !wanted.is_empty() {
@@ -195,11 +203,8 @@ impl Peer {
     }
 
     fn on_get_txns(&mut self, from: PeerId, m: GetTxnsMsg) -> Output {
-        let txns: Vec<Transaction> = m
-            .txids
-            .iter()
-            .filter_map(|id| self.mempool.get(id).cloned())
-            .collect();
+        let txns: Vec<Transaction> =
+            m.txids.iter().filter_map(|id| self.mempool.get(id).cloned()).collect();
         let mut out = Output::none();
         if !txns.is_empty() {
             out.send.push((from, Message::Txns(TxnsMsg { txns })));
@@ -265,10 +270,9 @@ impl Peer {
                 }
                 Message::XthinGetData(XthinGetDataMsg { block_id, mempool_filter: filter })
             }
-            _ => Message::GetData(GetDataMsg {
-                block_id,
-                mempool_count: self.mempool.len() as u64,
-            }),
+            _ => {
+                Message::GetData(GetDataMsg { block_id, mempool_count: self.mempool.len() as u64 })
+            }
         }
     }
 
@@ -278,7 +282,12 @@ impl Peer {
         }
         self.sessions.insert(
             m.block_id,
-            RxSession { server: from, attempt: 0, phase: RxPhase::Requested, bodies: HashMap::new() },
+            RxSession {
+                server: from,
+                attempt: 0,
+                phase: RxPhase::Requested,
+                bodies: HashMap::new(),
+            },
         );
         let mut out = Output::none();
         out.send.push((from, self.request_for(m.block_id)));
@@ -325,7 +334,12 @@ impl Peer {
 
     // --- Graphene ---------------------------------------------------------
 
-    fn on_graphene_block(&mut self, from: PeerId, m: graphene_wire::messages::GrapheneBlockMsg, neighbors: &[PeerId]) -> Output {
+    fn on_graphene_block(
+        &mut self,
+        from: PeerId,
+        m: graphene_wire::messages::GrapheneBlockMsg,
+        neighbors: &[PeerId],
+    ) -> Output {
         let block_id = graphene_hashes::sha256d(&m.header.to_bytes());
         let Some(session) = self.sessions.get_mut(&block_id) else {
             return Output::none();
@@ -362,7 +376,11 @@ impl Peer {
         }
     }
 
-    fn on_graphene_request(&mut self, from: PeerId, m: graphene_wire::messages::GrapheneRequestMsg) -> Output {
+    fn on_graphene_request(
+        &mut self,
+        from: PeerId,
+        m: graphene_wire::messages::GrapheneRequestMsg,
+    ) -> Output {
         let Some(block) = self.blocks.get(&m.block_id) else {
             return Output::none();
         };
@@ -376,7 +394,12 @@ impl Peer {
         out
     }
 
-    fn on_graphene_recovery(&mut self, from: PeerId, m: graphene_wire::messages::GrapheneRecoveryMsg, neighbors: &[PeerId]) -> Output {
+    fn on_graphene_recovery(
+        &mut self,
+        from: PeerId,
+        m: graphene_wire::messages::GrapheneRecoveryMsg,
+        neighbors: &[PeerId],
+    ) -> Output {
         let block_id = m.block_id;
         let Some(session) = self.sessions.get_mut(&block_id) else {
             return Output::none();
@@ -401,11 +424,8 @@ impl Peer {
                     session.attempt += 1;
                     let attempt = session.attempt;
                     let needs = ok.needs_fetch.clone();
-                    session.phase = RxPhase::GrapheneFetch {
-                        resolved: ok.resolved,
-                        header,
-                        order_bytes,
-                    };
+                    session.phase =
+                        RxPhase::GrapheneFetch { resolved: ok.resolved, header, order_bytes };
                     let mut out = Output::none();
                     out.send.push((
                         from,
@@ -433,11 +453,8 @@ impl Peer {
         };
         let lookup: HashMap<u64, &Transaction> =
             block.txns().iter().map(|tx| (short_id_8(tx.id()), tx)).collect();
-        let txns: Vec<Transaction> = m
-            .short_ids
-            .iter()
-            .filter_map(|s| lookup.get(s).map(|tx| (*tx).clone()))
-            .collect();
+        let txns: Vec<Transaction> =
+            m.short_ids.iter().filter_map(|s| lookup.get(s).map(|tx| (*tx).clone())).collect();
         let mut out = Output::none();
         out.send.push((from, Message::BlockTxn(BlockTxnMsg { block_id: m.block_id, txns })));
         out
@@ -499,11 +516,8 @@ impl Peer {
         let Some(block) = self.blocks.get(&m.block_id) else {
             return Output::none();
         };
-        let txns: Vec<Transaction> = m
-            .indexes
-            .iter()
-            .filter_map(|&i| block.txns().get(i as usize).cloned())
-            .collect();
+        let txns: Vec<Transaction> =
+            m.indexes.iter().filter_map(|&i| block.txns().get(i as usize).cloned()).collect();
         let mut out = Output::none();
         out.send.push((from, Message::BlockTxn(BlockTxnMsg { block_id: m.block_id, txns })));
         out
@@ -581,12 +595,8 @@ impl Peer {
         let Some(block) = self.blocks.get(&m.block_id) else {
             return Output::none();
         };
-        let missing: Vec<Transaction> = block
-            .txns()
-            .iter()
-            .filter(|tx| !m.mempool_filter.contains(tx.id()))
-            .cloned()
-            .collect();
+        let missing: Vec<Transaction> =
+            block.txns().iter().filter(|tx| !m.mempool_filter.contains(tx.id())).cloned().collect();
         let short_ids: Vec<u64> = block.txns().iter().map(|tx| short_id_8(tx.id())).collect();
         let mut out = Output::none();
         out.send.push((
@@ -629,12 +639,11 @@ impl Peer {
         }
         session.attempt += 1;
         let attempt = session.attempt;
-        session.phase = RxPhase::XthinWait { header: m.header, ids, unresolved: unresolved.clone() };
+        session.phase =
+            RxPhase::XthinWait { header: m.header, ids, unresolved: unresolved.clone() };
         let mut out = Output::none();
-        out.send.push((
-            from,
-            Message::GetBlockTxn(GetBlockTxnMsg { block_id, indexes: unresolved }),
-        ));
+        out.send
+            .push((from, Message::GetBlockTxn(GetBlockTxnMsg { block_id, indexes: unresolved })));
         out.arm_timer = Some((block_id, attempt));
         out
     }
@@ -648,7 +657,10 @@ impl Peer {
         let mut out = Output::none();
         out.send.push((
             from,
-            Message::FullBlock(FullBlockMsg { header: *block.header(), txns: block.txns().to_vec() }),
+            Message::FullBlock(FullBlockMsg {
+                header: *block.header(),
+                txns: block.txns().to_vec(),
+            }),
         ));
         out
     }
@@ -697,7 +709,12 @@ impl Peer {
         }
     }
 
-    fn store_and_announce(&mut self, block_id: Digest, block: Block, neighbors: &[PeerId]) -> Output {
+    fn store_and_announce(
+        &mut self,
+        block_id: Digest,
+        block: Block,
+        neighbors: &[PeerId],
+    ) -> Output {
         self.sessions.remove(&block_id);
         self.mempool.confirm(&block.ids());
         self.blocks.insert(block_id, block);
@@ -714,17 +731,10 @@ impl Peer {
 pub fn build_cmpctblock(block: &Block) -> CmpctBlockMsg {
     let nonce = block.id().low_u64();
     let key = cmpct_key(block.header(), nonce);
-    let prefilled: Vec<(u64, Transaction)> = block
-        .txns()
-        .first()
-        .map(|tx| vec![(0u64, tx.clone())])
-        .unwrap_or_default();
-    let short_ids: Vec<u64> = block
-        .txns()
-        .iter()
-        .skip(1)
-        .map(|tx| short_id_6(key, tx.id()))
-        .collect();
+    let prefilled: Vec<(u64, Transaction)> =
+        block.txns().first().map(|tx| vec![(0u64, tx.clone())]).unwrap_or_default();
+    let short_ids: Vec<u64> =
+        block.txns().iter().skip(1).map(|tx| short_id_6(key, tx.id())).collect();
     CmpctBlockMsg { header: *block.header(), nonce, short_ids, prefilled }
 }
 

@@ -1,6 +1,8 @@
 //! Wire encodings for the probabilistic structures (Bloom filter, IBLT).
 
-use crate::codec::{get_u32_le, get_u64_le, get_u8, put_u32_le, put_u64_le, take, Decode, Encode, WireError};
+use crate::codec::{
+    get_u32_le, get_u64_le, get_u8, put_u32_le, put_u64_le, take, Decode, Encode, WireError,
+};
 use graphene_bloom::{bitvec::BitVec, BloomFilter, HashStrategy, Membership};
 use graphene_iblt::Iblt;
 

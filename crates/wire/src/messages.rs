@@ -339,16 +339,11 @@ impl Message {
                     + varint_len(m.short_ids.len() as u64)
                     + 6 * m.short_ids.len()
                     + varint_len(m.prefilled.len() as u64)
-                    + m.prefilled
-                        .iter()
-                        .map(|(i, tx)| varint_len(*i) + tx_len(tx))
-                        .sum::<usize>()
+                    + m.prefilled.iter().map(|(i, tx)| varint_len(*i) + tx_len(tx)).sum::<usize>()
             }
             Message::GetBlockTxn(m) => {
                 32 + varint_len(m.indexes.len() as u64)
-                    + diff_indexes(&m.indexes)
-                        .map(varint_len)
-                        .sum::<usize>()
+                    + diff_indexes(&m.indexes).map(varint_len).sum::<usize>()
             }
             Message::BlockTxn(m) => 32 + txns_len(&m.txns),
             Message::XthinGetData(m) => 32 + m.mempool_filter.encoded_len(),
@@ -377,13 +372,15 @@ impl Message {
 /// Differential encoding of ascending indexes (BIP152): first index as-is,
 /// then gaps minus one.
 fn diff_indexes(indexes: &[u64]) -> impl Iterator<Item = u64> + '_ {
-    indexes.iter().enumerate().map(|(pos, &idx)| {
-        if pos == 0 {
-            idx
-        } else {
-            idx - indexes[pos - 1] - 1
-        }
-    })
+    indexes.iter().enumerate().map(
+        |(pos, &idx)| {
+            if pos == 0 {
+                idx
+            } else {
+                idx - indexes[pos - 1] - 1
+            }
+        },
+    )
 }
 
 impl Encode for Message {

@@ -101,27 +101,15 @@ mod tests {
 
     #[test]
     fn rejects_truncation() {
-        assert!(matches!(
-            read_varint(&mut &[][..]),
-            Err(WireError::UnexpectedEnd)
-        ));
-        assert!(matches!(
-            read_varint(&mut &[0xfd, 0x01][..]),
-            Err(WireError::UnexpectedEnd)
-        ));
-        assert!(matches!(
-            read_varint(&mut &[0xfe, 0, 0, 0][..]),
-            Err(WireError::UnexpectedEnd)
-        ));
+        assert!(matches!(read_varint(&mut &[][..]), Err(WireError::UnexpectedEnd)));
+        assert!(matches!(read_varint(&mut &[0xfd, 0x01][..]), Err(WireError::UnexpectedEnd)));
+        assert!(matches!(read_varint(&mut &[0xfe, 0, 0, 0][..]), Err(WireError::UnexpectedEnd)));
     }
 
     #[test]
     fn rejects_non_canonical() {
         // 5 encoded with the 3-byte form.
-        assert!(matches!(
-            read_varint(&mut &[0xfd, 5, 0][..]),
-            Err(WireError::NonCanonical)
-        ));
+        assert!(matches!(read_varint(&mut &[0xfd, 5, 0][..]), Err(WireError::NonCanonical)));
         // 0xffff encoded with the 5-byte form.
         assert!(matches!(
             read_varint(&mut &[0xfe, 0xff, 0xff, 0, 0][..]),

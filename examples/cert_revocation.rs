@@ -63,17 +63,17 @@ fn main() {
     // `only_left` = revocations the client is missing (it learns their
     // short IDs and fetches details); `only_right` = stale local entries.
     let missing = result.only_left.len();
-    let stale: Vec<Digest> = result
-        .only_right
-        .iter()
-        .filter_map(|s| by_short.get(s))
-        .copied()
-        .collect();
+    let stale: Vec<Digest> =
+        result.only_right.iter().filter_map(|s| by_short.get(s)).copied().collect();
 
     println!("server set:       {} revocations", server.len());
     println!("client set:       {} entries", client.len());
-    println!("sync payload:     {} bytes (filter {} + IBLT {})",
-        wire_bytes, filter.serialized_size(), iblt.serialized_size());
+    println!(
+        "sync payload:     {} bytes (filter {} + IBLT {})",
+        wire_bytes,
+        filter.serialized_size(),
+        iblt.serialized_size()
+    );
     println!("full re-download: {} bytes (32 B per entry)", 32 * server.len());
     println!("found missing:    {missing} revocations to fetch");
     println!(

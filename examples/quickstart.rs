@@ -37,10 +37,7 @@ fn main() {
     println!("compact blocks would need ≈ {:>6} B (6 B/txn)", 6 * block.len());
     println!("a full block is {:>6} B", block.serialized_size());
 
-    assert!(matches!(
-        report.outcome,
-        RelayOutcome::DecodedP1 | RelayOutcome::DecodedP2 { .. }
-    ));
+    assert!(matches!(report.outcome, RelayOutcome::DecodedP1 | RelayOutcome::DecodedP2 { .. }));
     let ids = report.ordered_ids.expect("decoded");
     assert_eq!(ids, block.ids(), "reconstruction must be exact");
     println!("\nreconstructed {} transactions, Merkle-validated ✓", ids.len());

@@ -22,8 +22,11 @@ fn main() {
     let cfg = SearchConfig::default();
     let t0 = std::time::Instant::now();
     let (k, c) = optimize(j, rate, 3..=7, &cfg).expect("search converges");
-    println!("algorithm 1 search:  k = {k}, c = {c} cells (tau = {:.2}) in {:?}",
-        c as f64 / j as f64, t0.elapsed());
+    println!(
+        "algorithm 1 search:  k = {k}, c = {c} cells (tau = {:.2}) in {:?}",
+        c as f64 / j as f64,
+        t0.elapsed()
+    );
 
     // The shipped table (generated once, like the paper's released files).
     let p = params_for(j, denom);
@@ -35,11 +38,9 @@ fn main() {
     // Validate all three empirically.
     let trials = 20_000;
     let mut rng = StdRng::seed_from_u64(1);
-    for (label, kk, cc) in [
-        ("search result", k, c),
-        ("embedded table", p.k, p.c),
-        ("static k=4 tau=1.5", 4, c_static),
-    ] {
+    for (label, kk, cc) in
+        [("search result", k, c), ("embedded table", p.k, p.c), ("static k=4 tau=1.5", 4, c_static)]
+    {
         let f = failure_rate(j, kk, cc, trials, &mut rng);
         let verdict = if f <= 1.0 / denom as f64 * 1.5 { "ok" } else { "MISSES TARGET" };
         println!(

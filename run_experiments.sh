@@ -1,5 +1,8 @@
 #!/bin/bash
 # Regenerate every figure. Results land in results/*.csv and results/*.log.
+# Flags are passed through to every binary, e.g.:
+#   ./run_experiments.sh --quick        # 10x fewer Monte Carlo trials
+#   ./run_experiments.sh --threads 8    # parallel trial engine (same output bytes)
 set -u
 cd "$(dirname "$0")"
 mkdir -p results

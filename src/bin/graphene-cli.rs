@@ -85,7 +85,8 @@ fn cmd_sync(flags: &HashMap<String, String>) -> ExitCode {
     let n = get(flags, "n", 2000usize);
     let common = get(flags, "common", 0.8f64);
     let seed = get(flags, "seed", 7u64);
-    let (a, b) = Scenario::mempool_sync(n, common, TxProfile::BtcLike, &mut StdRng::seed_from_u64(seed));
+    let (a, b) =
+        Scenario::mempool_sync(n, common, TxProfile::BtcLike, &mut StdRng::seed_from_u64(seed));
     let (report, sa, sb) = sync_mempools(&a, &b, &GrapheneConfig::default());
     println!(
         "union of two {n}-txn pools ({}% common): {} txns in {} round trips",

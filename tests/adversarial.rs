@@ -40,11 +40,8 @@ fn bitflip_valid_frames() {
 #[test]
 fn corrupted_payload_handled_gracefully() {
     let cfg = GrapheneConfig::default();
-    let params = ScenarioParams {
-        block_size: 100,
-        extra_mempool_multiple: 1.0,
-        ..Default::default()
-    };
+    let params =
+        ScenarioParams { block_size: 100, extra_mempool_multiple: 1.0, ..Default::default() };
     let s = Scenario::generate(&params, &mut StdRng::seed_from_u64(6));
     let (msg, _) = protocol1::sender_encode(&s.block, s.receiver_mempool.len() as u64, None, &cfg);
     let bytes = Message::GrapheneBlock(msg).to_vec();
@@ -56,8 +53,11 @@ fn corrupted_payload_handled_gracefully() {
             // Whatever happens, no panic; Merkle validation rejects bad
             // reconstructions.
             if let Ok(ok) = protocol1::receiver_decode(&m, &s.receiver_mempool, &cfg) {
-                assert_eq!(ok.ordered_ids, s.block.ids(),
-                    "corruption at byte {i} produced a WRONG accepted block");
+                assert_eq!(
+                    ok.ordered_ids,
+                    s.block.ids(),
+                    "corruption at byte {i} produced a WRONG accepted block"
+                );
                 survived += 1;
             }
         }
@@ -103,6 +103,60 @@ fn malformed_iblt_terminates() {
     }
 }
 
+/// Fault injection end-to-end: with both packet loss *and* corruption on
+/// every link, frames are dropped and mangled in flight, recovery must go
+/// through the 2 s retry timer, and the relay must still converge on every
+/// peer.
+#[test]
+fn faulty_links_trigger_retries_and_still_converge() {
+    use graphene_netsim::{LinkParams, Network, PeerId, RelayProtocol, SimTime};
+
+    let params = ScenarioParams {
+        block_size: 120,
+        extra_mempool_multiple: 1.0,
+        block_fraction_in_mempool: 1.0,
+        ..Default::default()
+    };
+    let s = Scenario::generate(&params, &mut StdRng::seed_from_u64(42));
+    // Full mesh: a block announcement (`Inv`) is fire-and-forget, so a peer
+    // whose every neighbor's announcement is lost can never start a session
+    // — redundancy, not the timer, covers that frame (as in the real
+    // network, where peers hear about a block from several neighbors).
+    let build = |link: LinkParams| {
+        let mut net = Network::new(4, RelayProtocol::Graphene(GrapheneConfig::default()), 4);
+        for i in 0..4 {
+            net.peer_mut(PeerId(i)).mempool = s.receiver_mempool.clone();
+        }
+        net.set_default_link(link);
+        for i in 0..4 {
+            for j in i + 1..4 {
+                net.connect(PeerId(i), PeerId(j));
+            }
+        }
+        net
+    };
+
+    // Fault-free baseline on the same topology for the timing comparison.
+    let mut clean = build(LinkParams::default());
+    let clean_r = clean.propagate(PeerId(0), s.block.clone(), SimTime::from_millis(600_000));
+    assert_eq!(clean_r.peers_reached, 4, "baseline failed: {clean_r:?}");
+
+    let faulty_link = LinkParams { drop_chance: 0.2, corrupt_chance: 0.2, ..LinkParams::default() };
+    let mut net = build(faulty_link);
+    let r = net.propagate(PeerId(0), s.block.clone(), SimTime::from_millis(600_000));
+    assert_eq!(r.peers_reached, 4, "relay did not converge under faults: {r:?}");
+    // Both fault types must actually have fired (deterministic for the
+    // fixed network seed)...
+    assert!(r.frames.1 > 0, "no frames dropped at 20% loss: {r:?}");
+    assert!(net.metrics.bad_decodes() > 0, "no corrupted frames reached a decoder");
+    // ...and recovery must have waited out at least one 2 s retry timer.
+    let (clean_t, faulty_t) = (clean_r.completion_time.unwrap(), r.completion_time.unwrap());
+    assert!(
+        faulty_t >= clean_t + SimTime::from_millis(2_000),
+        "completed in {faulty_t:?} vs clean {clean_t:?} — no retry timer fired"
+    );
+}
+
 /// §6.1 manufactured collision: two mempool transactions with the same
 /// 8-byte short ID force the ShortIdCollision error rather than a wrong
 /// block.
@@ -113,11 +167,8 @@ fn short_id_collision_is_detected_not_miscoded() {
     use graphene_hashes::short_id_8;
 
     let cfg = GrapheneConfig::default();
-    let params = ScenarioParams {
-        block_size: 50,
-        extra_mempool_multiple: 1.0,
-        ..Default::default()
-    };
+    let params =
+        ScenarioParams { block_size: 50, extra_mempool_multiple: 1.0, ..Default::default() };
     let s = Scenario::generate(&params, &mut StdRng::seed_from_u64(7));
 
     // Model a successful 2^64 grind: a mempool transaction whose forged ID

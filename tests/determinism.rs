@@ -3,8 +3,9 @@
 //! another machine must match byte for byte.
 
 use graphene::config::GrapheneConfig;
-use graphene::session::relay_block;
+use graphene::session::{relay_block, RelayOutcome};
 use graphene_blockchain::{Scenario, ScenarioParams};
+use graphene_experiments::{Engine, MeanAcc, PropAcc};
 use graphene_iblt_params::{search_c, FailureRate, SearchConfig};
 use graphene_netsim::{Network, PeerId, RelayProtocol, SimTime};
 use rand::{rngs::StdRng, SeedableRng};
@@ -35,14 +36,52 @@ fn param_search_is_deterministic() {
     assert_eq!(a, b);
 }
 
+/// The tentpole guarantee of the Monte Carlo engine: a whole figure-style
+/// sweep (the fig. 14 inner loop — mean relay bytes and decode failures
+/// per point) produces bit-identical series at 1, 2 and 8 worker threads.
+#[test]
+fn figure_sweep_is_thread_count_invariant() {
+    let cfg = GrapheneConfig::default();
+    let sweep = |threads: usize| -> Vec<u64> {
+        let engine = Engine::new(threads, 0xfeed);
+        let mut series = Vec::new();
+        for n in [40usize, 100] {
+            let params = ScenarioParams {
+                block_size: n,
+                extra_mempool_multiple: 1.0,
+                block_fraction_in_mempool: 0.9,
+                ..Default::default()
+            };
+            let (bytes, fails) = engine.run_quiet(
+                &format!("invariance n={n}"),
+                150,
+                |_, rng: &mut StdRng, acc: &mut (MeanAcc, PropAcc)| {
+                    let s = Scenario::generate(&params, rng);
+                    let r = relay_block(&s.block, None, &s.receiver_mempool, &cfg);
+                    acc.0.push(r.bytes.total_excluding_txns() as f64);
+                    acc.1.push(!matches!(
+                        r.outcome,
+                        RelayOutcome::DecodedP1 | RelayOutcome::DecodedP2 { .. }
+                    ));
+                },
+            );
+            let (mean, ci) = bytes.ci95();
+            series.push(mean.to_bits());
+            series.push(ci.to_bits());
+            series.push(fails.successes());
+        }
+        series
+    };
+    let one = sweep(1);
+    assert_eq!(one, sweep(2), "2-thread sweep diverged from 1-thread");
+    assert_eq!(one, sweep(8), "8-thread sweep diverged from 1-thread");
+}
+
 #[test]
 fn network_simulation_is_deterministic() {
     let run = || {
-        let params = ScenarioParams {
-            block_size: 120,
-            extra_mempool_multiple: 1.0,
-            ..Default::default()
-        };
+        let params =
+            ScenarioParams { block_size: 120, extra_mempool_multiple: 1.0, ..Default::default() };
         let s = Scenario::generate(&params, &mut StdRng::seed_from_u64(3));
         let mut net = Network::new(6, RelayProtocol::Graphene(GrapheneConfig::default()), 11);
         for i in 0..6 {

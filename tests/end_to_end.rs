@@ -53,8 +53,7 @@ fn protocol2_through_the_wire() {
         panic!("wrong variant");
     };
 
-    let Err((_, mut state)) = protocol1::receiver_decode(&p1_msg, &s.receiver_mempool, &cfg)
-    else {
+    let Err((_, mut state)) = protocol1::receiver_decode(&p1_msg, &s.receiver_mempool, &cfg) else {
         panic!("P1 cannot succeed at 50% possession");
     };
 

@@ -57,10 +57,7 @@ fn golden_get_graphene_txn() {
 fn golden_txid() {
     // Transaction IDs are double-SHA256 of the payload; pin one vector.
     let tx = Transaction::new(&b"graphene golden vector"[..]);
-    assert_eq!(
-        tx.id().to_hex(),
-        graphene_hashes::sha256d(b"graphene golden vector").to_hex()
-    );
+    assert_eq!(tx.id().to_hex(), graphene_hashes::sha256d(b"graphene golden vector").to_hex());
     // And the short ID is its little-endian 8-byte prefix.
     let expect = u64::from_le_bytes(tx.id().0[..8].try_into().unwrap());
     assert_eq!(graphene_hashes::short_id_8(tx.id()), expect);

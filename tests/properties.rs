@@ -9,9 +9,7 @@ use proptest::prelude::*;
 use std::collections::HashSet;
 
 fn digests(n: usize, tag: u64) -> Vec<Digest> {
-    (0..n as u64)
-        .map(|i| sha256(&[i.to_le_bytes(), tag.to_le_bytes()].concat()))
-        .collect()
+    (0..n as u64).map(|i| sha256(&[i.to_le_bytes(), tag.to_le_bytes()].concat())).collect()
 }
 
 proptest! {

@@ -24,11 +24,7 @@ fn giant_block_relay() {
     assert!(r.outcome.is_success(), "{:?}", r.outcome);
     assert_eq!(r.ordered_ids.as_deref(), Some(&s.block.ids()[..]));
     // Compact Blocks would need 300 KB; Graphene must stay far below.
-    assert!(
-        r.bytes.total_excluding_txns() < 150_000,
-        "{} bytes",
-        r.bytes.total_excluding_txns()
-    );
+    assert!(r.bytes.total_excluding_txns() < 150_000, "{} bytes", r.bytes.total_excluding_txns());
 }
 
 /// 500 consecutive relays with mixed parameters: no failures beyond the
@@ -69,12 +65,8 @@ fn sustained_relay_marathon() {
 #[ignore = "heavy: ~1 minute in release"]
 fn giant_mempool_sync() {
     use graphene::mempool_sync::sync_mempools;
-    let (a, b) = Scenario::mempool_sync(
-        60_000,
-        0.9,
-        TxProfile::Fixed(32),
-        &mut StdRng::seed_from_u64(2),
-    );
+    let (a, b) =
+        Scenario::mempool_sync(60_000, 0.9, TxProfile::Fixed(32), &mut StdRng::seed_from_u64(2));
     let (report, sa, sb) = sync_mempools(&a, &b, &GrapheneConfig::default());
     assert!(report.success);
     assert_eq!(sa.len(), report.union_size);

@@ -1,0 +1,247 @@
+//! Offline vendored subset of the `bytes` crate API used by this workspace.
+//!
+//! Provides [`Bytes`] (a cheaply clonable, reference-counted immutable byte
+//! buffer), the [`Buf`] reader trait for `&[u8]` cursors, and the [`BufMut`]
+//! writer trait for `Vec<u8>`. Only the little-endian accessors the wire
+//! format needs are included.
+
+#![forbid(unsafe_code)]
+
+use std::fmt;
+use std::ops::Deref;
+use std::sync::Arc;
+
+/// A cheaply clonable immutable byte buffer (clones share one allocation).
+#[derive(Clone, PartialEq, Eq, Hash, Default)]
+pub struct Bytes {
+    data: Arc<[u8]>,
+}
+
+impl Bytes {
+    /// An empty buffer.
+    pub fn new() -> Bytes {
+        Bytes::default()
+    }
+
+    /// Length in bytes.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// `true` when empty.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Copy out into a fresh `Vec`.
+    pub fn to_vec(&self) -> Vec<u8> {
+        self.data.to_vec()
+    }
+}
+
+impl Deref for Bytes {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+impl fmt::Debug for Bytes {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "b\"")?;
+        for &b in self.data.iter() {
+            write!(f, "\\x{b:02x}")?;
+        }
+        write!(f, "\"")
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(v: Vec<u8>) -> Bytes {
+        Bytes { data: v.into() }
+    }
+}
+
+impl From<&[u8]> for Bytes {
+    fn from(v: &[u8]) -> Bytes {
+        Bytes { data: v.into() }
+    }
+}
+
+impl<const N: usize> From<[u8; N]> for Bytes {
+    fn from(v: [u8; N]) -> Bytes {
+        Bytes { data: v.into() }
+    }
+}
+
+impl From<&str> for Bytes {
+    fn from(v: &str) -> Bytes {
+        Bytes { data: v.as_bytes().into() }
+    }
+}
+
+impl FromIterator<u8> for Bytes {
+    fn from_iter<T: IntoIterator<Item = u8>>(iter: T) -> Bytes {
+        iter.into_iter().collect::<Vec<u8>>().into()
+    }
+}
+
+/// Sequential reader over a byte source. All multi-byte reads are
+/// little-endian and panic when the source is exhausted (mirroring the
+/// upstream crate; length-check with [`Buf::remaining`] first).
+pub trait Buf {
+    /// Bytes left to read.
+    fn remaining(&self) -> usize;
+
+    /// Skip `n` bytes.
+    fn advance(&mut self, n: usize);
+
+    /// Read one byte.
+    fn get_u8(&mut self) -> u8;
+
+    /// Read a little-endian `u16`.
+    fn get_u16_le(&mut self) -> u16;
+
+    /// Read a little-endian `u32`.
+    fn get_u32_le(&mut self) -> u32;
+
+    /// Read a little-endian `u64`.
+    fn get_u64_le(&mut self) -> u64;
+
+    /// Fill `dst` from the source, advancing past the copied bytes.
+    fn copy_to_slice(&mut self, dst: &mut [u8]);
+
+    /// `true` while bytes remain.
+    fn has_remaining(&self) -> bool {
+        self.remaining() > 0
+    }
+}
+
+impl Buf for &[u8] {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+
+    fn advance(&mut self, n: usize) {
+        assert!(n <= self.len(), "advance past end of buffer");
+        *self = &self[n..];
+    }
+
+    fn get_u8(&mut self) -> u8 {
+        let v = self[0];
+        *self = &self[1..];
+        v
+    }
+
+    fn get_u16_le(&mut self) -> u16 {
+        let (head, tail) = self.split_at(2);
+        *self = tail;
+        u16::from_le_bytes(head.try_into().expect("2 bytes"))
+    }
+
+    fn get_u32_le(&mut self) -> u32 {
+        let (head, tail) = self.split_at(4);
+        *self = tail;
+        u32::from_le_bytes(head.try_into().expect("4 bytes"))
+    }
+
+    fn get_u64_le(&mut self) -> u64 {
+        let (head, tail) = self.split_at(8);
+        *self = tail;
+        u64::from_le_bytes(head.try_into().expect("8 bytes"))
+    }
+
+    fn copy_to_slice(&mut self, dst: &mut [u8]) {
+        let (head, tail) = self.split_at(dst.len());
+        dst.copy_from_slice(head);
+        *self = tail;
+    }
+}
+
+/// Sequential writer into a growable sink. All multi-byte writes are
+/// little-endian.
+pub trait BufMut {
+    /// Append one byte.
+    fn put_u8(&mut self, v: u8);
+
+    /// Append a little-endian `u16`.
+    fn put_u16_le(&mut self, v: u16);
+
+    /// Append a little-endian `u32`.
+    fn put_u32_le(&mut self, v: u32);
+
+    /// Append a little-endian `u64`.
+    fn put_u64_le(&mut self, v: u64);
+
+    /// Append a byte slice.
+    fn put_slice(&mut self, src: &[u8]);
+}
+
+impl BufMut for Vec<u8> {
+    fn put_u8(&mut self, v: u8) {
+        self.push(v);
+    }
+
+    fn put_u16_le(&mut self, v: u16) {
+        self.extend_from_slice(&v.to_le_bytes());
+    }
+
+    fn put_u32_le(&mut self, v: u32) {
+        self.extend_from_slice(&v.to_le_bytes());
+    }
+
+    fn put_u64_le(&mut self, v: u64) {
+        self.extend_from_slice(&v.to_le_bytes());
+    }
+
+    fn put_slice(&mut self, src: &[u8]) {
+        self.extend_from_slice(src);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bytes_clone_shares_allocation() {
+        let b = Bytes::from(vec![1u8, 2, 3]);
+        let c = b.clone();
+        assert_eq!(b.as_ptr(), c.as_ptr());
+        assert_eq!(&*c, &[1, 2, 3]);
+    }
+
+    #[test]
+    fn buf_roundtrip() {
+        let mut v: Vec<u8> = Vec::new();
+        v.put_u8(7);
+        v.put_u16_le(0x0102);
+        v.put_u32_le(0xdead_beef);
+        v.put_u64_le(42);
+        v.put_slice(&[9, 9]);
+        let mut cur = v.as_slice();
+        assert_eq!(cur.remaining(), 17);
+        assert_eq!(cur.get_u8(), 7);
+        assert_eq!(cur.get_u16_le(), 0x0102);
+        assert_eq!(cur.get_u32_le(), 0xdead_beef);
+        assert_eq!(cur.get_u64_le(), 42);
+        let mut two = [0u8; 2];
+        cur.copy_to_slice(&mut two);
+        assert_eq!(two, [9, 9]);
+        assert!(!cur.has_remaining());
+    }
+
+    #[test]
+    fn advance_moves_cursor() {
+        let data = [1u8, 2, 3, 4];
+        let mut cur = &data[..];
+        cur.advance(3);
+        assert_eq!(cur, &[4]);
+    }
+}

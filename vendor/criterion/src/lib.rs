@@ -1,0 +1,240 @@
+//! Offline vendored subset of the `criterion` API used by this workspace.
+//!
+//! Provides `Criterion`, benchmark groups, `Bencher::{iter, iter_batched}`,
+//! `Throughput`, `BatchSize`, and the `criterion_group!`/`criterion_main!`
+//! macros. Timing is a plain calibrated `Instant` loop (median of a few
+//! samples) printed to stdout — no statistics engine, plots, or baselines.
+//! Good enough to keep `cargo bench` runnable and the harnesses compiling.
+
+#![forbid(unsafe_code)]
+
+use std::time::{Duration, Instant};
+
+/// Units for reporting per-iteration throughput.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Hint for how much per-iteration setup costs in `iter_batched`.
+/// This implementation runs one setup per timed iteration regardless.
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    /// Cheap setup relative to the routine.
+    SmallInput,
+    /// Expensive setup relative to the routine.
+    LargeInput,
+}
+
+/// Passed to benchmark closures; drives the timed iterations.
+pub struct Bencher {
+    /// Median wall-clock time per iteration from the last `iter*` call.
+    ns_per_iter: f64,
+}
+
+/// Target time to spend per measurement sample.
+const SAMPLE_TARGET: Duration = Duration::from_millis(40);
+const SAMPLES: usize = 5;
+
+impl Bencher {
+    fn new() -> Bencher {
+        Bencher { ns_per_iter: f64::NAN }
+    }
+
+    /// Time a routine.
+    pub fn iter<T, F: FnMut() -> T>(&mut self, mut routine: F) {
+        // Calibrate: find an iteration count filling the sample target.
+        let mut iters: u64 = 1;
+        loop {
+            let start = Instant::now();
+            for _ in 0..iters {
+                std::hint::black_box(routine());
+            }
+            let elapsed = start.elapsed();
+            if elapsed >= SAMPLE_TARGET || iters >= 1 << 30 {
+                break;
+            }
+            iters = iters.saturating_mul(if elapsed.is_zero() {
+                100
+            } else {
+                (SAMPLE_TARGET.as_nanos() / elapsed.as_nanos().max(1) + 1) as u64
+            });
+        }
+        let mut samples = Vec::with_capacity(SAMPLES);
+        for _ in 0..SAMPLES {
+            let start = Instant::now();
+            for _ in 0..iters {
+                std::hint::black_box(routine());
+            }
+            samples.push(start.elapsed().as_nanos() as f64 / iters as f64);
+        }
+        samples.sort_by(f64::total_cmp);
+        self.ns_per_iter = samples[samples.len() / 2];
+    }
+
+    /// Time a routine with untimed per-iteration setup.
+    pub fn iter_batched<I, T, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> T,
+    {
+        // Setup is excluded by timing each routine call individually.
+        let mut iters: u64 = 1;
+        loop {
+            let mut spent = Duration::ZERO;
+            for _ in 0..iters {
+                let input = setup();
+                let start = Instant::now();
+                std::hint::black_box(routine(input));
+                spent += start.elapsed();
+            }
+            if spent >= SAMPLE_TARGET || iters >= 1 << 30 {
+                break;
+            }
+            iters = iters.saturating_mul(if spent.is_zero() {
+                100
+            } else {
+                (SAMPLE_TARGET.as_nanos() / spent.as_nanos().max(1) + 1) as u64
+            });
+        }
+        let mut samples = Vec::with_capacity(SAMPLES);
+        for _ in 0..SAMPLES {
+            let mut spent = Duration::ZERO;
+            for _ in 0..iters {
+                let input = setup();
+                let start = Instant::now();
+                std::hint::black_box(routine(input));
+                spent += start.elapsed();
+            }
+            samples.push(spent.as_nanos() as f64 / iters as f64);
+        }
+        samples.sort_by(f64::total_cmp);
+        self.ns_per_iter = samples[samples.len() / 2];
+    }
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+fn report(id: &str, ns: f64, throughput: Option<Throughput>) {
+    let mut line = format!("{id:<40} {:>12}/iter", format_ns(ns));
+    if let Some(tp) = throughput {
+        let per_sec = |count: u64| count as f64 / (ns / 1e9);
+        match tp {
+            Throughput::Elements(n) => {
+                line.push_str(&format!("  {:>14.0} elem/s", per_sec(n)));
+            }
+            Throughput::Bytes(n) => {
+                line.push_str(&format!("  {:>14.1} MiB/s", per_sec(n) / (1024.0 * 1024.0)));
+            }
+        }
+    }
+    println!("{line}");
+}
+
+/// A named set of related benchmarks sharing a throughput setting.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    throughput: Option<Throughput>,
+    _criterion: &'a mut Criterion,
+}
+
+impl<'a> BenchmarkGroup<'a> {
+    /// Set the throughput used for rate reporting by subsequent benches.
+    pub fn throughput(&mut self, throughput: Throughput) {
+        self.throughput = Some(throughput);
+    }
+
+    /// Run one benchmark in the group.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher::new();
+        f(&mut b);
+        report(&format!("{}/{}", self.name, id.into()), b.ns_per_iter, self.throughput);
+        self
+    }
+
+    /// End the group (separator line).
+    pub fn finish(self) {
+        println!();
+    }
+}
+
+/// Benchmark driver.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Start a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { name: name.into(), throughput: None, _criterion: self }
+    }
+
+    /// Run one stand-alone benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher::new();
+        f(&mut b);
+        report(&id.into(), b.ns_per_iter, None);
+        self
+    }
+}
+
+/// Collect benchmark functions into a runnable group function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Emit `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_bench(c: &mut Criterion) {
+        let mut g = c.benchmark_group("smoke");
+        g.throughput(Throughput::Elements(4));
+        g.bench_function("sum", |b| b.iter(|| (0u64..4).sum::<u64>()));
+        g.bench_function("batched", |b| {
+            b.iter_batched(|| vec![1u64; 4], |v| v.iter().sum::<u64>(), BatchSize::SmallInput)
+        });
+        g.finish();
+    }
+
+    criterion_group!(benches, sample_bench);
+
+    #[test]
+    fn group_runs_to_completion() {
+        benches();
+    }
+}

@@ -1,0 +1,80 @@
+//! Offline vendored subset of the `crossbeam` crate API used by this
+//! workspace: scoped threads with the crossbeam 0.8 calling convention
+//! (`crossbeam::thread::scope` returning a `Result`, spawn closures taking
+//! a scope argument), implemented over `std::thread::scope`.
+
+#![forbid(unsafe_code)]
+
+pub mod thread {
+    //! Scoped threads.
+
+    use std::any::Any;
+
+    /// Error payload of a panicked scope or thread.
+    pub type PanicPayload = Box<dyn Any + Send + 'static>;
+
+    /// A scope handle; spawned threads may borrow from the enclosing stack
+    /// frame and are all joined before [`scope`] returns.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    /// Handle to a spawned scoped thread.
+    pub struct ScopedJoinHandle<'scope, T> {
+        inner: std::thread::ScopedJoinHandle<'scope, T>,
+    }
+
+    impl<'scope, T> ScopedJoinHandle<'scope, T> {
+        /// Wait for the thread and return its result (`Err` on panic).
+        pub fn join(self) -> Result<T, PanicPayload> {
+            self.inner.join()
+        }
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawn a thread inside the scope. The closure receives a scope
+        /// token (crossbeam convention; callers typically bind it `_`).
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let inner_scope = self.inner;
+            ScopedJoinHandle { inner: inner_scope.spawn(move || f(&Scope { inner: inner_scope })) }
+        }
+    }
+
+    /// Create a scope for spawning borrowing threads. Returns `Ok` with the
+    /// closure's value; unlike crossbeam proper this never returns `Err`
+    /// (an unjoined panicking child re-panics here instead), which is
+    /// strictly stricter and fine for in-tree callers.
+    pub fn scope<'env, F, R>(f: F) -> Result<R, PanicPayload>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+    }
+
+    #[cfg(test)]
+    mod tests {
+        #[test]
+        fn scoped_threads_borrow_and_join() {
+            let data = [1u64, 2, 3, 4];
+            let total = super::scope(|s| {
+                let handles: Vec<_> = data.iter().map(|&v| s.spawn(move |_| v * 10)).collect();
+                handles.into_iter().map(|h| h.join().unwrap()).sum::<u64>()
+            })
+            .unwrap();
+            assert_eq!(total, 100);
+        }
+
+        #[test]
+        fn nested_spawn_through_scope_token() {
+            let r = super::scope(|s| {
+                s.spawn(|inner| inner.spawn(|_| 21).join().unwrap() * 2).join().unwrap()
+            })
+            .unwrap();
+            assert_eq!(r, 42);
+        }
+    }
+}

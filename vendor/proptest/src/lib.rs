@@ -1,0 +1,362 @@
+//! Offline vendored subset of the `proptest` API used by this workspace.
+//!
+//! Implements the `proptest!` macro (both the fn-item and closure forms),
+//! `any`, range strategies, `collection::{vec, hash_set}`, and the
+//! `prop_assert*` / `prop_assume!` macros over a deterministic case runner.
+//! There is no shrinking: a failing case reports its inputs (via the
+//! assertion message) and its case index instead. Cases are generated from
+//! fixed seeds, so failures reproduce exactly across runs and machines.
+
+#![forbid(unsafe_code)]
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SampleRange, SeedableRng};
+use std::fmt;
+use std::marker::PhantomData;
+use std::ops::{Range, RangeInclusive};
+
+pub mod prelude {
+    //! Glob-import surface mirroring `proptest::prelude::*`.
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest, Strategy,
+        TestCaseError,
+    };
+}
+
+/// Number of cases each property runs (fixed; override not needed in-tree).
+pub const CASES: u32 = 64;
+
+/// Why a single generated case did not pass.
+#[derive(Debug, Clone)]
+pub enum TestCaseError {
+    /// The property is false for these inputs.
+    Fail(String),
+    /// The inputs were rejected by `prop_assume!`; try another case.
+    Reject(String),
+}
+
+impl TestCaseError {
+    /// A failed assertion.
+    pub fn fail(msg: impl Into<String>) -> TestCaseError {
+        TestCaseError::Fail(msg.into())
+    }
+
+    /// A rejected (assumed-away) case.
+    pub fn reject(msg: impl Into<String>) -> TestCaseError {
+        TestCaseError::Reject(msg.into())
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TestCaseError::Fail(m) => write!(f, "{m}"),
+            TestCaseError::Reject(m) => write!(f, "rejected: {m}"),
+        }
+    }
+}
+
+/// A generator of values for one property argument.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Produce one value.
+    fn generate(&self, rng: &mut StdRng) -> Self::Value;
+}
+
+impl<T> Strategy for Range<T>
+where
+    Range<T>: SampleRange<T> + Clone,
+{
+    type Value = T;
+    fn generate(&self, rng: &mut StdRng) -> T {
+        rng.random_range(self.clone())
+    }
+}
+
+impl<T> Strategy for RangeInclusive<T>
+where
+    RangeInclusive<T>: SampleRange<T> + Clone,
+{
+    type Value = T;
+    fn generate(&self, rng: &mut StdRng) -> T {
+        rng.random_range(self.clone())
+    }
+}
+
+/// Strategy returned by [`any`].
+pub struct Any<T>(PhantomData<T>);
+
+impl<T: rand::Random> Strategy for Any<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut StdRng) -> T {
+        rng.random()
+    }
+}
+
+/// Uniformly random value of `T` (`any::<u64>()`, `any::<[u8; 32]>()`, …).
+pub fn any<T: rand::Random>() -> Any<T> {
+    Any(PhantomData)
+}
+
+/// A strategy that always yields a clone of one value.
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut StdRng) -> T {
+        self.0.clone()
+    }
+}
+
+pub mod collection {
+    //! Collection strategies.
+
+    use super::{StdRng, Strategy};
+    use rand::RngExt;
+    use std::collections::HashSet;
+    use std::hash::Hash;
+    use std::ops::Range;
+
+    /// Strategy returned by [`vec`].
+    pub struct VecStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    /// `Vec` of `size`-many elements drawn from `element`.
+    pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, size }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut StdRng) -> Vec<S::Value> {
+            let len = rng.random_range(self.size.clone());
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    /// Strategy returned by [`hash_set`].
+    pub struct HashSetStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    /// `HashSet` with a size drawn from `size` (duplicates are redrawn).
+    pub fn hash_set<S>(element: S, size: Range<usize>) -> HashSetStrategy<S>
+    where
+        S: Strategy,
+        S::Value: Eq + Hash,
+    {
+        HashSetStrategy { element, size }
+    }
+
+    impl<S> Strategy for HashSetStrategy<S>
+    where
+        S: Strategy,
+        S::Value: Eq + Hash,
+    {
+        type Value = HashSet<S::Value>;
+        fn generate(&self, rng: &mut StdRng) -> HashSet<S::Value> {
+            let target = rng.random_range(self.size.clone());
+            let mut out = HashSet::with_capacity(target);
+            // Duplicates are redrawn; bail out after a generous attempt
+            // budget so a narrow value domain cannot loop forever.
+            let mut attempts = 0usize;
+            while out.len() < target && attempts < target * 20 + 100 {
+                out.insert(self.element.generate(rng));
+                attempts += 1;
+            }
+            out
+        }
+    }
+}
+
+/// Deterministic per-case RNG (a pure function of the case index).
+#[doc(hidden)]
+pub fn case_rng(case: u64) -> StdRng {
+    StdRng::seed_from_u64(0x0070_726f_7074_6573_u64 ^ case.wrapping_mul(0x9e37_79b9_7f4a_7c15))
+}
+
+/// Assert a boolean property inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::TestCaseError::fail(format!($($fmt)+)));
+        }
+    };
+}
+
+/// Assert equality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__l, __r) = ($left, $right);
+        if !(__l == __r) {
+            return ::core::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed: `left == right`\n  left: `{:?}`\n right: `{:?}`",
+                __l, __r
+            )));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (__l, __r) = ($left, $right);
+        if !(__l == __r) {
+            return ::core::result::Result::Err($crate::TestCaseError::fail(format!(
+                "{}\n  left: `{:?}`\n right: `{:?}`",
+                format!($($fmt)+),
+                __l,
+                __r
+            )));
+        }
+    }};
+}
+
+/// Assert inequality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__l, __r) = ($left, $right);
+        if __l == __r {
+            return ::core::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed: `left != right`\n  both: `{:?}`",
+                __l
+            )));
+        }
+    }};
+}
+
+/// Skip cases whose inputs do not satisfy a precondition.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::TestCaseError::reject(stringify!($cond)));
+        }
+    };
+}
+
+/// The property-test entry point. Supports the item form
+/// (`proptest! { #[test] fn name(x in strat, y: Ty) { .. } }`) and the
+/// closure form (`proptest!(|(x in strat)| { .. })`).
+#[macro_export]
+macro_rules! proptest {
+    (|($($args:tt)*)| $body:block) => {
+        $crate::__proptest_case!([] [$($args)*] $body)
+    };
+    ($($(#[$meta:meta])* fn $name:ident($($args:tt)*) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                $crate::__proptest_case!([] [$($args)*] $body)
+            }
+        )*
+    };
+}
+
+/// Argument-list muncher and case runner behind [`proptest!`].
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_case {
+    // Parser: peel one `pattern in strategy` or `name: Type` argument.
+    ([$($acc:tt)*] [mut $name:ident in $strat:expr, $($rest:tt)*] $body:block) => {
+        $crate::__proptest_case!([$($acc)* {mut $name} {$strat}] [$($rest)*] $body)
+    };
+    ([$($acc:tt)*] [mut $name:ident in $strat:expr] $body:block) => {
+        $crate::__proptest_case!([$($acc)* {mut $name} {$strat}] [] $body)
+    };
+    ([$($acc:tt)*] [$name:ident in $strat:expr, $($rest:tt)*] $body:block) => {
+        $crate::__proptest_case!([$($acc)* {$name} {$strat}] [$($rest)*] $body)
+    };
+    ([$($acc:tt)*] [$name:ident in $strat:expr] $body:block) => {
+        $crate::__proptest_case!([$($acc)* {$name} {$strat}] [] $body)
+    };
+    ([$($acc:tt)*] [$name:ident : $ty:ty, $($rest:tt)*] $body:block) => {
+        $crate::__proptest_case!([$($acc)* {$name} {$crate::any::<$ty>()}] [$($rest)*] $body)
+    };
+    ([$($acc:tt)*] [$name:ident : $ty:ty] $body:block) => {
+        $crate::__proptest_case!([$($acc)* {$name} {$crate::any::<$ty>()}] [] $body)
+    };
+    // Runner: all arguments parsed into {pattern} {strategy} pairs.
+    ([$({$($pat:tt)+} {$strat:expr})*] [] $body:block) => {{
+        let mut __accepted: u32 = 0;
+        let mut __rejected: u32 = 0;
+        let mut __case: u64 = 0;
+        while __accepted < $crate::CASES {
+            if __rejected > 16 * $crate::CASES {
+                panic!("proptest: too many cases rejected by prop_assume!");
+            }
+            let mut __rng = $crate::case_rng(__case);
+            __case += 1;
+            $(let $($pat)+ = $crate::Strategy::generate(&($strat), &mut __rng);)*
+            let __result: ::core::result::Result<(), $crate::TestCaseError> =
+                (|| { $body; ::core::result::Result::Ok(()) })();
+            match __result {
+                ::core::result::Result::Ok(()) => __accepted += 1,
+                ::core::result::Result::Err($crate::TestCaseError::Reject(_)) => __rejected += 1,
+                ::core::result::Result::Err($crate::TestCaseError::Fail(__msg)) => {
+                    panic!("proptest case #{} failed: {}", __case - 1, __msg)
+                }
+            }
+        }
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    proptest! {
+        /// Item form with all three argument styles.
+        #[test]
+        fn item_form(n in 1usize..50, mut v in crate::collection::vec(any::<u8>(), 0..10), flag: bool) {
+            v.push(n as u8);
+            prop_assert!(!v.is_empty());
+            prop_assert!(n < 50, "n was {n}");
+            if flag {
+                prop_assert_ne!(v.len(), 0);
+            }
+        }
+
+        /// `prop_assume!` rejects without failing.
+        #[test]
+        fn assume_form(n in 0u32..100) {
+            prop_assume!(n % 2 == 0);
+            prop_assert_eq!(n % 2, 0);
+        }
+    }
+
+    #[test]
+    fn closure_form_runs() {
+        let mut hits = 0u32;
+        proptest!(|(x in 0u64..10)| {
+            prop_assert!(x < 10);
+            hits += 1;
+        });
+        assert_eq!(hits, crate::CASES);
+    }
+
+    #[test]
+    fn hash_set_respects_min_size() {
+        let strat = crate::collection::hash_set(any::<u64>(), 5..10);
+        let mut rng = crate::case_rng(3);
+        for _ in 0..50 {
+            let s = crate::Strategy::generate(&strat, &mut rng);
+            assert!((5..10).contains(&s.len()), "size {}", s.len());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "proptest case")]
+    fn failing_property_panics() {
+        proptest!(|(x in 0u64..10)| {
+            prop_assert!(x < 5, "x too big: {x}");
+        });
+    }
+}

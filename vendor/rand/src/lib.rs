@@ -1,0 +1,324 @@
+//! Offline vendored subset of the `rand` crate API used by this workspace.
+//!
+//! The build environment has no network access to crates.io, so the
+//! workspace ships the small slice of `rand` it actually uses: [`StdRng`]
+//! (a xoshiro256++ generator), [`SeedableRng`], and the [`RngExt`]
+//! extension trait (`random`, `random_range`, `random_bool`, `fill`).
+//!
+//! Determinism contract: `StdRng` is a pure function of its seed. The
+//! generator never reads OS entropy, the clock, or thread identity, so any
+//! seed produces the same stream on every machine, every run, and every
+//! thread. The whole experiment suite's reproducibility rests on this.
+
+#![forbid(unsafe_code)]
+
+use core::ops::{Range, RangeInclusive};
+
+pub mod rngs {
+    //! Concrete generator types.
+    pub use crate::std_rng::StdRng;
+}
+
+mod std_rng;
+
+/// Core random-number source: 64 bits at a time.
+pub trait RngCore {
+    /// Next 64 uniformly random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Next 32 uniformly random bits (upper half of [`RngCore::next_u64`]).
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    /// Fill `dest` with random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        let mut chunks = dest.chunks_exact_mut(8);
+        for chunk in &mut chunks {
+            chunk.copy_from_slice(&self.next_u64().to_le_bytes());
+        }
+        let rest = chunks.into_remainder();
+        if !rest.is_empty() {
+            let last = self.next_u64().to_le_bytes();
+            rest.copy_from_slice(&last[..rest.len()]);
+        }
+    }
+}
+
+/// Construction from a fixed-size seed.
+pub trait SeedableRng: Sized {
+    /// Raw seed type (a byte array).
+    type Seed: Sized + Default + AsMut<[u8]>;
+
+    /// Build from a full seed.
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// Build from a `u64`, expanding it with SplitMix64 — the standard
+    /// recipe, so nearby integer seeds give unrelated streams.
+    fn seed_from_u64(state: u64) -> Self {
+        let mut seed = Self::Seed::default();
+        let mut sm = state;
+        for chunk in seed.as_mut().chunks_mut(8) {
+            let word = splitmix64(&mut sm).to_le_bytes();
+            chunk.copy_from_slice(&word[..chunk.len()]);
+        }
+        Self::from_seed(seed)
+    }
+}
+
+/// One SplitMix64 step: advance `state` and return the mixed output.
+pub(crate) fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Types that can be sampled uniformly from an RNG.
+pub trait Random: Sized {
+    /// Draw one uniformly random value.
+    fn random(rng: &mut (impl RngCore + ?Sized)) -> Self;
+}
+
+macro_rules! impl_random_int {
+    ($($t:ty),*) => {$(
+        impl Random for $t {
+            fn random(rng: &mut (impl RngCore + ?Sized)) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+impl_random_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Random for u128 {
+    fn random(rng: &mut (impl RngCore + ?Sized)) -> Self {
+        ((rng.next_u64() as u128) << 64) | rng.next_u64() as u128
+    }
+}
+
+impl Random for i128 {
+    fn random(rng: &mut (impl RngCore + ?Sized)) -> Self {
+        u128::random(rng) as i128
+    }
+}
+
+impl Random for bool {
+    fn random(rng: &mut (impl RngCore + ?Sized)) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Random for f64 {
+    /// Uniform in `[0, 1)` with 53 bits of precision.
+    fn random(rng: &mut (impl RngCore + ?Sized)) -> Self {
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Random for f32 {
+    /// Uniform in `[0, 1)` with 24 bits of precision.
+    fn random(rng: &mut (impl RngCore + ?Sized)) -> Self {
+        (rng.next_u32() >> 8) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+impl<const N: usize> Random for [u8; N] {
+    fn random(rng: &mut (impl RngCore + ?Sized)) -> Self {
+        let mut out = [0u8; N];
+        rng.fill_bytes(&mut out);
+        out
+    }
+}
+
+/// Integer types usable as `random_range` bounds.
+pub trait UniformInt: Copy + PartialOrd {
+    /// Width of `start..end` as a `u128` (0 when empty).
+    fn span(start: Self, end: Self) -> u128;
+    /// `start + offset`, where `offset < span`.
+    fn offset(start: Self, offset: u128) -> Self;
+}
+
+macro_rules! impl_uniform_int {
+    ($($t:ty => $wide:ty),*) => {$(
+        impl UniformInt for $t {
+            fn span(start: Self, end: Self) -> u128 {
+                if end <= start { 0 } else { (end as $wide).wrapping_sub(start as $wide) as u128 }
+            }
+            fn offset(start: Self, offset: u128) -> Self {
+                (start as $wide).wrapping_add(offset as $wide) as $t
+            }
+        }
+    )*};
+}
+impl_uniform_int!(
+    u8 => u64, u16 => u64, u32 => u64, u64 => u64, usize => u64,
+    i8 => i64, i16 => i64, i32 => i64, i64 => i64, isize => i64
+);
+
+/// Ranges accepted by [`RngExt::random_range`].
+pub trait SampleRange<T> {
+    /// Draw one value uniformly from the range. Panics on an empty range.
+    fn sample(self, rng: &mut (impl RngCore + ?Sized)) -> T;
+}
+
+/// Unbiased integer in `[0, span)` via Lemire's multiply-with-rejection.
+fn sample_below(rng: &mut (impl RngCore + ?Sized), span: u128) -> u128 {
+    debug_assert!(span > 0 && span <= u64::MAX as u128 + 1);
+    if span == u64::MAX as u128 + 1 {
+        return rng.next_u64() as u128;
+    }
+    let span = span as u64;
+    let threshold = span.wrapping_neg() % span;
+    loop {
+        let m = (rng.next_u64() as u128) * (span as u128);
+        if (m as u64) >= threshold {
+            return m >> 64;
+        }
+    }
+}
+
+impl<T: UniformInt> SampleRange<T> for Range<T> {
+    fn sample(self, rng: &mut (impl RngCore + ?Sized)) -> T {
+        let span = T::span(self.start, self.end);
+        assert!(span > 0, "cannot sample from an empty range");
+        T::offset(self.start, sample_below(rng, span))
+    }
+}
+
+impl<T: UniformInt> SampleRange<T> for RangeInclusive<T> {
+    fn sample(self, rng: &mut (impl RngCore + ?Sized)) -> T {
+        let (start, end) = (*self.start(), *self.end());
+        assert!(start <= end, "cannot sample from an empty range");
+        let span = T::span(start, end) + 1;
+        T::offset(start, sample_below(rng, span))
+    }
+}
+
+impl SampleRange<f64> for Range<f64> {
+    fn sample(self, rng: &mut (impl RngCore + ?Sized)) -> f64 {
+        assert!(self.start < self.end, "cannot sample from an empty range");
+        self.start + f64::random(rng) * (self.end - self.start)
+    }
+}
+
+/// Slice types fillable by [`RngExt::fill`].
+pub trait Fill {
+    /// Overwrite `self` with random data.
+    fn fill(&mut self, rng: &mut (impl RngCore + ?Sized));
+}
+
+impl Fill for [u8] {
+    fn fill(&mut self, rng: &mut (impl RngCore + ?Sized)) {
+        rng.fill_bytes(self);
+    }
+}
+
+impl Fill for [u64] {
+    fn fill(&mut self, rng: &mut (impl RngCore + ?Sized)) {
+        for v in self.iter_mut() {
+            *v = rng.next_u64();
+        }
+    }
+}
+
+/// Convenience sampling methods, blanket-implemented for every [`RngCore`].
+pub trait RngExt: RngCore {
+    /// Uniformly random value of type `T`.
+    fn random<T: Random>(&mut self) -> T {
+        T::random(self)
+    }
+
+    /// Uniformly random value in `range`. Panics if the range is empty.
+    fn random_range<T, R: SampleRange<T>>(&mut self, range: R) -> T {
+        range.sample(self)
+    }
+
+    /// `true` with probability `p` (clamped to `[0, 1]`).
+    fn random_bool(&mut self, p: f64) -> bool {
+        self.random::<f64>() < p
+    }
+
+    /// Fill a slice with random data.
+    fn fill<T: Fill + ?Sized>(&mut self, dest: &mut T) {
+        dest.fill(self);
+    }
+}
+
+impl<R: RngCore + ?Sized> RngExt for R {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rngs::StdRng;
+
+    #[test]
+    fn deterministic_across_constructions() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn distinct_seeds_distinct_streams() {
+        let mut a = StdRng::seed_from_u64(1);
+        let mut b = StdRng::seed_from_u64(2);
+        let same = (0..64).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert_eq!(same, 0);
+    }
+
+    #[test]
+    fn range_sampling_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let v: usize = rng.random_range(0..10);
+            assert!(v < 10);
+            let w: u64 = rng.random_range(5..=9);
+            assert!((5..=9).contains(&w));
+            let f: f64 = rng.random_range(0.25f64..0.75);
+            assert!((0.25..0.75).contains(&f));
+        }
+        // Single-element inclusive range is valid.
+        assert_eq!(rng.random_range(3u32..=3), 3);
+    }
+
+    #[test]
+    fn random_bool_extremes() {
+        let mut rng = StdRng::seed_from_u64(9);
+        assert!((0..100).all(|_| !rng.random_bool(0.0)));
+        assert!((0..100).all(|_| rng.random_bool(1.0)));
+    }
+
+    #[test]
+    fn f64_unit_interval() {
+        let mut rng = StdRng::seed_from_u64(11);
+        for _ in 0..10_000 {
+            let x: f64 = rng.random();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn fill_covers_partial_chunks() {
+        let mut rng = StdRng::seed_from_u64(13);
+        let mut buf = [0u8; 13];
+        rng.fill(&mut buf[..]);
+        assert!(buf.iter().any(|&b| b != 0));
+    }
+
+    #[test]
+    fn uniformity_coarse() {
+        // 10 buckets, 10k draws: each bucket within 3x of expectation.
+        let mut rng = StdRng::seed_from_u64(17);
+        let mut buckets = [0usize; 10];
+        for _ in 0..10_000 {
+            buckets[rng.random_range(0..10usize)] += 1;
+        }
+        for &b in &buckets {
+            assert!(b > 700 && b < 1300, "bucket count {b} far from 1000");
+        }
+    }
+}

@@ -1,0 +1,86 @@
+//! The standard generator: xoshiro256++.
+//!
+//! Chosen for the vendored `rand` because it is tiny, fast, passes BigCrush
+//! / PractRand at the scales this suite samples (tens of millions of draws
+//! per figure), and — crucially — is a pure function of its 256-bit seed.
+
+use crate::{splitmix64, RngCore, SeedableRng};
+
+/// A deterministic xoshiro256++ generator.
+#[derive(Clone, Debug)]
+pub struct StdRng {
+    s: [u64; 4],
+}
+
+impl RngCore for StdRng {
+    #[inline]
+    fn next_u64(&mut self) -> u64 {
+        let s = &mut self.s;
+        let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
+    }
+}
+
+impl SeedableRng for StdRng {
+    type Seed = [u8; 32];
+
+    fn from_seed(seed: [u8; 32]) -> Self {
+        let mut s = [0u64; 4];
+        for (i, chunk) in seed.chunks_exact(8).enumerate() {
+            s[i] = u64::from_le_bytes(chunk.try_into().expect("8-byte chunk"));
+        }
+        // The all-zero state is a fixed point of xoshiro; remap it through
+        // SplitMix64 like the reference implementation recommends.
+        if s == [0; 4] {
+            let mut sm = 0xdead_beef_cafe_f00du64;
+            for w in &mut s {
+                *w = splitmix64(&mut sm);
+            }
+        }
+        StdRng { s }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_reference_vectors() {
+        // Reference xoshiro256++ outputs for state [1, 2, 3, 4] (from the
+        // public-domain C reference by Blackman & Vigna).
+        let mut seed = [0u8; 32];
+        seed[0] = 1;
+        seed[8] = 2;
+        seed[16] = 3;
+        seed[24] = 4;
+        let mut rng = StdRng::from_seed(seed);
+        let expect: [u64; 6] = [
+            41943041,
+            58720359,
+            3588806011781223,
+            3591011842654386,
+            9228616714210784205,
+            9973669472204895162,
+        ];
+        for e in expect {
+            assert_eq!(rng.next_u64(), e);
+        }
+    }
+
+    #[test]
+    fn zero_seed_is_not_stuck() {
+        let mut rng = StdRng::from_seed([0u8; 32]);
+        let a = rng.next_u64();
+        let b = rng.next_u64();
+        assert!(a != 0 || b != 0, "all-zero state must be remapped");
+        assert_ne!(a, b);
+    }
+}
