@@ -32,6 +32,10 @@ pub enum P1Failure {
     /// Two mempool transactions share a short ID (§6.1 collision), so the
     /// candidate set is ambiguous.
     ShortIdCollision,
+    /// The peeling loop recovered the same value twice — only possible when
+    /// the sender inserted an item into fewer than `k` cells (the §6.1
+    /// malformed-IBLT attack). Provably the sender's fault: ban-worthy.
+    Malformed(&'static str),
 }
 
 /// Why Protocol 2 failed.
@@ -43,6 +47,11 @@ pub enum P2Failure {
     MerkleMismatch,
     /// Two candidate transactions share a short ID.
     ShortIdCollision,
+    /// `J` peeled the same value twice on the plain (non-ping-pong) path —
+    /// the §6.1 malformed-IBLT signature, provably the sender's fault.
+    /// (Ping-pong decode failures are *not* classified here: the receiver's
+    /// own `cancel` operations can manufacture double-decodes.)
+    Malformed(&'static str),
 }
 
 impl fmt::Display for GrapheneError {

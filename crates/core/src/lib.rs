@@ -41,9 +41,11 @@ pub mod ordering;
 pub mod params;
 pub mod protocol1;
 pub mod protocol2;
+pub mod recovery;
 pub mod session;
 
 pub use config::GrapheneConfig;
 pub use error::GrapheneError;
 pub use params::{a_star, optimal_a, optimal_b, x_star, y_star, ProtocolParams};
-pub use session::{relay_block, RelayOutcome, RelayReport};
+pub use recovery::{relay_with_recovery, LadderReport, RecoveryPolicy, RungKind, RungReport};
+pub use session::{relay_block, relay_block_attempt, RelayOutcome, RelayReport};

@@ -1,6 +1,8 @@
 //! Protocol 1: relay a block whose transactions the receiver (probably)
 //! already has (paper §3.1, Fig. 2).
 
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
 use crate::config::GrapheneConfig;
 use crate::error::P1Failure;
 use crate::ordering::{decode_order, encode_order};
@@ -9,6 +11,7 @@ use graphene_blockchain::{Block, Mempool, OrderingScheme, PeerView, TxId};
 use graphene_bloom::{params::theoretical_fpr, BloomFilter, Membership};
 use graphene_hashes::short_id_8;
 use graphene_iblt::Iblt;
+use graphene_iblt_params::params_for;
 use graphene_wire::messages::GrapheneBlockMsg;
 use std::collections::HashMap;
 
@@ -32,9 +35,78 @@ pub fn sender_encode(
     peer: Option<&PeerView>,
     cfg: &GrapheneConfig,
 ) -> (GrapheneBlockMsg, AChoice) {
+    sender_encode_retry(block, mempool_count, peer, cfg, &RetryTweak::initial(cfg))
+}
+
+/// Parameter inflation for one rung of the recovery ladder's re-request.
+///
+/// Theorem 3's β-assurance model bounds each attempt's failure probability
+/// by `1 − β`; independent retries with fresh salts drive the residual
+/// failure rate down geometrically. Attempt `t` therefore decays the
+/// failure budget `1 − β` by `BETA_DECAY^t`, inflates the IBLT sizing set
+/// `a*` by `INFLATION^t`, and perturbs the salt base so `S` and `I` hash
+/// independently of every earlier attempt.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RetryTweak {
+    /// Retry number (0 = the original encode, which this leaves untouched).
+    pub attempt: u32,
+    /// β-assurance used for this attempt.
+    pub beta: f64,
+    /// Multiplier applied to the IBLT sizing set `a*`.
+    pub inflation: f64,
+    /// XOR'd into the salt base (0 for attempt 0).
+    pub salt_tweak: u64,
+}
+
+impl RetryTweak {
+    /// Per-attempt shrink factor of the failure budget `1 − β`.
+    pub const BETA_DECAY: f64 = 0.25;
+    /// Per-attempt multiplier on the IBLT's recoverable-set size.
+    pub const INFLATION: f64 = 1.5;
+
+    /// The identity tweak: attempt 0 reproduces `sender_encode` exactly.
+    pub fn initial(cfg: &GrapheneConfig) -> RetryTweak {
+        RetryTweak { attempt: 0, beta: cfg.beta, inflation: 1.0, salt_tweak: 0 }
+    }
+
+    /// The tweak for retry number `attempt` (1-based).
+    pub fn for_attempt(cfg: &GrapheneConfig, attempt: u32) -> RetryTweak {
+        if attempt == 0 {
+            return RetryTweak::initial(cfg);
+        }
+        let budget = (1.0 - cfg.beta) * Self::BETA_DECAY.powi(attempt as i32);
+        // SplitMix64-style scramble so each attempt's salt domain is
+        // uncorrelated with the block id's low bits.
+        let mut s = (attempt as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+        s = (s ^ (s >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        s = (s ^ (s >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        RetryTweak {
+            attempt,
+            beta: 1.0 - budget,
+            inflation: Self::INFLATION.powi(attempt as i32),
+            salt_tweak: s ^ (s >> 31),
+        }
+    }
+}
+
+/// [`sender_encode`] with per-attempt parameter inflation: the recovery
+/// ladder's "try again, bigger and fresher" rung. The receiver needs no
+/// matching knob — every salt and geometry it uses travels in the message.
+pub fn sender_encode_retry(
+    block: &Block,
+    mempool_count: u64,
+    peer: Option<&PeerView>,
+    cfg: &GrapheneConfig,
+    tweak: &RetryTweak,
+) -> (GrapheneBlockMsg, AChoice) {
     let n = block.len();
-    let choice = optimal_a(n, mempool_count as usize, cfg.beta, cfg.iblt_rate_denom);
-    let salt_base = block.id().low_u64();
+    let mut choice = optimal_a(n, mempool_count as usize, tweak.beta, cfg.iblt_rate_denom);
+    if tweak.inflation > 1.0 {
+        let inflated = ((choice.a_star.max(1) as f64) * tweak.inflation).ceil() as usize;
+        choice.a_star = inflated;
+        choice.iblt = params_for(inflated, cfg.iblt_rate_denom);
+    }
+    let salt_base = block.id().low_u64() ^ tweak.salt_tweak;
 
     let mut bloom_s =
         BloomFilter::with_strategy(n.max(1), choice.fpr, salt_base ^ SALT_S, cfg.bloom_strategy);
@@ -159,16 +231,19 @@ pub fn receiver_decode(
         iblt_prime.insert(*short);
     }
     let Ok(mut delta) = msg.iblt_i.subtract(&iblt_prime) else {
-        // Geometry mismatch can only mean a hostile message.
-        return Err((P1Failure::IbltIncomplete, state));
+        // Unreachable for this code path (I′ copies the message's own
+        // geometry), but a hostile message deserves the hostile label.
+        return Err((P1Failure::Malformed("iblt geometry self-mismatch"), state));
     };
     let peeled = match delta.peel() {
         Ok(r) => r,
         Err(_) => {
-            // Malformed IBLT (§6.1): report as incomplete; the session layer
-            // escalates to a full-block fetch and may ban the peer. The
-            // half-mutated difference is useless for ping-pong — drop it.
-            return Err((P1Failure::IbltIncomplete, state));
+            // The peel recovered the same value twice. I′ was built honestly
+            // here, so the only explanation is a sender that inserted an
+            // item into fewer than k cells — the §6.1 attack. Provable:
+            // callers should ban. The half-mutated difference is useless for
+            // ping-pong — drop it.
+            return Err((P1Failure::Malformed("iblt double-decode (§6.1)"), state));
         }
     };
 

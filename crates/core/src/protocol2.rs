@@ -1,6 +1,8 @@
 //! Protocol 2: recover when the receiver is missing transactions
 //! (paper §3.2, Fig. 3), including the `m ≈ n` special case (§3.3.1).
 
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
 use crate::config::GrapheneConfig;
 use crate::error::P2Failure;
 use crate::ordering::decode_order;
@@ -195,7 +197,9 @@ pub fn receiver_complete(
         j_prime.insert(*short);
     }
     let Ok(mut j_delta) = msg.iblt_j.subtract(&j_prime) else {
-        return Err(P2Failure::IbltIncomplete);
+        // Unreachable for an honest receiver (J′ copies the message's own
+        // geometry): a self-inconsistent message is provably hostile.
+        return Err(P2Failure::Malformed("iblt geometry self-mismatch"));
     };
 
     // Ping-pong (§4.2): align I ⊖ I′ with J ⊖ J′, then decode jointly. Only
@@ -242,7 +246,12 @@ pub fn receiver_complete(
         } else {
             let r = match j_delta.peel() {
                 Ok(r) => r,
-                Err(_) => return Err(P2Failure::IbltIncomplete),
+                // Plain path: J′ was built honestly from the message's own
+                // geometry, so a double-decode is the §6.1 signature and
+                // provably the sender's fault. (On the ping-pong path above
+                // the receiver's own `cancel` calls can inject phantom
+                // entries, so failures there stay `IbltIncomplete`.)
+                Err(_) => return Err(P2Failure::Malformed("iblt double-decode (§6.1)")),
             };
             (r, Vec::new(), Vec::new())
         };

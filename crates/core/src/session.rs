@@ -6,15 +6,19 @@
 //! `graphene-wire`, so every byte counted here is a byte a real socket
 //! would carry.
 
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
 use crate::config::GrapheneConfig;
 use crate::error::P2Failure;
-use crate::protocol1::{self};
+use crate::protocol1::{self, RetryTweak};
 use crate::protocol2::{self};
 use graphene_blockchain::{Block, Mempool, PeerView, TxId};
 use graphene_bloom::Membership;
 use graphene_hashes::short_id_8;
 use graphene_iblt::Iblt;
-use graphene_wire::messages::{BlockTxnMsg, GetDataMsg, GrapheneBlockMsg, InvMsg, Message};
+use graphene_wire::messages::{
+    BlockTxnMsg, FullBlockMsg, GetDataMsg, GetFullBlockMsg, GrapheneBlockMsg, InvMsg, Message,
+};
 use graphene_wire::varint::varint_len;
 use std::collections::HashMap;
 
@@ -28,10 +32,13 @@ pub enum RelayOutcome {
         /// Whether an extra round fetched `R` false positives.
         extra_fetch: bool,
     },
-    /// Both protocols failed; a real client falls back to a full block.
+    /// Both protocols failed; the relay fell back to a full block.
     Failed {
         /// The failure that ended the attempt.
         p2: P2Failure,
+        /// Bytes the fallback actually cost (full block + framing). Zero
+        /// only from [`relay_block_attempt`], whose caller owns the ladder.
+        fallback_bytes: usize,
     },
 }
 
@@ -73,6 +80,9 @@ pub struct ByteBreakdown {
     pub p2_response_overhead: usize,
     /// The extra round fetching `R` false positives by short ID.
     pub extra_fetch: usize,
+    /// Structural bytes of non-Graphene fallback rungs (short-ID fetch or
+    /// full block, including framing; bodies land in `missing_txns`).
+    pub fallback: usize,
 }
 
 impl ByteBreakdown {
@@ -92,6 +102,7 @@ impl ByteBreakdown {
             + self.bloom_f
             + self.p2_response_overhead
             + self.extra_fetch
+            + self.fallback
     }
 
     /// Total excluding transaction bodies — the quantity Figs. 14/17/18
@@ -99,6 +110,26 @@ impl ByteBreakdown {
     /// themselves for both protocols").
     pub fn total_excluding_txns(&self) -> usize {
         self.total() - self.missing_txns - self.prefilled
+    }
+
+    /// Accumulate another breakdown into this one (used by the recovery
+    /// ladder to merge per-rung accounting into a whole-relay view).
+    pub fn absorb(&mut self, other: &ByteBreakdown) {
+        self.inv += other.inv;
+        self.getdata += other.getdata;
+        self.bloom_s += other.bloom_s;
+        self.iblt_i += other.iblt_i;
+        self.prefilled += other.prefilled;
+        self.order += other.order;
+        self.p1_overhead += other.p1_overhead;
+        self.bloom_r += other.bloom_r;
+        self.p2_request_overhead += other.p2_request_overhead;
+        self.missing_txns += other.missing_txns;
+        self.iblt_j += other.iblt_j;
+        self.bloom_f += other.bloom_f;
+        self.p2_response_overhead += other.p2_response_overhead;
+        self.extra_fetch += other.extra_fetch;
+        self.fallback += other.fallback;
     }
 }
 
@@ -143,16 +174,62 @@ pub fn relay_block(
     receiver_mempool: &Mempool,
     cfg: &GrapheneConfig,
 ) -> RelayReport {
+    let mut report =
+        relay_block_attempt(block, peer, receiver_mempool, cfg, &RetryTweak::initial(cfg));
+    if let RelayOutcome::Failed { p2, .. } = report.outcome {
+        // A real client does not stop at "failed": it fetches the full
+        // block, and those bytes belong in the accounting (they used to be
+        // silently dropped, under-reporting every failed relay).
+        let get = Message::GetFullBlock(GetFullBlockMsg { block_id: block.id() }).wire_size();
+        let full = Message::FullBlock(FullBlockMsg {
+            header: *block.header(),
+            txns: block.txns().to_vec(),
+        })
+        .wire_size();
+        let bodies: usize =
+            block.txns().iter().map(|tx| varint_len(tx.size() as u64) + tx.size()).sum();
+        report.bytes.fallback = get + full - bodies;
+        report.bytes.missing_txns += bodies;
+        report.rounds += 1;
+        report.outcome = RelayOutcome::Failed { p2, fallback_bytes: get + full };
+    }
+    report
+}
+
+/// One rung of a relay: a single Graphene attempt with no implicit
+/// full-block fallback. [`relay_block`] wraps this for the classic
+/// one-attempt-then-full-block client; [`crate::recovery`] chains several
+/// attempts with inflated parameters instead.
+pub fn relay_block_attempt(
+    block: &Block,
+    peer: Option<&PeerView>,
+    receiver_mempool: &Mempool,
+    cfg: &GrapheneConfig,
+    tweak: &RetryTweak,
+) -> RelayReport {
     let mut bytes = ByteBreakdown::default();
     let m = receiver_mempool.len();
 
-    // inv / getdata round.
-    bytes.inv = Message::Inv(InvMsg { block_id: block.id() }).wire_size();
-    bytes.getdata =
-        Message::GetData(GetDataMsg { block_id: block.id(), mempool_count: m as u64 }).wire_size();
+    // inv / getdata round (retries re-request instead of re-announcing, and
+    // carry the attempt number so the sender can inflate).
+    if tweak.attempt == 0 {
+        bytes.inv = Message::Inv(InvMsg { block_id: block.id() }).wire_size();
+        bytes.getdata =
+            Message::GetData(GetDataMsg { block_id: block.id(), mempool_count: m as u64 })
+                .wire_size();
+    } else {
+        bytes.getdata = Message::GetGrapheneRetry(graphene_wire::messages::GetGrapheneRetryMsg {
+            block_id: block.id(),
+            mempool_count: m as u64,
+            attempt: tweak.attempt,
+        })
+        .wire_size();
+    }
 
-    // Protocol 1.
-    let (p1_msg, _choice) = protocol1::sender_encode(block, m as u64, peer, cfg);
+    // Protocol 1. Downstream sizing (x*, y*, b) uses the attempt's decayed
+    // β too, so the whole rung is more forgiving, not just the filter.
+    let cfg = &GrapheneConfig { beta: tweak.beta, ..*cfg };
+    let (p1_msg, _choice) = protocol1::sender_encode_retry(block, m as u64, peer, cfg, tweak);
     account_p1(&p1_msg, &mut bytes);
 
     let (p1_failure, mut state) = match protocol1::receiver_decode(&p1_msg, receiver_mempool, cfg) {
@@ -219,7 +296,7 @@ pub fn relay_block(
             }
         }
         Err(p2) => RelayReport {
-            outcome: RelayOutcome::Failed { p2 },
+            outcome: RelayOutcome::Failed { p2, fallback_bytes: 0 },
             rounds: 3,
             bytes,
             ordered_ids: None,
@@ -260,7 +337,7 @@ fn fetch_extras(
     if fetched.len() != needs.len() {
         // Sender does not recognize a short ID: hostile or collided state.
         return RelayReport {
-            outcome: RelayOutcome::Failed { p2: P2Failure::ShortIdCollision },
+            outcome: RelayOutcome::Failed { p2: P2Failure::ShortIdCollision, fallback_bytes: 0 },
             rounds: 4,
             bytes,
             ordered_ids: None,
@@ -279,7 +356,7 @@ fn fetch_extras(
             ordered_ids: ok.ordered_ids,
         },
         Err(p2) => RelayReport {
-            outcome: RelayOutcome::Failed { p2 },
+            outcome: RelayOutcome::Failed { p2, fallback_bytes: 0 },
             rounds: 4,
             bytes,
             ordered_ids: None,
@@ -404,6 +481,68 @@ mod tests {
     }
 
     #[test]
+    fn failed_relay_accounts_fallback_bytes() {
+        // Outright failures need an under-assured config (β low, coarse
+        // IBLT table rate, no ping-pong rescue): ~4% of these seeds fail.
+        let mut flaky = cfg();
+        flaky.beta = 0.51;
+        flaky.iblt_rate_denom = 3;
+        flaky.pingpong = false;
+        let mut checked = 0;
+        for seed in 0..100u64 {
+            let s = scenario(100, 1.0, 0.5, seed);
+            let r = relay_block(&s.block, None, &s.receiver_mempool, &flaky);
+            if let RelayOutcome::Failed { fallback_bytes, .. } = r.outcome {
+                assert!(fallback_bytes > 0, "seed {seed}: zero-cost failure");
+                assert!(r.bytes.fallback > 0, "seed {seed}");
+                // The fallback round ships every body; totals must reflect it.
+                let bodies: usize = s.block.txns().iter().map(|tx| tx.size()).sum();
+                assert!(r.bytes.total() > bodies, "seed {seed}");
+                // Structure-only metric stays clean of the shipped bodies.
+                assert!(r.bytes.total_excluding_txns() < r.bytes.total(), "seed {seed}");
+                checked += 1;
+            }
+            // The attempt-level API keeps reporting the bare attempt.
+            let a = relay_block_attempt(
+                &s.block,
+                None,
+                &s.receiver_mempool,
+                &flaky,
+                &RetryTweak::initial(&flaky),
+            );
+            if let RelayOutcome::Failed { fallback_bytes, .. } = a.outcome {
+                assert_eq!(fallback_bytes, 0);
+                assert_eq!(a.bytes.fallback, 0);
+            }
+        }
+        assert!(checked > 0, "no failing seed found; weaken the scenario");
+    }
+
+    #[test]
+    fn retry_tweak_inflates_and_resalts() {
+        let s = scenario(200, 1.5, 0.9, 3);
+        let c = cfg();
+        let m = s.receiver_mempool.len() as u64;
+        let (base, base_choice) = protocol1::sender_encode(&s.block, m, None, &c);
+        let t = RetryTweak::for_attempt(&c, 2);
+        assert!(t.beta > c.beta);
+        let (retry, retry_choice) = protocol1::sender_encode_retry(&s.block, m, None, &c, &t);
+        assert_ne!(retry.iblt_i.salt(), base.iblt_i.salt(), "retry must re-salt");
+        assert!(
+            retry_choice.iblt.c > base_choice.iblt.c,
+            "retry IBLT not inflated: {} vs {}",
+            retry_choice.iblt.c,
+            base_choice.iblt.c
+        );
+        // The receiver needs no special handling: everything rides in the
+        // message.
+        let got = protocol1::receiver_decode(&retry, &s.receiver_mempool, &c);
+        if let Ok(ok) = got {
+            assert_eq!(ok.ordered_ids, s.block.ids());
+        }
+    }
+
+    #[test]
     fn breakdown_totals_consistent() {
         let s = scenario(200, 1.0, 0.6, 11);
         let r = relay_block(&s.block, None, &s.receiver_mempool, &cfg());
@@ -424,6 +563,7 @@ mod tests {
                 + b.bloom_f
                 + b.p2_response_overhead
                 + b.extra_fetch
+                + b.fallback
         );
         assert!(b.total_excluding_txns() <= b.total());
     }

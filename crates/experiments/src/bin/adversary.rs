@@ -1,0 +1,36 @@
+//! Adversary-rate sweep (§6.1/§6.2 hardening): hostile peers fire
+//! malformed IBLTs, oversized filters, inconsistent counts, stalls, and
+//! garbage repair data at increasing rates while links drop and corrupt
+//! frames. Reports honest-peer delivery, latency, traffic, and how the
+//! misbehavior-scoring/banning and recovery ladder respond.
+
+use graphene_experiments::adversary::{run_sweep, RATES};
+use graphene_experiments::{RunOpts, Table, TableWriter};
+
+fn main() {
+    let opts = RunOpts::from_args(40);
+    let engine = opts.engine();
+    let mut table = Table::new(
+        "Adversarial relay — 8 honest peers (ring) + 2 hostile, drop/corrupt 2% links",
+        &["attack_%", "delivered_%", "mean_ms", "mean_kB", "bans", "escalations", "failovers"],
+    );
+    for p in run_sweep(&engine, opts.trials, RATES) {
+        table.row(&[
+            format!("{:.0}", p.rate * 100.0),
+            format!("{:.1}", p.honest_delivery * 100.0),
+            format!("{:.0}", p.mean_completion_ms),
+            format!("{:.1}", p.mean_bytes / 1000.0),
+            format!("{:.2}", p.mean_bans),
+            format!("{:.1}", p.mean_escalations),
+            format!("{:.1}", p.mean_failovers),
+        ]);
+    }
+    TableWriter::new().emit("adversary_sweep", &table);
+    println!(
+        "Delivery must stay at 100%: the recovery ladder (Graphene retry →\n\
+         short-id fetch → full block → failover) routes around both hostile\n\
+         peers and link faults. Bans count only *provable* misbehavior —\n\
+         §6.1 double-decode IBLTs and §6.2 cap violations — so they rise\n\
+         with the attack rate while honest peers are never banned."
+    );
+}

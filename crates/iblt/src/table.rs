@@ -158,6 +158,20 @@ impl Iblt {
         self.apply(value, -1);
     }
 
+    /// Fault injection: insert `value` into only the first `copies` of its
+    /// `k` cells — the §6.1 malformed-IBLT attack, where a peer crafts a
+    /// table whose peel would recover the same value twice and (absent the
+    /// double-decode check) loop forever. Honest code never calls this; it
+    /// exists so adversarial tests and netsim's attacker model can
+    /// manufacture provably malformed tables.
+    pub fn insert_partial(&mut self, value: u64, copies: u32) {
+        let check = check_hash(self.salt, value);
+        let idxs: Vec<usize> = self.indexes(value).take(copies as usize).collect();
+        for idx in idxs {
+            self.cells[idx].apply(value, check, 1);
+        }
+    }
+
     /// Cell-wise subtraction `self ⊖ other`. Both IBLTs must share geometry
     /// (cell count, `k`, salt); the result decodes to the symmetric
     /// difference of the two inserted multisets.
@@ -433,6 +447,36 @@ mod tests {
         let mut bad_cells = bytes.clone();
         bad_cells[0..4].copy_from_slice(&7u32.to_le_bytes()); // 7 % 3 != 0
         assert!(Iblt::from_bytes(&bad_cells).is_none());
+    }
+
+    #[test]
+    fn partial_insert_triggers_malformed_detection() {
+        // The §6.1 attack: one value present in only k−1 of its cells. When
+        // the rest of the table peels cleanly, the value decodes from one of
+        // its k−1 cells, removal at all k indexes leaves a phantom −1 copy
+        // in the untouched cell, and that phantom decodes the same value
+        // again — which peel() must report as Malformed, not loop on.
+        let mut detected = 0;
+        for salt in 0..20u64 {
+            let mut evil = Iblt::new(30, 3, salt);
+            for v in 1..=4u64 {
+                evil.insert(v);
+            }
+            evil.insert_partial(0xbad, 2);
+            let honest = filled(&[1, 2, 3, 4], 30, 3, salt);
+            let mut d = evil.subtract(&honest).unwrap();
+            match d.peel() {
+                Err(DecodeError::Malformed { value }) => {
+                    assert_eq!(value, 0xbad);
+                    detected += 1;
+                }
+                Ok(r) => assert!(!r.complete, "a partial insert cannot decode cleanly"),
+                Err(e) => panic!("unexpected error: {e}"),
+            }
+        }
+        // Detection depends on the phantom cell staying pure; with a small
+        // clean difference it should be the overwhelmingly common case.
+        assert!(detected >= 15, "only {detected}/20 malformed tables detected");
     }
 
     #[test]

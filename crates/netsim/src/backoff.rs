@@ -1,0 +1,87 @@
+//! Deterministic capped exponential backoff for retry timers.
+//!
+//! The seed network used a fixed 2 s retry timer, which synchronises
+//! retries across peers (every victim of a dropped frame re-requests in
+//! lock-step) and hammers a recovering peer at a constant rate. Deployed
+//! nodes instead back off exponentially with jitter. Because the simulator
+//! must stay bit-identical for any `--threads` value, the jitter cannot
+//! come from a shared RNG: it is a pure function of `(peer, block,
+//! attempt)`, so the schedule is reproducible no matter which worker
+//! thread runs the trial.
+
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
+use crate::peer::PeerId;
+use crate::time::SimTime;
+use graphene_hashes::Digest;
+
+/// First-attempt timeout (2 s, matching the seed's fixed timer).
+pub const BASE: SimTime = SimTime(2_000_000);
+
+/// Ceiling on any single backoff delay (30 s).
+pub const CAP: SimTime = SimTime(30_000_000);
+
+/// SplitMix64 finalizer: a bijective avalanche mix.
+fn mix64(mut x: u64) -> u64 {
+    x ^= x >> 30;
+    x = x.wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x ^= x >> 27;
+    x = x.wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// Delay before the timer guarding `attempt` fires: `BASE · 2^attempt`
+/// capped at [`CAP`], plus a ±25% jitter derived deterministically from
+/// `(peer, block, attempt)`.
+pub fn delay(peer: PeerId, block_id: Digest, attempt: u32) -> SimTime {
+    let nominal = BASE.0.saturating_mul(1u64 << attempt.min(6)).min(CAP.0);
+    let h = mix64(
+        (peer.0 as u64)
+            .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+            .wrapping_add(block_id.low_u64())
+            .wrapping_add((attempt as u64) << 48),
+    );
+    // Jitter in [-nominal/4, +nominal/4].
+    let span = nominal / 2 + 1;
+    let jitter = (h % span) as i64 - (nominal / 4) as i64;
+    SimTime((nominal as i64 + jitter).max(1) as u64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grows_and_caps() {
+        let id = Digest::ZERO;
+        let p = PeerId(3);
+        let d0 = delay(p, id, 0);
+        let d3 = delay(p, id, 3);
+        let d9 = delay(p, id, 9);
+        // Jitter is bounded by ±25%, so the doubling dominates.
+        assert!(d3 > d0, "{d3:?} vs {d0:?}");
+        assert!(d9.0 <= CAP.0 + CAP.0 / 4);
+        assert!(d9.0 >= CAP.0 - CAP.0 / 4);
+    }
+
+    #[test]
+    fn jitter_varies_by_peer_and_block() {
+        let id = Digest::ZERO;
+        let a = delay(PeerId(0), id, 1);
+        let b = delay(PeerId(1), id, 1);
+        assert_ne!(a, b, "two peers must not retry in lock-step");
+    }
+
+    #[test]
+    fn pure_function_of_inputs() {
+        let id = graphene_hashes::sha256(b"block");
+        assert_eq!(delay(PeerId(7), id, 2), delay(PeerId(7), id, 2));
+    }
+
+    #[test]
+    fn never_zero() {
+        for attempt in 0..12 {
+            assert!(delay(PeerId(0), Digest::ZERO, attempt).0 >= 1);
+        }
+    }
+}

@@ -10,14 +10,22 @@
 //! * [`time`] / [`event`] — simulated clock and event queue;
 //! * [`link`] — link parameters and the fault injector;
 //! * [`peer`] — per-peer state machines for Graphene (Protocols 1+2 with
-//!   recovery), Compact Blocks, XThin and full blocks;
+//!   the failure-recovery ladder), Compact Blocks, XThin and full blocks,
+//!   plus misbehavior scoring / banning and server failover;
+//! * [`backoff`] — deterministic jittered exponential retry backoff;
+//! * [`caps`] — §6.2 resource caps on inbound messages;
+//! * [`adversary`] — hostile-peer fault injection (§6.1 malformed IBLTs,
+//!   oversized filters, stalls, garbage responses);
 //! * [`network`] — topology, message routing, and the block-propagation
 //!   experiment driver;
-//! * [`metrics`] — byte/latency accounting shared across the run.
+//! * [`metrics`] — byte/latency/ban accounting shared across the run.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod adversary;
+pub mod backoff;
+pub mod caps;
 pub mod event;
 pub mod link;
 pub mod metrics;
@@ -25,8 +33,10 @@ pub mod network;
 pub mod peer;
 pub mod time;
 
+pub use adversary::{AdversaryConfig, Behavior};
+pub use caps::MessageCaps;
 pub use link::LinkParams;
 pub use metrics::Metrics;
 pub use network::{Network, PropagationResult};
-pub use peer::{PeerId, RelayProtocol};
+pub use peer::{PeerId, RelayProtocol, Rung};
 pub use time::SimTime;

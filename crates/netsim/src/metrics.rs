@@ -22,6 +22,9 @@ struct Inner {
     dropped: u64,
     corrupted_decodes: u64,
     block_arrival: HashMap<PeerId, SimTime>,
+    bans: u64,
+    failovers: u64,
+    escalations: u64,
 }
 
 impl Metrics {
@@ -45,6 +48,21 @@ impl Metrics {
     /// Record a frame that failed to decode (corruption or hostile).
     pub fn record_bad_decode(&self) {
         self.inner.lock().corrupted_decodes += 1;
+    }
+
+    /// Record a peer banning a misbehaving neighbor.
+    pub fn record_ban(&self) {
+        self.inner.lock().bans += 1;
+    }
+
+    /// Record `n` session failovers to an alternate server.
+    pub fn record_failovers(&self, n: u32) {
+        self.inner.lock().failovers += n as u64;
+    }
+
+    /// Record `n` recovery-ladder rung escalations.
+    pub fn record_escalations(&self, n: u32) {
+        self.inner.lock().escalations += n as u64;
     }
 
     /// Record the first time `peer` fully reconstructed the block.
@@ -75,6 +93,21 @@ impl Metrics {
     /// Number of undecodable frames received.
     pub fn bad_decodes(&self) -> u64 {
         self.inner.lock().corrupted_decodes
+    }
+
+    /// Number of bans issued across all peers.
+    pub fn bans(&self) -> u64 {
+        self.inner.lock().bans
+    }
+
+    /// Number of session failovers across all peers.
+    pub fn failovers(&self) -> u64 {
+        self.inner.lock().failovers
+    }
+
+    /// Number of ladder escalations across all peers.
+    pub fn escalations(&self) -> u64 {
+        self.inner.lock().escalations
     }
 
     /// When `peer` first held the block, if ever.

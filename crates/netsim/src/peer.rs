@@ -6,26 +6,82 @@
 //! frames. After reconstructing a block a peer announces it onward, so a
 //! topology-wide run models real gossip propagation.
 //!
-//! Timeout/retry: every request arms a timer; if the session has not
-//! advanced when it fires, the request is retried, and after
-//! [`MAX_ATTEMPTS`] the peer falls back to requesting the full block —
-//! mirroring deployed behaviour when compact relay fails.
+//! # The failure-recovery ladder
+//!
+//! A Graphene receiver that cannot reconstruct a block climbs a bounded
+//! ladder of cheaper-to-more-expensive rungs instead of looping on the
+//! same request:
+//!
+//! 1. **Graphene** — the ordinary Protocol 1 (+2) exchange;
+//! 2. **GrapheneRetry** — a [`Message::GetGrapheneRetry`] re-request; the
+//!    sender re-encodes with a fresh salt, a decayed β budget and an
+//!    inflated IBLT (Theorem 3's knobs), so a decode that failed by chance
+//!    almost surely succeeds on retry;
+//! 3. **ShortIdFetch** — an xthin-style exchange: the receiver ships a
+//!    mempool Bloom filter, the sender answers with the block's short IDs
+//!    plus whatever the filter missed;
+//! 4. **FullBlock** — the uncompressed block, which cannot fail.
+//!
+//! If the ladder is exhausted against one server (e.g. it stalls), the
+//! session *fails over* to an alternate announcing peer and restarts at
+//! rung 1.
+//!
+//! # Adversarial hardening
+//!
+//! Inbound messages are checked against §6.2 resource caps
+//! ([`MessageCaps`]), and provably hostile constructions — a cap
+//! violation, or an IBLT that double-decodes (the §6.1 attack, surfaced by
+//! the core as `Malformed`) — add [`MALFORMED_SCORE`] to the sender's
+//! misbehavior score. At [`BAN_THRESHOLD`] the sender is banned: its
+//! frames are ignored and every session it served fails over immediately.
+//! Non-attributable failures (timeouts, undecodable IBLTs, wrong bodies)
+//! never ban — link loss and corruption can cause all of them.
 
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
+use crate::adversary::Behavior;
+use crate::caps::MessageCaps;
 use graphene::config::GrapheneConfig;
-use graphene::protocol1::{self, CandidateSet};
+use graphene::error::{P1Failure, P2Failure};
+use graphene::protocol1::{self, CandidateSet, RetryTweak};
 use graphene::protocol2::{self};
 use graphene_blockchain::{Block, Header, Mempool, OrderingScheme, Transaction, TxId};
 use graphene_bloom::{BloomFilter, Membership};
 use graphene_hashes::{sha256, short_id_6, short_id_8, Digest, SipKey};
 use graphene_wire::messages::{
     BlockTxnMsg, CmpctBlockMsg, FullBlockMsg, GetBlockTxnMsg, GetDataMsg, GetFullBlockMsg,
-    GetGrapheneTxnMsg, GetTxnsMsg, InvMsg, Message, TxInvMsg, TxnsMsg, XthinBlockMsg,
-    XthinGetDataMsg,
+    GetGrapheneRetryMsg, GetGrapheneTxnMsg, GetTxnsMsg, InvMsg, Message, TxInvMsg, TxnsMsg,
+    XthinBlockMsg, XthinGetDataMsg,
 };
 use std::collections::{HashMap, HashSet};
 
-/// Attempts before falling back to a full block.
+/// Same-rung retries for the non-Graphene protocols before the full-block
+/// rung (the seed's fixed retry budget).
 pub const MAX_ATTEMPTS: u32 = 3;
+
+/// `GetGrapheneRetry` re-requests before escalating to short-ID fetch.
+pub const MAX_GRAPHENE_RETRIES: u32 = 2;
+
+/// Misbehavior score at which a peer is banned.
+pub const BAN_THRESHOLD: u32 = 100;
+
+/// Score for a provably malformed message (one offence bans).
+pub const MALFORMED_SCORE: u32 = 100;
+
+/// Timer-epoch flag marking a *sender-side announcement* retry timer
+/// rather than a receiver-session timer. The network layer masks it off
+/// before computing the backoff delay.
+pub const ANN_FLAG: u32 = 1 << 31;
+
+/// Bounded `Inv` re-announcements to neighbors that never responded — the
+/// sender-side rung of the recovery ladder. Without it a single dropped or
+/// corrupted announcement frame starves a peer forever (invs are one-shot
+/// and nothing downstream retries them).
+const MAX_ANN_RETRIES: u32 = 3;
+
+/// Full ladder traversals (ending in a failover with no alternate left)
+/// before a session is abandoned as unservable.
+const MAX_LADDER_CYCLES: u32 = 2;
 
 /// Peer identifier (index into the network's peer table).
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -47,17 +103,55 @@ pub enum RelayProtocol {
     FullBlocks,
 }
 
+/// Rungs of the failure-recovery ladder, cheapest first.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Rung {
+    /// The protocol's ordinary block request.
+    Graphene,
+    /// Re-request with inflated parameters and a fresh salt.
+    GrapheneRetry,
+    /// Xthin-style short-ID fetch.
+    ShortIdFetch,
+    /// Uncompressed block (cannot fail).
+    FullBlock,
+}
+
 /// Receiver-side session state for one block.
 struct RxSession {
     server: PeerId,
+    /// Other peers that announced this block; failover candidates.
+    alternates: Vec<PeerId>,
+    /// Timer epoch: bumped whenever the session advances, so stale timers
+    /// are recognised and ignored.
     attempt: u32,
+    /// Current ladder rung.
+    rung: Rung,
+    /// Same-rung retries consumed (plain re-requests / graphene retries).
+    retries: u32,
     phase: RxPhase,
+    /// Full ladder traversals completed (each ends in a failover attempt).
+    cycles: u32,
     /// Bodies collected during the session (prefilled, missing, fetched).
     bodies: HashMap<TxId, Transaction>,
 }
 
+impl RxSession {
+    fn new(server: PeerId) -> RxSession {
+        RxSession {
+            server,
+            alternates: Vec::new(),
+            attempt: 0,
+            rung: Rung::Graphene,
+            retries: 0,
+            phase: RxPhase::Requested,
+            cycles: 0,
+            bodies: HashMap::new(),
+        }
+    }
+}
+
 enum RxPhase {
-    /// getdata sent, awaiting the block payload.
+    /// Request sent, awaiting the block payload.
     Requested,
     /// Graphene Protocol 2 request sent.
     GrapheneP2 { state: Box<CandidateSet>, header: Header, order_bytes: Vec<u8> },
@@ -67,8 +161,6 @@ enum RxPhase {
     CompactWait { header: Header, slots: Vec<Option<TxId>>, missing: Vec<u64> },
     /// XThin repair round pending.
     XthinWait { header: Header, ids: Vec<TxId>, unresolved: Vec<u64> },
-    /// Fallback full-block request sent.
-    Fallback,
 }
 
 /// A simulated peer.
@@ -79,26 +171,61 @@ pub struct Peer {
     pub protocol: RelayProtocol,
     /// Local transaction pool.
     pub mempool: Mempool,
+    /// Honest or adversarial serving behavior.
+    pub behavior: Behavior,
+    /// §6.2 caps applied to every inbound message.
+    pub caps: MessageCaps,
     blocks: HashMap<Digest, Block>,
     sessions: HashMap<Digest, RxSession>,
     seen_inv: HashSet<Digest>,
     /// Transaction IDs already announced/seen (loose-tx relay, §2.2).
     seen_tx_inv: HashSet<TxId>,
+    /// Neighbors we announced a block to that have not yet asked for it
+    /// (or shown they hold it); re-inv'd on a bounded backoff timer.
+    /// `Vec` keeps iteration order deterministic.
+    pending_announcements: HashMap<Digest, Vec<PeerId>>,
+    /// Accumulated misbehavior per remote peer.
+    misbehavior: HashMap<PeerId, u32>,
+    banned: HashSet<PeerId>,
+    /// Adversarial decision counter (deterministic mangling stream).
+    adv_nonce: u64,
 }
 
-/// A frame to transmit plus an optional timer to arm.
+/// Frames to transmit plus timers to arm and events for metrics.
 pub struct Output {
     /// (destination, message) pairs to send.
     pub send: Vec<(PeerId, Message)>,
-    /// Arm a retry timer for this block if set: (block, attempt).
-    pub arm_timer: Option<(Digest, u32)>,
+    /// Retry timers to arm: (block, timer epoch).
+    pub timers: Vec<(Digest, u32)>,
     /// Set when this peer just completed a block (for metrics).
     pub completed_block: Option<Digest>,
+    /// Peers newly banned while handling this input.
+    pub banned: Vec<PeerId>,
+    /// Sessions that switched to an alternate server.
+    pub failovers: u32,
+    /// Ladder-rung escalations performed.
+    pub escalations: u32,
 }
 
 impl Output {
     fn none() -> Output {
-        Output { send: Vec::new(), arm_timer: None, completed_block: None }
+        Output {
+            send: Vec::new(),
+            timers: Vec::new(),
+            completed_block: None,
+            banned: Vec::new(),
+            failovers: 0,
+            escalations: 0,
+        }
+    }
+
+    fn absorb(&mut self, other: Output) {
+        self.send.extend(other.send);
+        self.timers.extend(other.timers);
+        self.completed_block = self.completed_block.or(other.completed_block);
+        self.banned.extend(other.banned);
+        self.failovers += other.failovers;
+        self.escalations += other.escalations;
     }
 }
 
@@ -109,10 +236,16 @@ impl Peer {
             id,
             protocol,
             mempool,
+            behavior: Behavior::Honest,
+            caps: MessageCaps::default(),
             blocks: HashMap::new(),
             sessions: HashMap::new(),
             seen_inv: HashSet::new(),
             seen_tx_inv: HashSet::new(),
+            pending_announcements: HashMap::new(),
+            misbehavior: HashMap::new(),
+            banned: HashSet::new(),
+            adv_nonce: 0,
         }
     }
 
@@ -126,6 +259,21 @@ impl Peer {
         self.blocks.get(block_id)
     }
 
+    /// Has this peer banned `peer`?
+    pub fn is_banned(&self, peer: PeerId) -> bool {
+        self.banned.contains(&peer)
+    }
+
+    /// Accumulated misbehavior score for `peer`.
+    pub fn misbehavior_score(&self, peer: PeerId) -> u32 {
+        self.misbehavior.get(&peer).copied().unwrap_or(0)
+    }
+
+    /// Current ladder rung of the session for `block_id`, if one is open.
+    pub fn session_rung(&self, block_id: &Digest) -> Option<Rung> {
+        self.sessions.get(block_id).map(|s| s.rung)
+    }
+
     /// Give this peer a block directly (the origin of a propagation run)
     /// and announce it to `neighbors`.
     pub fn originate(&mut self, block: Block, neighbors: &[PeerId]) -> Output {
@@ -134,21 +282,65 @@ impl Peer {
         self.mempool.confirm(&block.ids());
         self.blocks.insert(id, block);
         let mut out = Output::none();
-        for &n in neighbors {
-            out.send.push((n, Message::Inv(InvMsg { block_id: id })));
-        }
+        self.announce(id, neighbors, &mut out);
         out
+    }
+
+    /// Send `Inv`s for `block_id` to `neighbors` and arm the bounded
+    /// re-announcement timer guarding against lost announcement frames.
+    fn announce(&mut self, block_id: Digest, neighbors: &[PeerId], out: &mut Output) {
+        if neighbors.is_empty() {
+            return;
+        }
+        for &n in neighbors {
+            out.send.push((n, Message::Inv(InvMsg { block_id })));
+        }
+        self.pending_announcements.insert(block_id, neighbors.to_vec());
+        out.timers.push((block_id, ANN_FLAG));
+    }
+
+    /// Any block-specific message from `from` proves the announcement got
+    /// through (they are requesting it, or they hold it themselves).
+    fn acknowledge_announcement(&mut self, from: PeerId, msg: &Message) {
+        let block_id = match msg {
+            Message::Inv(m) => m.block_id,
+            Message::GetData(m) => m.block_id,
+            Message::GrapheneRequest(m) => m.block_id,
+            Message::GetGrapheneTxn(m) => m.block_id,
+            Message::GetGrapheneRetry(m) => m.block_id,
+            Message::GetBlockTxn(m) => m.block_id,
+            Message::XthinGetData(m) => m.block_id,
+            Message::GetFullBlock(m) => m.block_id,
+            _ => return,
+        };
+        if let Some(pending) = self.pending_announcements.get_mut(&block_id) {
+            pending.retain(|p| *p != from);
+            if pending.is_empty() {
+                self.pending_announcements.remove(&block_id);
+            }
+        }
     }
 
     /// Handle one delivered message.
     pub fn handle(&mut self, from: PeerId, msg: Message, neighbors: &[PeerId]) -> Output {
-        match msg {
+        if self.banned.contains(&from) {
+            return Output::none();
+        }
+        self.acknowledge_announcement(from, &msg);
+        if self.caps.validate(&msg).is_err() {
+            // §6.2: a cap violation is a provable offence — honest encodes
+            // never approach the limits and the wire layer's exact-length
+            // checks keep corruption from forging one.
+            return self.punish(from, MALFORMED_SCORE);
+        }
+        let out = match msg {
             Message::Inv(m) => self.on_inv(from, m),
             Message::GetData(m) => self.on_getdata(from, m),
             Message::GrapheneBlock(m) => self.on_graphene_block(from, m, neighbors),
             Message::GrapheneRequest(m) => self.on_graphene_request(from, m),
             Message::GrapheneRecovery(m) => self.on_graphene_recovery(from, m, neighbors),
             Message::GetGrapheneTxn(m) => self.on_get_graphene_txn(from, m),
+            Message::GetGrapheneRetry(m) => self.on_get_graphene_retry(from, m),
             Message::CmpctBlock(m) => self.on_cmpct_block(from, m, neighbors),
             Message::GetBlockTxn(m) => self.on_get_block_txn(from, m),
             Message::BlockTxn(m) => self.on_block_txn(from, m, neighbors),
@@ -159,7 +351,24 @@ impl Peer {
             Message::TxInv(m) => self.on_tx_inv(from, m),
             Message::GetTxns(m) => self.on_get_txns(from, m),
             Message::Txns(m) => self.on_txns(m, neighbors),
+        };
+        self.mangle_output(out)
+    }
+
+    /// Apply adversarial mangling to outgoing frames, if configured.
+    fn mangle_output(&mut self, mut out: Output) -> Output {
+        if let Behavior::Adversarial(cfg) = &self.behavior {
+            let mut kept = Vec::with_capacity(out.send.len());
+            for (to, msg) in out.send {
+                let nonce = self.adv_nonce;
+                self.adv_nonce += 1;
+                if let Some(m) = cfg.mangle(nonce, msg) {
+                    kept.push((to, m));
+                }
+            }
+            out.send = kept;
         }
+        out
     }
 
     /// Inject freshly authored transactions at this peer (the origin of
@@ -231,67 +440,213 @@ impl Peer {
         out
     }
 
-    /// Handle a retry timer. `attempt` is the attempt the timer guarded.
+    /// Handle a retry timer. `attempt` is the epoch the timer guarded; a
+    /// session that advanced meanwhile ignores the stale timer.
     pub fn handle_timeout(&mut self, block_id: Digest, attempt: u32) -> Output {
-        let Some(session) = self.sessions.get_mut(&block_id) else {
+        if attempt & ANN_FLAG != 0 {
+            let out = self.announce_timeout(block_id, attempt & !ANN_FLAG);
+            return self.mangle_output(out);
+        }
+        let Some(session) = self.sessions.get(&block_id) else {
             return Output::none(); // completed meanwhile
         };
         if session.attempt != attempt {
             return Output::none(); // session advanced; stale timer
         }
-        session.attempt += 1;
-        let server = session.server;
-        let mut out = Output::none();
-        if session.attempt >= MAX_ATTEMPTS {
-            session.phase = RxPhase::Fallback;
-            session.bodies.clear();
-            out.send.push((server, Message::GetFullBlock(GetFullBlockMsg { block_id })));
-        } else {
-            // Restart the session from the top.
-            session.phase = RxPhase::Requested;
-            session.bodies.clear();
-            out.send.push((server, self.request_for(block_id)));
+        let out = self.escalate(block_id);
+        self.mangle_output(out)
+    }
+
+    /// Re-announce to neighbors that never reacted to our `Inv`. Bounded:
+    /// a neighbor that got the block elsewhere never answers, so after
+    /// [`MAX_ANN_RETRIES`] rounds the remainder is assumed served.
+    fn announce_timeout(&mut self, block_id: Digest, retry: u32) -> Output {
+        let banned = &self.banned;
+        let Some(pending) = self.pending_announcements.get_mut(&block_id) else {
+            return Output::none(); // everyone acknowledged
+        };
+        pending.retain(|p| !banned.contains(p));
+        if pending.is_empty() || retry >= MAX_ANN_RETRIES {
+            self.pending_announcements.remove(&block_id);
+            return Output::none();
         }
-        out.arm_timer = Some((block_id, self.sessions[&block_id].attempt));
+        let mut out = Output::none();
+        for &n in pending.iter() {
+            out.send.push((n, Message::Inv(InvMsg { block_id })));
+        }
+        out.timers.push((block_id, (retry + 1) | ANN_FLAG));
+        out
+    }
+
+    /// Climb one rung of the recovery ladder (or retry within the current
+    /// rung while its budget lasts). Exhausting the ladder fails over.
+    fn escalate(&mut self, block_id: Digest) -> Output {
+        let is_graphene = matches!(self.protocol, RelayProtocol::Graphene(_));
+        let mut escalated = false;
+        let (server, epoch, rung, retries) = {
+            let Some(s) = self.sessions.get_mut(&block_id) else {
+                return Output::none();
+            };
+            s.attempt += 1;
+            match s.rung {
+                Rung::Graphene => {
+                    if is_graphene {
+                        s.rung = Rung::GrapheneRetry;
+                        s.retries = 1;
+                        escalated = true;
+                    } else if s.retries + 1 < MAX_ATTEMPTS {
+                        s.retries += 1; // plain re-request
+                    } else {
+                        s.rung = Rung::FullBlock;
+                        escalated = true;
+                    }
+                }
+                Rung::GrapheneRetry => {
+                    if s.retries < MAX_GRAPHENE_RETRIES {
+                        s.retries += 1;
+                    } else {
+                        s.rung = Rung::ShortIdFetch;
+                        escalated = true;
+                    }
+                }
+                Rung::ShortIdFetch => {
+                    s.rung = Rung::FullBlock;
+                    escalated = true;
+                }
+                Rung::FullBlock => {
+                    // Ladder exhausted against this server: fail over.
+                    return self.failover(block_id);
+                }
+            }
+            s.phase = RxPhase::Requested;
+            (s.server, s.attempt, s.rung, s.retries)
+        };
+        let msg = match rung {
+            Rung::Graphene => self.request_for(block_id),
+            Rung::GrapheneRetry => Message::GetGrapheneRetry(GetGrapheneRetryMsg {
+                block_id,
+                mempool_count: self.mempool.len() as u64,
+                attempt: retries,
+            }),
+            Rung::ShortIdFetch => self.shortid_request(block_id, 0.001),
+            Rung::FullBlock => Message::GetFullBlock(GetFullBlockMsg { block_id }),
+        };
+        let mut out = Output::none();
+        out.escalations = escalated as u32;
+        out.send.push((server, msg));
+        out.timers.push((block_id, epoch));
+        out
+    }
+
+    /// Restart the session at rung 1 against the next non-banned alternate
+    /// announcer (or, lacking one, re-request from the current server).
+    fn failover(&mut self, block_id: Digest) -> Output {
+        let (server, epoch, switched) = {
+            let Some(s) = self.sessions.get_mut(&block_id) else {
+                return Output::none();
+            };
+            s.attempt += 1;
+            s.cycles += 1;
+            let mut switched = false;
+            while !s.alternates.is_empty() {
+                let cand = s.alternates.remove(0);
+                if !self.banned.contains(&cand) {
+                    s.server = cand;
+                    switched = true;
+                    break;
+                }
+            }
+            if !switched && s.cycles >= MAX_LADDER_CYCLES {
+                // Nobody else ever announced this block and the full ladder
+                // failed twice against the only known server: give up. (A
+                // block id from a corrupted announcement frame lands here —
+                // no peer can serve it. A later genuine announcement simply
+                // reopens a fresh session.)
+                self.sessions.remove(&block_id);
+                return Output::none();
+            }
+            s.rung = Rung::Graphene;
+            s.retries = 0;
+            s.phase = RxPhase::Requested;
+            (s.server, s.attempt, switched)
+        };
+        let mut out = Output::none();
+        out.failovers = switched as u32;
+        out.send.push((server, self.request_for(block_id)));
+        out.timers.push((block_id, epoch));
+        out
+    }
+
+    /// Record misbehavior; at [`BAN_THRESHOLD`] ban the offender and fail
+    /// over every session it was serving.
+    fn punish(&mut self, offender: PeerId, score: u32) -> Output {
+        let mut out = Output::none();
+        let total = self.misbehavior.entry(offender).or_insert(0);
+        *total = total.saturating_add(score);
+        if *total >= BAN_THRESHOLD && self.banned.insert(offender) {
+            out.banned.push(offender);
+            for s in self.sessions.values_mut() {
+                s.alternates.retain(|p| *p != offender);
+            }
+            let affected: Vec<Digest> = self
+                .sessions
+                .iter()
+                .filter(|(_, s)| s.server == offender)
+                .map(|(id, _)| *id)
+                .collect();
+            for id in affected {
+                let o = self.failover(id);
+                out.absorb(o);
+            }
+        }
         out
     }
 
     /// The protocol-appropriate initial block request.
     fn request_for(&self, block_id: Digest) -> Message {
         match &self.protocol {
-            RelayProtocol::Xthin { filter_fpr } => {
-                let mut filter = BloomFilter::new(
-                    self.mempool.len().max(1),
-                    *filter_fpr,
-                    block_id.low_u64() ^ 0x7874,
-                );
-                for tx in self.mempool.iter() {
-                    filter.insert(tx.id());
-                }
-                Message::XthinGetData(XthinGetDataMsg { block_id, mempool_filter: filter })
-            }
+            RelayProtocol::Xthin { filter_fpr } => self.shortid_request(block_id, *filter_fpr),
             _ => {
                 Message::GetData(GetDataMsg { block_id, mempool_count: self.mempool.len() as u64 })
             }
         }
     }
 
+    /// An xthin-style request: our whole mempool in a Bloom filter.
+    fn shortid_request(&self, block_id: Digest, fpr: f64) -> Message {
+        let mut filter =
+            BloomFilter::new(self.mempool.len().max(1), fpr, block_id.low_u64() ^ 0x7874);
+        for tx in self.mempool.iter() {
+            filter.insert(tx.id());
+        }
+        Message::XthinGetData(XthinGetDataMsg { block_id, mempool_filter: filter })
+    }
+
     fn on_inv(&mut self, from: PeerId, m: InvMsg) -> Output {
-        if !self.seen_inv.insert(m.block_id) || self.blocks.contains_key(&m.block_id) {
+        self.seen_inv.insert(m.block_id);
+        if self.blocks.contains_key(&m.block_id) {
             return Output::none();
         }
-        self.sessions.insert(
-            m.block_id,
-            RxSession {
-                server: from,
-                attempt: 0,
-                phase: RxPhase::Requested,
-                bodies: HashMap::new(),
-            },
-        );
+        if let Some(s) = self.sessions.get_mut(&m.block_id) {
+            // A concurrent announcement: remember the peer as a failover
+            // candidate rather than opening a second session.
+            if from != s.server && !s.alternates.contains(&from) && !self.banned.contains(&from) {
+                s.alternates.push(from);
+            }
+            if self.banned.contains(&s.server) {
+                // We were stuck on a banned server with nowhere to go; this
+                // announcement is the way out.
+                return self.failover(m.block_id);
+            }
+            return Output::none();
+        }
+        if self.banned.contains(&from) {
+            return Output::none();
+        }
+        self.sessions.insert(m.block_id, RxSession::new(from));
         let mut out = Output::none();
         out.send.push((from, self.request_for(m.block_id)));
-        out.arm_timer = Some((m.block_id, 0));
+        out.timers.push((m.block_id, 0));
         out
     }
 
@@ -341,18 +696,27 @@ impl Peer {
         neighbors: &[PeerId],
     ) -> Output {
         let block_id = graphene_hashes::sha256d(&m.header.to_bytes());
-        let Some(session) = self.sessions.get_mut(&block_id) else {
-            return Output::none();
-        };
         let RelayProtocol::Graphene(cfg) = self.protocol.clone() else {
             return Output::none();
         };
-        for tx in &m.prefilled {
-            session.bodies.insert(*tx.id(), tx.clone());
+        {
+            let Some(session) = self.sessions.get_mut(&block_id) else {
+                return Output::none();
+            };
+            if from != session.server {
+                return Output::none(); // unsolicited
+            }
+            for tx in &m.prefilled {
+                session.bodies.insert(*tx.id(), tx.clone());
+            }
         }
         match protocol1::receiver_decode(&m, &self.mempool, &cfg) {
             Ok(ok) => self.complete_block(block_id, m.header, ok.ordered_ids, neighbors),
-            Err((_why, state)) => {
+            Err((why, state)) => {
+                if matches!(why, P1Failure::Malformed(_)) {
+                    // §6.1: a provably hostile IBLT — ban and fail over.
+                    return self.punish(from, MALFORMED_SCORE);
+                }
                 let (req, _) = protocol2::receiver_request(
                     &state,
                     block_id,
@@ -360,7 +724,9 @@ impl Peer {
                     self.mempool.len(),
                     &cfg,
                 );
-                let session = self.sessions.get_mut(&block_id).expect("session exists");
+                let Some(session) = self.sessions.get_mut(&block_id) else {
+                    return Output::none();
+                };
                 session.attempt += 1;
                 session.phase = RxPhase::GrapheneP2 {
                     state: Box::new(state),
@@ -370,7 +736,7 @@ impl Peer {
                 let attempt = session.attempt;
                 let mut out = Output::none();
                 out.send.push((from, Message::GrapheneRequest(req)));
-                out.arm_timer = Some((block_id, attempt));
+                out.timers.push((block_id, attempt));
                 out
             }
         }
@@ -394,6 +760,35 @@ impl Peer {
         out
     }
 
+    /// Serve a ladder rung 2 re-request: re-encode with Theorem 3's decayed
+    /// β, an inflated IBLT, and a fresh salt.
+    fn on_get_graphene_retry(&mut self, from: PeerId, m: GetGrapheneRetryMsg) -> Output {
+        let Some(block) = self.blocks.get(&m.block_id) else {
+            return Output::none();
+        };
+        let mut out = Output::none();
+        match &self.protocol {
+            RelayProtocol::Graphene(cfg) => {
+                let tweak = RetryTweak::for_attempt(cfg, m.attempt);
+                let (msg, _) =
+                    protocol1::sender_encode_retry(block, m.mempool_count, None, cfg, &tweak);
+                out.send.push((from, Message::GrapheneBlock(msg)));
+            }
+            _ => {
+                // A non-Graphene server cannot re-encode; answer with the
+                // full block so the ladder still terminates.
+                out.send.push((
+                    from,
+                    Message::FullBlock(FullBlockMsg {
+                        header: *block.header(),
+                        txns: block.txns().to_vec(),
+                    }),
+                ));
+            }
+        }
+        out
+    }
+
     fn on_graphene_recovery(
         &mut self,
         from: PeerId,
@@ -404,6 +799,9 @@ impl Peer {
         let Some(session) = self.sessions.get_mut(&block_id) else {
             return Output::none();
         };
+        if from != session.server {
+            return Output::none();
+        }
         let RelayProtocol::Graphene(cfg) = self.protocol.clone() else {
             return Output::none();
         };
@@ -418,7 +816,9 @@ impl Peer {
         match protocol2::receiver_complete(state, &m, header.merkle_root, &order_bytes, &cfg) {
             Ok(ok) => {
                 if ok.needs_fetch.is_empty() {
-                    let ids = ok.ordered_ids.expect("complete without fetch");
+                    let Some(ids) = ok.ordered_ids else {
+                        return self.escalate(block_id);
+                    };
                     self.complete_block(block_id, header, ids, neighbors)
                 } else {
                     session.attempt += 1;
@@ -431,18 +831,17 @@ impl Peer {
                         from,
                         Message::GetGrapheneTxn(GetGrapheneTxnMsg { block_id, short_ids: needs }),
                     ));
-                    out.arm_timer = Some((block_id, attempt));
+                    out.timers.push((block_id, attempt));
                     out
                 }
             }
-            Err(_) => {
-                // Decode failed: fall back to the full block.
-                session.attempt = MAX_ATTEMPTS;
-                session.phase = RxPhase::Fallback;
-                let mut out = Output::none();
-                out.send.push((from, Message::GetFullBlock(GetFullBlockMsg { block_id })));
-                out.arm_timer = Some((block_id, MAX_ATTEMPTS));
-                out
+            Err(e) => {
+                if matches!(e, P2Failure::Malformed(_)) {
+                    // Provably hostile (double-decode on the plain path).
+                    return self.punish(from, MALFORMED_SCORE);
+                }
+                // Undecodable but not attributable: climb the ladder.
+                self.escalate(block_id)
             }
         }
     }
@@ -467,6 +866,9 @@ impl Peer {
         let Some(session) = self.sessions.get_mut(&block_id) else {
             return Output::none();
         };
+        if from != session.server {
+            return Output::none();
+        }
         let key = cmpct_key(&m.header, m.nonce);
         let mut by_short: HashMap<u64, Option<TxId>> = HashMap::new();
         for tx in self.mempool.iter() {
@@ -508,7 +910,7 @@ impl Peer {
         session.phase = RxPhase::CompactWait { header: m.header, slots, missing: missing.clone() };
         let mut out = Output::none();
         out.send.push((from, Message::GetBlockTxn(GetBlockTxnMsg { block_id, indexes: missing })));
-        out.arm_timer = Some((block_id, attempt));
+        out.timers.push((block_id, attempt));
         out
     }
 
@@ -523,15 +925,19 @@ impl Peer {
         out
     }
 
-    fn on_block_txn(&mut self, _from: PeerId, m: BlockTxnMsg, neighbors: &[PeerId]) -> Output {
+    fn on_block_txn(&mut self, from: PeerId, m: BlockTxnMsg, neighbors: &[PeerId]) -> Output {
         let block_id = m.block_id;
         let Some(session) = self.sessions.get_mut(&block_id) else {
             return Output::none();
         };
+        if from != session.server {
+            return Output::none();
+        }
         for tx in &m.txns {
             session.bodies.insert(*tx.id(), tx.clone());
         }
-        match &mut session.phase {
+        let mut needs_escalate = false;
+        let out = match &mut session.phase {
             RxPhase::CompactWait { header, slots, missing } => {
                 let header = *header;
                 if m.txns.len() != missing.len() {
@@ -569,24 +975,28 @@ impl Peer {
                 };
                 let resolved = resolved.clone();
                 match protocol2::finalize_p2(&resolved, header.merkle_root, &order_bytes, &cfg) {
-                    Ok(ok) => {
-                        let ids = ok.ordered_ids.expect("finalized");
-                        self.complete_block(block_id, header, ids, neighbors)
-                    }
+                    Ok(ok) => match ok.ordered_ids {
+                        Some(ids) => self.complete_block(block_id, header, ids, neighbors),
+                        None => {
+                            needs_escalate = true;
+                            Output::none()
+                        }
+                    },
                     Err(_) => {
-                        let server = session.server;
-                        session.attempt = MAX_ATTEMPTS;
-                        session.phase = RxPhase::Fallback;
-                        let mut out = Output::none();
-                        out.send
-                            .push((server, Message::GetFullBlock(GetFullBlockMsg { block_id })));
-                        out.arm_timer = Some((block_id, MAX_ATTEMPTS));
-                        out
+                        // Repair failed (wrong/garbage bodies or unlucky
+                        // decode): climb the ladder, do not ban — the
+                        // failure is not attributable.
+                        needs_escalate = true;
+                        Output::none()
                     }
                 }
             }
             _ => Output::none(),
+        };
+        if needs_escalate {
+            return self.escalate(block_id);
         }
+        out
     }
 
     // --- XThin --------------------------------------------------------------
@@ -611,6 +1021,9 @@ impl Peer {
         let Some(session) = self.sessions.get_mut(&block_id) else {
             return Output::none();
         };
+        if from != session.server {
+            return Output::none();
+        }
         for tx in &m.missing {
             session.bodies.insert(*tx.id(), tx.clone());
         }
@@ -644,7 +1057,7 @@ impl Peer {
         let mut out = Output::none();
         out.send
             .push((from, Message::GetBlockTxn(GetBlockTxnMsg { block_id, indexes: unresolved })));
-        out.arm_timer = Some((block_id, attempt));
+        out.timers.push((block_id, attempt));
         out
     }
 
@@ -673,8 +1086,11 @@ impl Peer {
         if !self.sessions.contains_key(&block_id) {
             return Output::none(); // unsolicited
         }
+        // Accept a valid full block from any peer (a failed-over session's
+        // old server may still answer); `from_parts` revalidates the merkle
+        // root, so garbage cannot get in.
         let Ok(block) = Block::from_parts(m.header, m.txns, OrderingScheme::Ctor) else {
-            return Output::none(); // corrupt; timeout will retry
+            return Output::none(); // corrupt; timeout will climb the ladder
         };
         self.store_and_announce(block_id, block, neighbors)
     }
@@ -720,9 +1136,7 @@ impl Peer {
         self.blocks.insert(block_id, block);
         let mut out = Output::none();
         out.completed_block = Some(block_id);
-        for &n in neighbors {
-            out.send.push((n, Message::Inv(InvMsg { block_id })));
-        }
+        self.announce(block_id, neighbors, &mut out);
         out
     }
 }
@@ -744,8 +1158,9 @@ pub fn cmpct_key(header: &Header, nonce: u64) -> SipKey {
     data.extend_from_slice(&header.to_bytes());
     data.extend_from_slice(&nonce.to_le_bytes());
     let h = sha256(&data);
-    SipKey::new(
-        u64::from_le_bytes(h.0[0..8].try_into().expect("8 bytes")),
-        u64::from_le_bytes(h.0[8..16].try_into().expect("8 bytes")),
-    )
+    let mut k0 = [0u8; 8];
+    let mut k1 = [0u8; 8];
+    k0.copy_from_slice(&h.0[0..8]);
+    k1.copy_from_slice(&h.0[8..16]);
+    SipKey::new(u64::from_le_bytes(k0), u64::from_le_bytes(k1))
 }

@@ -248,6 +248,20 @@ pub struct GetFullBlockMsg {
     pub block_id: Digest,
 }
 
+/// Recovery-ladder rung 2: re-request a Graphene encoding with inflated
+/// parameters (fresh salts, decayed β, larger IBLT). `attempt` tells the
+/// sender which inflation step to apply; the receiver refreshes `m` since
+/// its mempool may have grown since the original `getdata`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct GetGrapheneRetryMsg {
+    /// Which block.
+    pub block_id: Digest,
+    /// Receiver's current mempool transaction count (`m`).
+    pub mempool_count: u64,
+    /// 1-based retry attempt the sender should inflate for.
+    pub attempt: u32,
+}
+
 // ---------------------------------------------------------------------------
 // The envelope
 // ---------------------------------------------------------------------------
@@ -281,6 +295,8 @@ pub enum Message {
     GetGrapheneTxn(GetGrapheneTxnMsg),
     /// Fallback full-block request.
     GetFullBlock(GetFullBlockMsg),
+    /// Inflated-parameter Graphene re-request (recovery ladder).
+    GetGrapheneRetry(GetGrapheneRetryMsg),
     /// Loose-transaction announcement.
     TxInv(TxInvMsg),
     /// Loose-transaction request.
@@ -305,6 +321,7 @@ impl Message {
             Message::XthinBlock(_) => 0x31,
             Message::FullBlock(_) => 0x40,
             Message::GetGrapheneTxn(_) => 0x13,
+            Message::GetGrapheneRetry(_) => 0x14,
             Message::GetFullBlock(_) => 0x42,
             Message::TxInv(_) => 0x03,
             Message::GetTxns(_) => 0x04,
@@ -357,6 +374,9 @@ impl Message {
                 32 + varint_len(m.short_ids.len() as u64) + 8 * m.short_ids.len()
             }
             Message::GetFullBlock(_) => 32,
+            Message::GetGrapheneRetry(m) => {
+                32 + varint_len(m.mempool_count) + varint_len(m.attempt as u64)
+            }
             Message::TxInv(m) => varint_len(m.txids.len() as u64) + 32 * m.txids.len(),
             Message::GetTxns(m) => varint_len(m.txids.len() as u64) + 32 * m.txids.len(),
             Message::Txns(m) => txns_len(&m.txns),
@@ -469,6 +489,11 @@ impl Encode for Message {
                 }
             }
             Message::GetFullBlock(m) => encode_digest(buf, &m.block_id),
+            Message::GetGrapheneRetry(m) => {
+                encode_digest(buf, &m.block_id);
+                write_varint(buf, m.mempool_count);
+                write_varint(buf, m.attempt as u64);
+            }
             Message::TxInv(m) => {
                 write_varint(buf, m.txids.len() as u64);
                 for id in &m.txids {
@@ -627,6 +652,19 @@ impl Decode for Message {
                 Message::GetGrapheneTxn(GetGrapheneTxnMsg { block_id, short_ids })
             }
             0x42 => Message::GetFullBlock(GetFullBlockMsg { block_id: decode_digest(b)? }),
+            0x14 => {
+                let block_id = decode_digest(b)?;
+                let mempool_count = read_varint(b)?;
+                let attempt = read_varint(b)?;
+                if attempt > 64 {
+                    return Err(WireError::Invalid("absurd retry attempt"));
+                }
+                Message::GetGrapheneRetry(GetGrapheneRetryMsg {
+                    block_id,
+                    mempool_count,
+                    attempt: attempt as u32,
+                })
+            }
             0x03 | 0x04 => {
                 let count = read_varint(b)? as usize;
                 if count > 1_000_000 {
@@ -810,6 +848,30 @@ mod tests {
             Message::FullBlock(m) => assert_eq!(m.txns, txns),
             other => panic!("wrong variant: {other:?}"),
         }
+    }
+
+    #[test]
+    fn graphene_retry_roundtrip() {
+        let msg = Message::GetGrapheneRetry(GetGrapheneRetryMsg {
+            block_id: Digest([4; 32]),
+            mempool_count: 12_345,
+            attempt: 2,
+        });
+        match roundtrip(msg) {
+            Message::GetGrapheneRetry(m) => {
+                assert_eq!(m.block_id, Digest([4; 32]));
+                assert_eq!(m.mempool_count, 12_345);
+                assert_eq!(m.attempt, 2);
+            }
+            other => panic!("wrong variant: {other:?}"),
+        }
+        // An absurd attempt count must be rejected, not trusted.
+        let silly = Message::GetGrapheneRetry(GetGrapheneRetryMsg {
+            block_id: Digest([4; 32]),
+            mempool_count: 1,
+            attempt: 1000,
+        });
+        assert!(Message::decode_exact(&silly.to_vec()).is_err());
     }
 
     #[test]
