@@ -48,4 +48,4 @@ pub use config::GrapheneConfig;
 pub use error::GrapheneError;
 pub use params::{a_star, optimal_a, optimal_b, x_star, y_star, ProtocolParams};
 pub use recovery::{relay_with_recovery, LadderReport, RecoveryPolicy, RungKind, RungReport};
-pub use session::{relay_block, relay_block_attempt, RelayOutcome, RelayReport};
+pub use session::{relay_block, relay_block_attempt, NodeSnapshot, RelayOutcome, RelayReport};

@@ -22,6 +22,38 @@ use graphene_wire::messages::{
 use graphene_wire::varint::varint_len;
 use std::collections::HashMap;
 
+/// The durable half of a node's relay state: what survives a crash.
+///
+/// Deployed clients persist the mempool and the accepted chain to disk;
+/// everything receiver-side that belongs to an *in-flight* reconciliation —
+/// the Protocol 1 [`CandidateSet`](crate::protocol1::CandidateSet), partial
+/// short-ID resolutions, collected-but-unconfirmed bodies, retry timers —
+/// is process memory and is lost on restart. This type encodes that split:
+/// a crashed node restores from a `NodeSnapshot` and re-learns any block it
+/// was mid-session on through the ordinary announcement path, never by
+/// resuming decode state.
+#[derive(Clone, Debug, Default)]
+pub struct NodeSnapshot {
+    /// Unconfirmed transactions at snapshot time.
+    pub mempool: Mempool,
+    /// Fully validated blocks held at snapshot time.
+    pub blocks: Vec<Block>,
+}
+
+impl NodeSnapshot {
+    /// Drop every mempool transaction `keep` rejects — the "stale mempool"
+    /// of a node rejoining after downtime (its pool aged out or was only
+    /// partially flushed to disk). Deterministic given a deterministic
+    /// predicate; accepted blocks are never trimmed.
+    pub fn retain_mempool(&mut self, keep: impl Fn(&TxId) -> bool) {
+        let drop: Vec<TxId> =
+            self.mempool.iter().map(|tx| *tx.id()).filter(|id| !keep(id)).collect();
+        for id in &drop {
+            self.mempool.remove(id);
+        }
+    }
+}
+
 /// How the relay concluded.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum RelayOutcome {

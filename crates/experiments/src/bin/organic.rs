@@ -19,7 +19,7 @@ fn run_once(protocol: RelayProtocol, drop_chance: f64, seed: u64) -> (usize, u64
         latency: SimTime::from_millis(40),
         bandwidth_bps: 10_000_000 / 8,
         drop_chance,
-        corrupt_chance: 0.0,
+        ..LinkParams::default()
     });
     net.connect_random(3);
 

@@ -18,6 +18,7 @@
 #![warn(missing_docs)]
 
 pub mod adversary;
+pub mod chaos;
 pub mod fastsim;
 pub mod mc;
 pub mod output;
@@ -26,7 +27,7 @@ pub mod stats;
 pub use fastsim::{simulate_relay, FastConfig, FastOutcome};
 pub use mc::{run_trials, Engine};
 pub use output::{Table, TableWriter};
-pub use stats::{mean, mean_ci95, proportion_ci95, Accum, MeanAcc, PropAcc, SumAcc};
+pub use stats::{mean, mean_ci95, proportion_ci95, Accum, MaxAcc, MeanAcc, PropAcc, SumAcc};
 
 /// Common CLI knobs for experiment binaries.
 #[derive(Clone, Copy, Debug)]

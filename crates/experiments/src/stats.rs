@@ -138,6 +138,47 @@ impl Accum for SumAcc {
     }
 }
 
+/// Accumulates a running maximum. `max` over floats is associative and
+/// commutative, so this statistic is thread-count invariant regardless of
+/// merge order — the natural fit for high-water-mark metrics.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct MaxAcc {
+    max: f64,
+    n: u64,
+}
+
+impl MaxAcc {
+    /// Record one observation.
+    pub fn push(&mut self, x: f64) {
+        if self.n == 0 || x > self.max {
+            self.max = x;
+        }
+        self.n += 1;
+    }
+
+    /// Largest observation so far (0 for no observations).
+    pub fn max(&self) -> f64 {
+        if self.n == 0 {
+            return 0.0;
+        }
+        self.max
+    }
+
+    /// Number of observations.
+    pub fn n(&self) -> u64 {
+        self.n
+    }
+}
+
+impl Accum for MaxAcc {
+    fn merge(&mut self, other: Self) {
+        if other.n > 0 && (self.n == 0 || other.max > self.max) {
+            self.max = other.max;
+        }
+        self.n += other.n;
+    }
+}
+
 macro_rules! impl_accum_tuple {
     ($($name:ident : $idx:tt),+) => {
         impl<$($name: Accum),+> Accum for ($($name,)+) {
@@ -154,6 +195,8 @@ impl_accum_tuple!(A: 0, B: 1, C: 2);
 impl_accum_tuple!(A: 0, B: 1, C: 2, D: 3);
 impl_accum_tuple!(A: 0, B: 1, C: 2, D: 3, E: 4);
 impl_accum_tuple!(A: 0, B: 1, C: 2, D: 3, E: 4, F: 5);
+impl_accum_tuple!(A: 0, B: 1, C: 2, D: 3, E: 4, F: 5, G: 6);
+impl_accum_tuple!(A: 0, B: 1, C: 2, D: 3, E: 4, F: 5, G: 6, H: 7);
 
 impl<A: Accum, const N: usize> Accum for [A; N]
 where
@@ -288,6 +331,37 @@ mod tests {
         arr2[1].push(2.0);
         arr.merge(arr2);
         assert_eq!((arr[0].sum(), arr[1].sum()), (1.0, 2.0));
+    }
+
+    #[test]
+    fn max_acc_is_merge_order_independent() {
+        assert_eq!(MaxAcc::default().max(), 0.0);
+        let xs = [-3.0, 7.5, 2.0, 7.5, -10.0, 1.0];
+        let mut serial = MaxAcc::default();
+        for &x in &xs {
+            serial.push(x);
+        }
+        // Any chunking, any merge order: same max.
+        for split in 1..xs.len() {
+            let (lo, hi) = xs.split_at(split);
+            let fold = |chunk: &[f64]| {
+                let mut a = MaxAcc::default();
+                chunk.iter().for_each(|&x| a.push(x));
+                a
+            };
+            let mut ab = fold(lo);
+            ab.merge(fold(hi));
+            let mut ba = fold(hi);
+            ba.merge(fold(lo));
+            assert_eq!(ab.max().to_bits(), serial.max().to_bits());
+            assert_eq!(ba.max().to_bits(), serial.max().to_bits());
+            assert_eq!(ab.n(), xs.len() as u64);
+        }
+        // Negative-only series must not report the empty-default 0.
+        let mut neg = MaxAcc::default();
+        neg.push(-5.0);
+        neg.merge(MaxAcc::default());
+        assert_eq!(neg.max(), -5.0);
     }
 
     #[test]

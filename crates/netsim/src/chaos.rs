@@ -1,0 +1,313 @@
+//! Deterministic chaos engine: churn, partitions, and crash/restart.
+//!
+//! The paper evaluates Graphene on a healthy network; deployment means
+//! surviving the environment failing around the protocol. This module
+//! injects the three classic P2P failure modes —
+//!
+//! * **churn**: a peer goes offline for a while and rejoins with its
+//!   mempool trimmed to a survival fraction (the pool aged out while the
+//!   node was gone);
+//! * **partition**: the topology splits into two components for a scheduled
+//!   interval, then heals;
+//! * **crash/restart**: a peer loses every in-flight session and pending
+//!   timer, keeping only what a real node persists to disk (mempool +
+//!   accepted blocks, see [`graphene::NodeSnapshot`]).
+//!
+//! Like [`crate::backoff`], every decision is a **pure function of the
+//! configuration seed, the peer, and the time slot** — no shared RNG — so
+//! a chaotic simulation stays bit-identical for any `--threads` value. The
+//! schedule is materialised once by [`ChaosConfig::schedule`] and replayed
+//! through the ordinary event queue.
+
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
+use crate::peer::PeerId;
+use crate::time::SimTime;
+use graphene_blockchain::TxId;
+
+/// Why a peer is offline.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum OutageKind {
+    /// Orderly departure and rejoin; the mempool is trimmed to the
+    /// configured survival fraction on the way back.
+    Churn,
+    /// Abrupt crash; the node restores from its durable snapshot
+    /// (mempool intact, all session state lost).
+    Crash,
+}
+
+/// One scheduled chaos action.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ChaosEvent {
+    /// `peer` drops off the network (frames to it are lost, its timers are
+    /// cancelled). A durable snapshot is taken at this instant.
+    Down {
+        /// The affected peer.
+        peer: PeerId,
+        /// Whether this is churn or a crash.
+        kind: OutageKind,
+    },
+    /// `peer` rejoins: volatile state is rebuilt from the snapshot and the
+    /// reconnect handshake re-announces held blocks in both directions.
+    Up {
+        /// The affected peer.
+        peer: PeerId,
+        /// Whether this is churn or a crash.
+        kind: OutageKind,
+    },
+    /// The topology splits into the two sides of [`ChaosConfig::side`].
+    PartitionStart,
+    /// The partition heals; severed links re-handshake.
+    PartitionHeal,
+}
+
+/// Chaos injection knobs. All probabilities are per-peer, per-[`slot`]
+/// chances checked independently; `Default` is fully quiet.
+///
+/// [`slot`]: ChaosConfig::slot
+#[derive(Clone, Debug)]
+pub struct ChaosConfig {
+    /// Decision-stream seed (domain-separated from every other RNG).
+    pub seed: u64,
+    /// Per-slot probability that a peer churns offline.
+    pub churn_rate: f64,
+    /// How long a churned peer stays away.
+    pub churn_downtime: SimTime,
+    /// Fraction of the mempool that survives a churn rejoin.
+    pub survival_fraction: f64,
+    /// Per-slot probability that a peer crashes.
+    pub crash_rate: f64,
+    /// Downtime of a crash/restart cycle.
+    pub restart_delay: SimTime,
+    /// When the network splits (None = no partition).
+    pub partition_at: Option<SimTime>,
+    /// How long the partition lasts.
+    pub partition_duration: SimTime,
+    /// Width of one decision slot.
+    pub slot: SimTime,
+    /// First instant chaos may fire.
+    pub active_from: SimTime,
+    /// Last instant chaos may fire (every outage still gets its matching
+    /// `Up`, so the network always converges to fully-online).
+    pub active_until: SimTime,
+    /// Peers exempt from churn/crash (e.g. the block origin, so a trial
+    /// measures propagation robustness rather than origin loss).
+    pub exempt: Vec<PeerId>,
+}
+
+impl Default for ChaosConfig {
+    fn default() -> Self {
+        ChaosConfig {
+            seed: 0,
+            churn_rate: 0.0,
+            churn_downtime: SimTime::from_millis(15_000),
+            survival_fraction: 0.7,
+            crash_rate: 0.0,
+            restart_delay: SimTime::from_millis(500),
+            partition_at: None,
+            partition_duration: SimTime::from_millis(30_000),
+            slot: SimTime::from_millis(1_000),
+            active_from: SimTime::from_millis(2_000),
+            active_until: SimTime::from_millis(120_000),
+            exempt: Vec::new(),
+        }
+    }
+}
+
+/// SplitMix64 finalizer: a bijective avalanche mix.
+fn mix64(mut x: u64) -> u64 {
+    x ^= x >> 30;
+    x = x.wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x ^= x >> 27;
+    x = x.wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// One uniform draw in [0,1) from `(seed, peer, slot, channel)`.
+fn roll(seed: u64, peer: PeerId, slot: u64, channel: u64) -> f64 {
+    let h = mix64(
+        seed ^ (peer.0 as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15)
+            ^ slot.wrapping_mul(0xa076_1d64_78bd_642f)
+            ^ channel,
+    );
+    (h >> 11) as f64 / (1u64 << 53) as f64
+}
+
+impl ChaosConfig {
+    /// Which side of the partition `peer` lands on (0 or 1); a pure
+    /// function of the seed so the split is identical across threads.
+    pub fn side(&self, peer: PeerId) -> u8 {
+        (mix64(self.seed ^ 0x9a57 ^ peer.0 as u64) & 1) as u8
+    }
+
+    /// Does transaction `id` survive a churn rejoin at `peer`?
+    pub fn survives(&self, peer: PeerId, id: &TxId) -> bool {
+        let h = mix64(self.seed ^ 0x5u64 ^ (peer.0 as u64) << 32 ^ id.low_u64());
+        ((h >> 11) as f64 / (1u64 << 53) as f64) < self.survival_fraction
+    }
+
+    /// Materialise the full schedule for `n_peers` peers, sorted by time
+    /// (ties broken peer-then-kind so the order is deterministic).
+    ///
+    /// Outage intervals for one peer never overlap: while a peer is down,
+    /// its slots stop rolling until the matching `Up`. Every `Down` emitted
+    /// has its `Up` scheduled, even past `active_until`.
+    pub fn schedule(&self, n_peers: usize) -> Vec<(SimTime, ChaosEvent)> {
+        let mut events: Vec<(SimTime, ChaosEvent)> = Vec::new();
+        if self.slot.0 == 0 {
+            return events;
+        }
+        for p in 0..n_peers {
+            let peer = PeerId(p);
+            if self.exempt.contains(&peer) {
+                continue;
+            }
+            let mut down_until = SimTime::ZERO;
+            let mut slot_idx = self.active_from.0 / self.slot.0;
+            loop {
+                let at = SimTime(slot_idx.saturating_mul(self.slot.0));
+                if at > self.active_until {
+                    break;
+                }
+                slot_idx += 1;
+                if at < self.active_from || at < down_until {
+                    continue;
+                }
+                if self.churn_rate > 0.0 && roll(self.seed, peer, slot_idx, 0xc4) < self.churn_rate
+                {
+                    let up = at + self.churn_downtime;
+                    events.push((at, ChaosEvent::Down { peer, kind: OutageKind::Churn }));
+                    events.push((up, ChaosEvent::Up { peer, kind: OutageKind::Churn }));
+                    down_until = up;
+                    continue;
+                }
+                if self.crash_rate > 0.0 && roll(self.seed, peer, slot_idx, 0xcc) < self.crash_rate
+                {
+                    let up = at + self.restart_delay;
+                    events.push((at, ChaosEvent::Down { peer, kind: OutageKind::Crash }));
+                    events.push((up, ChaosEvent::Up { peer, kind: OutageKind::Crash }));
+                    down_until = up;
+                }
+            }
+        }
+        if let Some(at) = self.partition_at {
+            if self.partition_duration.0 > 0 {
+                events.push((at, ChaosEvent::PartitionStart));
+                events.push((at + self.partition_duration, ChaosEvent::PartitionHeal));
+            }
+        }
+        // Stable order: time, then peer, then a kind discriminant.
+        events.sort_by_key(|(t, e)| (*t, event_rank(e)));
+        events
+    }
+}
+
+/// Total order on simultaneous chaos events (partition changes first, then
+/// by peer; `Up` before `Down` so a zero-length outage is a no-op rather
+/// than a stranding).
+fn event_rank(e: &ChaosEvent) -> (u8, usize, u8) {
+    match e {
+        ChaosEvent::PartitionStart => (0, 0, 0),
+        ChaosEvent::PartitionHeal => (0, 0, 1),
+        ChaosEvent::Up { peer, .. } => (1, peer.0, 0),
+        ChaosEvent::Down { peer, .. } => (1, peer.0, 1),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn active_cfg() -> ChaosConfig {
+        ChaosConfig {
+            seed: 7,
+            churn_rate: 0.05,
+            crash_rate: 0.03,
+            partition_at: Some(SimTime::from_millis(10_000)),
+            partition_duration: SimTime::from_millis(20_000),
+            exempt: vec![PeerId(0)],
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn schedule_is_a_pure_function() {
+        let cfg = active_cfg();
+        assert_eq!(cfg.schedule(16), cfg.schedule(16));
+        let other = ChaosConfig { seed: 8, ..active_cfg() };
+        assert_ne!(cfg.schedule(16), other.schedule(16), "seed must matter");
+    }
+
+    #[test]
+    fn every_down_has_a_matching_up_and_no_overlap() {
+        let cfg = active_cfg();
+        let events = cfg.schedule(16);
+        let mut down: std::collections::HashMap<PeerId, SimTime> = Default::default();
+        let mut pairs = 0;
+        for (t, e) in &events {
+            match e {
+                ChaosEvent::Down { peer, .. } => {
+                    assert!(!down.contains_key(peer), "{peer:?} went down while down");
+                    down.insert(*peer, *t);
+                }
+                ChaosEvent::Up { peer, .. } => {
+                    let was = down.remove(peer).expect("Up without Down");
+                    assert!(*t > was);
+                    pairs += 1;
+                }
+                _ => {}
+            }
+        }
+        assert!(down.is_empty(), "unmatched Down events: {down:?}");
+        assert!(pairs > 0, "chaos schedule was empty at these rates");
+    }
+
+    #[test]
+    fn exempt_peers_never_fail() {
+        let cfg = active_cfg();
+        for (_, e) in cfg.schedule(16) {
+            if let ChaosEvent::Down { peer, .. } | ChaosEvent::Up { peer, .. } = e {
+                assert_ne!(peer, PeerId(0), "exempt peer scheduled for outage");
+            }
+        }
+    }
+
+    #[test]
+    fn schedule_sorted_and_bounded() {
+        let cfg = active_cfg();
+        let events = cfg.schedule(12);
+        for w in events.windows(2) {
+            assert!(w[0].0 <= w[1].0);
+        }
+        for (t, e) in &events {
+            if matches!(e, ChaosEvent::Down { .. }) {
+                assert!(*t >= cfg.active_from && *t <= cfg.active_until);
+            }
+        }
+    }
+
+    #[test]
+    fn partition_sides_are_deterministic_and_split() {
+        let cfg = active_cfg();
+        let sides: Vec<u8> = (0..16).map(|p| cfg.side(PeerId(p))).collect();
+        assert_eq!(sides, (0..16).map(|p| cfg.side(PeerId(p))).collect::<Vec<_>>());
+        assert!(sides.contains(&0) && sides.contains(&1));
+    }
+
+    #[test]
+    fn survival_fraction_roughly_respected() {
+        let cfg = ChaosConfig { survival_fraction: 0.7, seed: 3, ..Default::default() };
+        let survived = (0..1000u64)
+            .filter(|i| {
+                let tx = graphene_blockchain::Transaction::new(i.to_le_bytes().to_vec());
+                cfg.survives(PeerId(2), tx.id())
+            })
+            .count();
+        assert!((550..850).contains(&survived), "{survived}/1000 survived");
+    }
+
+    #[test]
+    fn quiet_config_schedules_nothing() {
+        assert!(ChaosConfig::default().schedule(32).is_empty());
+    }
+}

@@ -1,5 +1,6 @@
 //! The event queue: a min-heap of timestamped events.
 
+use crate::chaos::ChaosEvent;
 use crate::peer::PeerId;
 use crate::time::SimTime;
 use std::cmp::Ordering;
@@ -25,7 +26,18 @@ pub enum Event {
         block_id: graphene_hashes::Digest,
         /// Retry attempt number.
         attempt: u32,
+        /// Restart generation of `peer` when the timer was armed; a
+        /// mismatch on pop means the peer crashed since and the timer
+        /// is stale (dropped without dispatch).
+        gen: u32,
     },
+    /// A peer processes the next frame of its bounded inbound queue.
+    Drain {
+        /// The peer whose queue drains one frame.
+        peer: PeerId,
+    },
+    /// A scheduled chaos action (churn, crash, partition) fires.
+    Chaos(ChaosEvent),
 }
 
 struct Scheduled {
@@ -71,11 +83,15 @@ impl EventQueue {
         self.now
     }
 
-    /// Schedule `event` at absolute time `at` (clamped to now).
-    pub fn schedule(&mut self, at: SimTime, event: Event) {
+    /// Schedule `event` at absolute time `at` (clamped to now). Returns
+    /// `true` when `at` lay strictly in the past and was clamped — a
+    /// clock anomaly callers should count rather than ignore.
+    pub fn schedule(&mut self, at: SimTime, event: Event) -> bool {
+        let clamped = at < self.now;
         let at = at.max(self.now);
         self.seq += 1;
         self.heap.push(Scheduled { at, seq: self.seq, event });
+        clamped
     }
 
     /// Pop the next event, advancing the clock.
@@ -102,7 +118,7 @@ mod tests {
     use graphene_hashes::Digest;
 
     fn timeout(at_ms: u64) -> Event {
-        Event::Timeout { peer: PeerId(0), block_id: Digest::ZERO, attempt: at_ms as u32 }
+        Event::Timeout { peer: PeerId(0), block_id: Digest::ZERO, attempt: at_ms as u32, gen: 0 }
     }
 
     #[test]
@@ -130,12 +146,14 @@ mod tests {
     #[test]
     fn clock_is_monotone() {
         let mut q = EventQueue::new();
-        q.schedule(SimTime::from_millis(10), timeout(1));
+        assert!(!q.schedule(SimTime::from_millis(10), timeout(1)));
         q.pop();
         assert_eq!(q.now(), SimTime::from_millis(10));
-        // Scheduling in the past clamps to now.
-        q.schedule(SimTime::from_millis(1), timeout(2));
+        // Scheduling in the past clamps to now — and reports it.
+        assert!(q.schedule(SimTime::from_millis(1), timeout(2)));
         let (t, _) = q.pop().unwrap();
         assert_eq!(t, SimTime::from_millis(10));
+        // Scheduling exactly at now is not an anomaly.
+        assert!(!q.schedule(SimTime::from_millis(10), timeout(3)));
     }
 }

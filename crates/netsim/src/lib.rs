@@ -16,9 +16,18 @@
 //! * [`caps`] — §6.2 resource caps on inbound messages;
 //! * [`adversary`] — hostile-peer fault injection (§6.1 malformed IBLTs,
 //!   oversized filters, stalls, garbage responses);
+//! * [`chaos`] — deterministic environment-failure injection: churn,
+//!   partitions, crash/restart (see also the link-level duplication and
+//!   reordering faults in [`link`]);
 //! * [`network`] — topology, message routing, and the block-propagation
 //!   experiment driver;
 //! * [`metrics`] — byte/latency/ban accounting shared across the run.
+//!
+//! Peers run a **bounded-resource runtime**: every inbound frame passes
+//! through a capped queue with announcement-first load shedding, sessions
+//! and buffered bodies are capped, and a [`peer::ResourceAccounting`]
+//! high-water mark proves memory stays bounded even under combined chaos
+//! and adversarial load.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -26,6 +35,7 @@
 pub mod adversary;
 pub mod backoff;
 pub mod caps;
+pub mod chaos;
 pub mod event;
 pub mod link;
 pub mod metrics;
@@ -35,8 +45,9 @@ pub mod time;
 
 pub use adversary::{AdversaryConfig, Behavior};
 pub use caps::MessageCaps;
+pub use chaos::{ChaosConfig, ChaosEvent, OutageKind};
 pub use link::LinkParams;
 pub use metrics::Metrics;
 pub use network::{Network, PropagationResult};
-pub use peer::{PeerId, RelayProtocol, Rung};
+pub use peer::{PeerId, RelayProtocol, ResourceAccounting, ResourceLimits, Rung};
 pub use time::SimTime;

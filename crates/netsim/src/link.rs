@@ -14,6 +14,14 @@ pub struct LinkParams {
     pub drop_chance: f64,
     /// Probability one byte of a frame is flipped (fault injection).
     pub corrupt_chance: f64,
+    /// Probability a frame is delivered twice (fault injection); the extra
+    /// copy arrives `reorder_delay` later and is never corrupted.
+    pub duplicate_chance: f64,
+    /// Probability a frame is held back by `reorder_delay`, letting later
+    /// traffic overtake it (fault injection).
+    pub reorder_chance: f64,
+    /// Extra delay applied to duplicated copies and reordered frames.
+    pub reorder_delay: SimTime,
 }
 
 impl Default for LinkParams {
@@ -24,6 +32,9 @@ impl Default for LinkParams {
             bandwidth_bps: 50_000_000 / 8,
             drop_chance: 0.0,
             corrupt_chance: 0.0,
+            duplicate_chance: 0.0,
+            reorder_chance: 0.0,
+            reorder_delay: SimTime::from_millis(75),
         }
     }
 }
@@ -52,6 +63,32 @@ impl LinkParams {
             frame[idx] ^= 1 << rng.random_range(0..8);
         }
         Some(frame)
+    }
+
+    /// Full fault pipeline: drop, corrupt, duplicate, reorder. Returns the
+    /// copies to deliver, each with an *extra* delay on top of
+    /// [`transit_time`](Self::transit_time). Draw order is fixed
+    /// (drop → corrupt → duplicate → reorder) and every roll is guarded by
+    /// its chance being nonzero, so configurations that leave the new
+    /// faults at 0.0 consume exactly the RNG stream of [`inject_faults`]
+    /// (Self::inject_faults) — existing seeded results are unchanged.
+    pub fn deliveries(&self, frame: Vec<u8>, rng: &mut StdRng) -> Vec<(SimTime, Vec<u8>)> {
+        let pristine = frame.clone();
+        let Some(frame) = self.inject_faults(frame, rng) else {
+            return Vec::new();
+        };
+        let mut out = Vec::with_capacity(2);
+        let duplicated =
+            self.duplicate_chance > 0.0 && rng.random_bool(self.duplicate_chance.clamp(0.0, 1.0));
+        let reordered =
+            self.reorder_chance > 0.0 && rng.random_bool(self.reorder_chance.clamp(0.0, 1.0));
+        let primary_delay = if reordered { self.reorder_delay } else { SimTime::ZERO };
+        out.push((primary_delay, frame));
+        if duplicated {
+            // The stray copy took another path: clean bytes, extra delay.
+            out.push((self.reorder_delay, pristine));
+        }
+        out
     }
 }
 
@@ -86,6 +123,51 @@ mod tests {
         let link = LinkParams { drop_chance: 1.0, ..Default::default() };
         let mut rng = StdRng::seed_from_u64(2);
         assert_eq!(link.inject_faults(vec![1], &mut rng), None);
+    }
+
+    #[test]
+    fn deliveries_matches_inject_faults_when_new_faults_off() {
+        let link = LinkParams { drop_chance: 0.3, corrupt_chance: 0.3, ..Default::default() };
+        for seed in 0..32 {
+            let frame = vec![seed as u8; 40];
+            let mut a = StdRng::seed_from_u64(seed);
+            let mut b = StdRng::seed_from_u64(seed);
+            let legacy = link.inject_faults(frame.clone(), &mut a);
+            let multi = link.deliveries(frame, &mut b);
+            match legacy {
+                None => assert!(multi.is_empty()),
+                Some(f) => assert_eq!(multi, vec![(SimTime::ZERO, f)]),
+            }
+        }
+    }
+
+    #[test]
+    fn duplication_yields_two_copies() {
+        let link = LinkParams { duplicate_chance: 1.0, ..Default::default() };
+        let mut rng = StdRng::seed_from_u64(4);
+        let out = link.deliveries(vec![9, 9, 9], &mut rng);
+        assert_eq!(out.len(), 2);
+        assert_eq!(out[0], (SimTime::ZERO, vec![9, 9, 9]));
+        assert_eq!(out[1], (link.reorder_delay, vec![9, 9, 9]));
+    }
+
+    #[test]
+    fn reordering_delays_the_primary_copy() {
+        let link = LinkParams { reorder_chance: 1.0, ..Default::default() };
+        let mut rng = StdRng::seed_from_u64(5);
+        let out = link.deliveries(vec![7], &mut rng);
+        assert_eq!(out, vec![(link.reorder_delay, vec![7])]);
+    }
+
+    #[test]
+    fn duplicated_copy_is_never_corrupted() {
+        let link = LinkParams { corrupt_chance: 1.0, duplicate_chance: 1.0, ..Default::default() };
+        let mut rng = StdRng::seed_from_u64(6);
+        let frame = vec![0u8; 32];
+        let out = link.deliveries(frame.clone(), &mut rng);
+        assert_eq!(out.len(), 2);
+        assert_ne!(out[0].1, frame, "primary should be corrupted");
+        assert_eq!(out[1].1, frame, "duplicate must be pristine");
     }
 
     #[test]

@@ -25,6 +25,15 @@ struct Inner {
     bans: u64,
     failovers: u64,
     escalations: u64,
+    stale_timers: u64,
+    clamped_events: u64,
+    offline_drops: u64,
+    partition_drops: u64,
+    duplicated_frames: u64,
+    churn_outages: u64,
+    crashes: u64,
+    shed_frames: u64,
+    resource_hwm_bytes: u64,
 }
 
 impl Metrics {
@@ -63,6 +72,55 @@ impl Metrics {
     /// Record `n` recovery-ladder rung escalations.
     pub fn record_escalations(&self, n: u32) {
         self.inner.lock().escalations += n as u64;
+    }
+
+    /// Record a timer dropped on pop because its session or restart
+    /// generation went stale.
+    pub fn record_stale_timer(&self) {
+        self.inner.lock().stale_timers += 1;
+    }
+
+    /// Record an event scheduled in the past and clamped to `now` — a
+    /// clock anomaly that should never be silent.
+    pub fn record_clamped_event(&self) {
+        self.inner.lock().clamped_events += 1;
+    }
+
+    /// Record a frame lost because its endpoint was offline.
+    pub fn record_offline_drop(&self) {
+        self.inner.lock().offline_drops += 1;
+    }
+
+    /// Record a frame lost to an active network partition.
+    pub fn record_partition_drop(&self) {
+        self.inner.lock().partition_drops += 1;
+    }
+
+    /// Record a link-level duplicated delivery.
+    pub fn record_duplicate(&self) {
+        self.inner.lock().duplicated_frames += 1;
+    }
+
+    /// Record a churn outage starting.
+    pub fn record_churn(&self) {
+        self.inner.lock().churn_outages += 1;
+    }
+
+    /// Record a crash/restart cycle starting.
+    pub fn record_crash(&self) {
+        self.inner.lock().crashes += 1;
+    }
+
+    /// Record `n` inbound frames shed by the load-shedding policy.
+    pub fn record_shed(&self, n: u64) {
+        self.inner.lock().shed_frames += n;
+    }
+
+    /// Fold one peer's accounted-memory high-water mark into the
+    /// simulation-wide maximum.
+    pub fn record_resource_hwm(&self, bytes: u64) {
+        let mut g = self.inner.lock();
+        g.resource_hwm_bytes = g.resource_hwm_bytes.max(bytes);
     }
 
     /// Record the first time `peer` fully reconstructed the block.
@@ -110,6 +168,51 @@ impl Metrics {
         self.inner.lock().escalations
     }
 
+    /// Stale timers dropped on pop.
+    pub fn stale_timers(&self) -> u64 {
+        self.inner.lock().stale_timers
+    }
+
+    /// Past-time events clamped to `now` by the queue.
+    pub fn clamped_events(&self) -> u64 {
+        self.inner.lock().clamped_events
+    }
+
+    /// Frames lost to offline endpoints.
+    pub fn offline_drops(&self) -> u64 {
+        self.inner.lock().offline_drops
+    }
+
+    /// Frames lost to an active partition.
+    pub fn partition_drops(&self) -> u64 {
+        self.inner.lock().partition_drops
+    }
+
+    /// Link-level duplicated deliveries.
+    pub fn duplicated_frames(&self) -> u64 {
+        self.inner.lock().duplicated_frames
+    }
+
+    /// Churn outages injected.
+    pub fn churn_outages(&self) -> u64 {
+        self.inner.lock().churn_outages
+    }
+
+    /// Crash/restart cycles injected.
+    pub fn crashes(&self) -> u64 {
+        self.inner.lock().crashes
+    }
+
+    /// Inbound frames shed under queue pressure.
+    pub fn shed_frames(&self) -> u64 {
+        self.inner.lock().shed_frames
+    }
+
+    /// Maximum accounted per-peer memory observed anywhere in the run.
+    pub fn resource_hwm_bytes(&self) -> u64 {
+        self.inner.lock().resource_hwm_bytes
+    }
+
     /// When `peer` first held the block, if ever.
     pub fn arrival(&self, peer: PeerId) -> Option<SimTime> {
         self.inner.lock().block_arrival.get(&peer).copied()
@@ -134,6 +237,30 @@ mod tests {
         assert_eq!(m.total_bytes(), 187);
         assert_eq!(m.bytes_for(0x10), 150);
         assert_eq!(m.frames(), 3);
+    }
+
+    #[test]
+    fn chaos_counters_accumulate() {
+        let m = Metrics::new();
+        m.record_stale_timer();
+        m.record_clamped_event();
+        m.record_offline_drop();
+        m.record_partition_drop();
+        m.record_duplicate();
+        m.record_churn();
+        m.record_crash();
+        m.record_shed(3);
+        m.record_resource_hwm(500);
+        m.record_resource_hwm(200); // max, not sum
+        assert_eq!(m.stale_timers(), 1);
+        assert_eq!(m.clamped_events(), 1);
+        assert_eq!(m.offline_drops(), 1);
+        assert_eq!(m.partition_drops(), 1);
+        assert_eq!(m.duplicated_frames(), 1);
+        assert_eq!(m.churn_outages(), 1);
+        assert_eq!(m.crashes(), 1);
+        assert_eq!(m.shed_frames(), 3);
+        assert_eq!(m.resource_hwm_bytes(), 500);
     }
 
     #[test]

@@ -3,11 +3,13 @@
 #![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
 use crate::backoff;
+use crate::chaos::{ChaosConfig, ChaosEvent, OutageKind};
 use crate::event::{Event, EventQueue};
 use crate::link::LinkParams;
 use crate::metrics::Metrics;
 use crate::peer::{Output, Peer, PeerId, RelayProtocol};
 use crate::time::SimTime;
+use graphene::NodeSnapshot;
 use graphene_blockchain::{Block, Mempool};
 use graphene_wire::{Decode, Encode, Message};
 use rand::{rngs::StdRng, RngExt, SeedableRng};
@@ -23,6 +25,19 @@ pub struct Network {
     /// Shared byte/latency accounting.
     pub metrics: Metrics,
     rng: StdRng,
+    /// Chaos schedule, if enabled.
+    chaos: Option<ChaosConfig>,
+    /// Is each peer currently reachable?
+    online: Vec<bool>,
+    /// Durable snapshot taken when a peer went down.
+    snapshots: Vec<Option<NodeSnapshot>>,
+    /// Restart generation per peer; timers armed before a crash carry the
+    /// old generation and are dropped as stale on pop.
+    gen: Vec<u32>,
+    /// When each peer finishes processing its current frame (backpressure).
+    busy_until: Vec<SimTime>,
+    /// Is a partition currently splitting the topology?
+    partition_active: bool,
 }
 
 /// Outcome of a propagation run.
@@ -51,6 +66,58 @@ impl Network {
             queue: EventQueue::new(),
             metrics: Metrics::new(),
             rng: StdRng::seed_from_u64(seed),
+            chaos: None,
+            online: vec![true; n],
+            snapshots: (0..n).map(|_| None).collect(),
+            gen: vec![0; n],
+            busy_until: vec![SimTime::ZERO; n],
+            partition_active: false,
+        }
+    }
+
+    /// Arm a chaos schedule: every churn/crash/partition event in `cfg`'s
+    /// horizon is materialised now and replayed through the event queue.
+    pub fn enable_chaos(&mut self, cfg: ChaosConfig) {
+        for (at, ev) in cfg.schedule(self.peers.len()) {
+            self.schedule(at, Event::Chaos(ev));
+        }
+        self.chaos = Some(cfg);
+    }
+
+    /// Is `peer` currently online?
+    pub fn is_online(&self, peer: PeerId) -> bool {
+        self.online[peer.0]
+    }
+
+    /// Schedule a single chaos action at an explicit time — for
+    /// deterministic failure-scenario tests that need a crash at a precise
+    /// instant rather than a seeded schedule.
+    pub fn inject_chaos(&mut self, at: SimTime, ev: ChaosEvent) {
+        self.schedule(at, Event::Chaos(ev));
+    }
+
+    /// Events still pending in the queue (heap-growth assertions).
+    pub fn pending_events(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Schedule with clamp accounting (satellite: clock anomalies are
+    /// counted, not silent).
+    fn schedule(&mut self, at: SimTime, event: Event) {
+        if self.queue.schedule(at, event) {
+            self.metrics.record_clamped_event();
+        }
+    }
+
+    /// Can a frame currently flow from `a` to `b`? False while a partition
+    /// separates their sides.
+    fn reachable(&self, a: PeerId, b: PeerId) -> bool {
+        if !self.partition_active {
+            return true;
+        }
+        match &self.chaos {
+            Some(cfg) => cfg.side(a) == cfg.side(b),
+            None => true,
         }
     }
 
@@ -110,12 +177,18 @@ impl Network {
             let frame = msg.to_vec();
             self.metrics.record_frame(msg.type_byte(), frame.len());
             let link = self.link(from, to);
-            match link.inject_faults(frame, &mut self.rng) {
-                Some(frame) => {
-                    let at = self.queue.now() + link.transit_time(frame.len());
-                    self.queue.schedule(at, Event::Deliver { to, from, frame });
-                }
-                None => self.metrics.record_drop(),
+            let transit = link.transit_time(frame.len());
+            let copies = link.deliveries(frame, &mut self.rng);
+            if copies.is_empty() {
+                self.metrics.record_drop();
+                continue;
+            }
+            if copies.len() > 1 {
+                self.metrics.record_duplicate();
+            }
+            for (extra, frame) in copies {
+                let at = self.queue.now() + transit + extra;
+                self.schedule(at, Event::Deliver { to, from, frame });
             }
         }
     }
@@ -132,7 +205,8 @@ impl Network {
             // timers carry a flag bit that must not inflate the delay.
             let at =
                 self.queue.now() + backoff::delay(peer, block_id, attempt & !crate::peer::ANN_FLAG);
-            self.queue.schedule(at, Event::Timeout { peer, block_id, attempt });
+            let gen = self.gen[peer.0];
+            self.schedule(at, Event::Timeout { peer, block_id, attempt, gen });
         }
         for _ in &out.banned {
             self.metrics.record_ban();
@@ -187,6 +261,14 @@ impl Network {
             }
             match event {
                 Event::Deliver { to, from, frame } => {
+                    if !self.online[to.0] {
+                        self.metrics.record_offline_drop();
+                        continue;
+                    }
+                    if !self.reachable(from, to) {
+                        self.metrics.record_partition_drop();
+                        continue;
+                    }
                     let msg = match Message::decode_exact(&frame) {
                         Ok(m) => m,
                         Err(_) => {
@@ -195,13 +277,134 @@ impl Network {
                             continue;
                         }
                     };
-                    let neighbors = self.adjacency[to.0].clone();
-                    let out = self.peers[to.0].handle(from, msg, &neighbors);
-                    self.apply_output(to, out);
+                    // Backpressure: the frame joins the peer's bounded
+                    // inbound queue (possibly shedding under load) and is
+                    // processed by a Drain event once the peer is free.
+                    let bytes = frame.len();
+                    let shed = self.peers[to.0].enqueue(from, msg, bytes);
+                    if shed > 0 {
+                        self.metrics.record_shed(shed);
+                    }
+                    let ready = at.max(self.busy_until[to.0]);
+                    self.schedule(ready, Event::Drain { peer: to });
                 }
-                Event::Timeout { peer, block_id, attempt } => {
+                Event::Drain { peer } => {
+                    if !self.online[peer.0] {
+                        continue; // queue was wiped with the crash
+                    }
+                    if at < self.busy_until[peer.0] {
+                        // Still chewing on an earlier frame; come back when
+                        // free. (Happens when processing delays are nonzero
+                        // and arrivals cluster.)
+                        let ready = self.busy_until[peer.0];
+                        self.schedule(ready, Event::Drain { peer });
+                        continue;
+                    }
+                    let Some((from, msg, bytes)) = self.peers[peer.0].dequeue() else {
+                        continue; // frame was shed after this drain was armed
+                    };
+                    self.busy_until[peer.0] = at + self.peers[peer.0].limits.proc_time(bytes);
+                    let neighbors = self.adjacency[peer.0].clone();
+                    let out = self.peers[peer.0].handle(from, msg, &neighbors);
+                    self.apply_output(peer, out);
+                }
+                Event::Timeout { peer, block_id, attempt, gen } => {
+                    if !self.online[peer.0] || gen != self.gen[peer.0] {
+                        // Armed before a crash/outage: the state it guarded
+                        // no longer exists.
+                        self.metrics.record_stale_timer();
+                        continue;
+                    }
+                    if !self.peers[peer.0].timer_current(&block_id, attempt) {
+                        // Session completed or advanced past this epoch;
+                        // drop on pop instead of dispatching a no-op.
+                        self.metrics.record_stale_timer();
+                        continue;
+                    }
                     let out = self.peers[peer.0].handle_timeout(block_id, attempt);
                     self.apply_output(peer, out);
+                }
+                Event::Chaos(ev) => self.apply_chaos(at, ev),
+            }
+        }
+        for i in 0..self.peers.len() {
+            self.metrics.record_resource_hwm(self.peers[i].accounting().hwm_bytes);
+        }
+    }
+
+    /// Execute one chaos action.
+    fn apply_chaos(&mut self, _at: SimTime, ev: ChaosEvent) {
+        match ev {
+            ChaosEvent::Down { peer, kind } => {
+                if !self.online[peer.0] {
+                    return;
+                }
+                match kind {
+                    OutageKind::Churn => self.metrics.record_churn(),
+                    OutageKind::Crash => self.metrics.record_crash(),
+                }
+                // The accounted high-water mark survives the crash even
+                // though the peer's state does not.
+                self.metrics.record_resource_hwm(self.peers[peer.0].accounting().hwm_bytes);
+                self.snapshots[peer.0] = Some(self.peers[peer.0].snapshot());
+                self.online[peer.0] = false;
+            }
+            ChaosEvent::Up { peer, kind } => {
+                if self.online[peer.0] {
+                    return;
+                }
+                let Some(mut snapshot) = self.snapshots[peer.0].take() else {
+                    return;
+                };
+                if kind == OutageKind::Churn {
+                    // The pool aged out while the node was away: keep only
+                    // the deterministic survival sample.
+                    if let Some(cfg) = &self.chaos {
+                        snapshot.retain_mempool(|id| cfg.survives(peer, id));
+                    }
+                }
+                self.peers[peer.0].restore(snapshot);
+                self.online[peer.0] = true;
+                self.gen[peer.0] = self.gen[peer.0].wrapping_add(1);
+                self.busy_until[peer.0] = self.queue.now();
+                // Reconnect handshake with every reachable online neighbor,
+                // in both directions: the rejoined peer re-announces what it
+                // holds and re-learns what it missed.
+                let neighbors = self.adjacency[peer.0].clone();
+                for n in neighbors {
+                    if !self.online[n.0] || !self.reachable(peer, n) {
+                        continue;
+                    }
+                    let out = self.peers[peer.0].handshake(n);
+                    self.apply_output(peer, out);
+                    let out = self.peers[n.0].handshake(peer);
+                    self.apply_output(n, out);
+                }
+            }
+            ChaosEvent::PartitionStart => {
+                self.partition_active = true;
+            }
+            ChaosEvent::PartitionHeal => {
+                self.partition_active = false;
+                // Re-handshake across every previously-severed link so the
+                // two sides reconcile the blocks mined apart.
+                let Some(cfg) = self.chaos.clone() else {
+                    return;
+                };
+                for a in 0..self.peers.len() {
+                    let neighbors = self.adjacency[a].clone();
+                    for b in neighbors {
+                        if a >= b.0 || cfg.side(PeerId(a)) == cfg.side(b) {
+                            continue;
+                        }
+                        if !self.online[a] || !self.online[b.0] {
+                            continue;
+                        }
+                        let out = self.peers[a].handshake(b);
+                        self.apply_output(PeerId(a), out);
+                        let out = self.peers[b.0].handshake(PeerId(a));
+                        self.apply_output(b, out);
+                    }
                 }
             }
         }
@@ -460,6 +663,183 @@ mod tests {
         assert!(net.metrics.bytes_for(0x14) > 0, "GetGrapheneRetry rung never requested");
         assert!(net.metrics.bytes_for(0x30) > 0, "short-ID fetch rung never requested");
         assert!(net.metrics.escalations() >= 3);
+    }
+
+    // --- Chaos substrate -----------------------------------------------------
+
+    use crate::chaos::{ChaosConfig, ChaosEvent, OutageKind};
+
+    /// Ring + chords: stays connected when any single peer churns out.
+    fn ring_with_chords(net: &mut Network, n: usize) {
+        for i in 0..n {
+            net.connect(PeerId(i), PeerId((i + 1) % n));
+        }
+        for i in 0..n / 2 {
+            net.connect(PeerId(i), PeerId((i + n / 2) % n));
+        }
+    }
+
+    #[test]
+    fn crash_restart_mid_session_recovers_and_drains_timers() {
+        // Peer 1 crashes while its Graphene session with the origin is in
+        // flight, restarts from its durable snapshot, and must re-learn the
+        // block through the reconnect handshake — with every pre-crash
+        // timer recognised as stale rather than firing into dead state.
+        let (mut net, block) = build(3, RelayProtocol::Graphene(GrapheneConfig::default()), 40);
+        line_topology(&mut net, 3);
+        // 50 ms links: at t=60 ms the inv has arrived and the session is
+        // open, but the block payload has not landed yet.
+        net.inject_chaos(
+            SimTime::from_millis(60),
+            ChaosEvent::Down { peer: PeerId(1), kind: OutageKind::Crash },
+        );
+        net.inject_chaos(
+            SimTime::from_millis(1_500),
+            ChaosEvent::Up { peer: PeerId(1), kind: OutageKind::Crash },
+        );
+        let r = net.propagate(PeerId(0), block, SimTime::from_millis(600_000));
+        assert_eq!(r.peers_reached, 3, "{r:?}");
+        assert_eq!(net.metrics.crashes(), 1);
+        assert!(net.metrics.stale_timers() > 0, "pre-crash timers never recognised as stale");
+        assert_eq!(net.pending_events(), 0, "orphaned events left in the heap");
+    }
+
+    #[test]
+    fn heap_drains_to_empty_after_long_chaotic_run() {
+        // Satellite: stale timers must be dropped on pop, so after the
+        // network quiesces nothing lingers in the event heap.
+        let (mut net, block) = build(10, RelayProtocol::Graphene(GrapheneConfig::default()), 41);
+        ring_with_chords(&mut net, 10);
+        net.set_default_link(LinkParams {
+            drop_chance: 0.05,
+            corrupt_chance: 0.03,
+            duplicate_chance: 0.05,
+            reorder_chance: 0.05,
+            ..LinkParams::default()
+        });
+        net.enable_chaos(ChaosConfig {
+            seed: 13,
+            churn_rate: 0.02,
+            crash_rate: 0.01,
+            churn_downtime: SimTime::from_millis(8_000),
+            partition_at: Some(SimTime::from_millis(5_000)),
+            partition_duration: SimTime::from_millis(15_000),
+            active_until: SimTime::from_millis(60_000),
+            exempt: vec![PeerId(0)],
+            ..Default::default()
+        });
+        let r = net.propagate(PeerId(0), block, SimTime::from_millis(3_600_000));
+        assert_eq!(r.peers_reached, 10, "{r:?}");
+        assert_eq!(net.pending_events(), 0, "heap did not drain");
+        assert!(net.metrics.stale_timers() > 0);
+    }
+
+    #[test]
+    fn partition_heals_and_both_sides_converge() {
+        let (mut net, block) = build(8, RelayProtocol::Graphene(GrapheneConfig::default()), 42);
+        ring_with_chords(&mut net, 8);
+        let cfg = ChaosConfig {
+            seed: 17,
+            partition_at: Some(SimTime::from_millis(10)),
+            partition_duration: SimTime::from_millis(30_000),
+            ..Default::default()
+        };
+        // The origin's whole side converges during the split; the far side
+        // only after the heal-time handshake.
+        net.enable_chaos(cfg);
+        let r = net.propagate(PeerId(0), block, SimTime::from_millis(600_000));
+        assert_eq!(r.peers_reached, 8, "{r:?}");
+        assert!(net.metrics.partition_drops() > 0, "partition never blocked a frame");
+        assert!(
+            r.completion_time.expect("complete") >= SimTime::from_millis(30_000),
+            "someone across the cut finished before the heal: {r:?}"
+        );
+    }
+
+    #[test]
+    fn churn_trims_mempool_to_survival_fraction() {
+        let (mut net, block) = build(3, RelayProtocol::Graphene(GrapheneConfig::default()), 43);
+        line_topology(&mut net, 3);
+        let before = net.peer(PeerId(2)).mempool.len();
+        assert!(before > 100);
+        net.enable_chaos(ChaosConfig { seed: 3, survival_fraction: 0.5, ..Default::default() });
+        net.inject_chaos(
+            SimTime::from_millis(5),
+            ChaosEvent::Down { peer: PeerId(2), kind: OutageKind::Churn },
+        );
+        net.inject_chaos(
+            SimTime::from_millis(10),
+            ChaosEvent::Up { peer: PeerId(2), kind: OutageKind::Churn },
+        );
+        net.run_until(SimTime::from_millis(20));
+        let after = net.peer(PeerId(2)).mempool.len();
+        assert!(
+            after < before * 7 / 10 && after > before * 3 / 10,
+            "survival fraction not applied: {before} -> {after}"
+        );
+        assert_eq!(net.metrics.churn_outages(), 1);
+        // The churned peer still gets the block (Protocol 2 covers the gap).
+        let r = net.propagate(PeerId(0), block, SimTime::from_millis(600_000));
+        assert_eq!(r.peers_reached, 3, "{r:?}");
+    }
+
+    #[test]
+    fn combined_chaos_still_delivers_to_everyone() {
+        // The acceptance scenario in miniature: churn + partition + crash
+        // + link duplication/reordering on top of drop/corrupt, and every
+        // honest peer still reconstructs the block.
+        let (mut net, block) = build(12, RelayProtocol::Graphene(GrapheneConfig::default()), 44);
+        ring_with_chords(&mut net, 12);
+        net.set_default_link(LinkParams {
+            drop_chance: 0.03,
+            corrupt_chance: 0.02,
+            duplicate_chance: 0.05,
+            reorder_chance: 0.05,
+            ..LinkParams::default()
+        });
+        net.enable_chaos(ChaosConfig {
+            seed: 23,
+            churn_rate: 0.02,
+            crash_rate: 0.01,
+            churn_downtime: SimTime::from_millis(10_000),
+            partition_at: Some(SimTime::from_millis(8_000)),
+            partition_duration: SimTime::from_millis(20_000),
+            active_until: SimTime::from_millis(90_000),
+            exempt: vec![PeerId(0)],
+            ..Default::default()
+        });
+        let r = net.propagate(PeerId(0), block, SimTime::from_millis(3_600_000));
+        assert_eq!(r.peers_reached, 12, "{r:?}");
+        assert!(
+            net.metrics.churn_outages() + net.metrics.crashes() > 0,
+            "chaos schedule never fired"
+        );
+        // Bounded memory held throughout.
+        let ceiling = net.peer(PeerId(0)).limits.accounted_ceiling();
+        assert!(net.metrics.resource_hwm_bytes() <= ceiling);
+    }
+
+    #[test]
+    fn backpressure_sheds_announcements_but_session_completes() {
+        // Tiny queue + slow processing at peer 1: announcement floods from
+        // tx gossip get shed, but the Graphene session's recovery frames
+        // survive and the block still lands.
+        use graphene_blockchain::Transaction;
+        let (mut net, block) = build(3, RelayProtocol::Graphene(GrapheneConfig::default()), 45);
+        line_topology(&mut net, 3);
+        {
+            let p = net.peer_mut(PeerId(1));
+            p.limits.max_queue_frames = 4;
+            p.limits.proc_delay_per_frame = SimTime::from_millis(25);
+        }
+        // Flood loose-tx announcements at the bottleneck peer.
+        for i in 0..30u64 {
+            let tx = Transaction::new(i.to_le_bytes().to_vec());
+            net.inject_txns(PeerId(0), vec![tx]);
+        }
+        let r = net.propagate(PeerId(0), block, SimTime::from_millis(600_000));
+        assert_eq!(r.peers_reached, 3, "{r:?}");
+        assert!(net.metrics.shed_frames() > 0, "queue pressure never shed");
     }
 
     #[test]

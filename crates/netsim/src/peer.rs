@@ -45,6 +45,7 @@ use graphene::config::GrapheneConfig;
 use graphene::error::{P1Failure, P2Failure};
 use graphene::protocol1::{self, CandidateSet, RetryTweak};
 use graphene::protocol2::{self};
+use graphene::NodeSnapshot;
 use graphene_blockchain::{Block, Header, Mempool, OrderingScheme, Transaction, TxId};
 use graphene_bloom::{BloomFilter, Membership};
 use graphene_hashes::{sha256, short_id_6, short_id_8, Digest, SipKey};
@@ -53,7 +54,7 @@ use graphene_wire::messages::{
     GetGrapheneRetryMsg, GetGrapheneTxnMsg, GetTxnsMsg, InvMsg, Message, TxInvMsg, TxnsMsg,
     XthinBlockMsg, XthinGetDataMsg,
 };
-use std::collections::{HashMap, HashSet};
+use std::collections::{HashMap, HashSet, VecDeque};
 
 /// Same-rung retries for the non-Graphene protocols before the full-block
 /// rung (the seed's fixed retry budget).
@@ -82,6 +83,114 @@ const MAX_ANN_RETRIES: u32 = 3;
 /// Full ladder traversals (ending in a failover with no alternate left)
 /// before a session is abandoned as unservable.
 const MAX_LADDER_CYCLES: u32 = 2;
+
+/// Accounted fixed overhead of one open [`RxSession`] (struct + map slots),
+/// charged against the memory budget alongside its variable body bytes.
+const SESSION_FIXED_BYTES: u64 = 512;
+
+/// Accounted fixed overhead of one `pending_announcements` entry.
+const PENDING_FIXED_BYTES: u64 = 64;
+
+/// Caps on every per-peer resource. `Default` is generous enough that the
+/// healthy-network simulations never hit a limit; chaos/overload sweeps
+/// tighten them to exercise shedding.
+#[derive(Clone, Copy, Debug)]
+pub struct ResourceLimits {
+    /// Concurrent receive sessions; further announcements are ignored
+    /// until a slot frees (a later re-announcement reopens them).
+    pub max_sessions: usize,
+    /// Blocks with re-announcement timers pending at once.
+    pub max_pending_announcements: usize,
+    /// Orphan transaction bodies buffered per session, in bytes.
+    pub max_body_bytes: u64,
+    /// Remote peers whose misbehavior score is tracked.
+    pub max_misbehavior_entries: usize,
+    /// Inbound queue depth in frames.
+    pub max_queue_frames: usize,
+    /// Inbound queue depth in bytes.
+    pub max_queue_bytes: u64,
+    /// Per-frame processing time (0 = process instantly, the pre-chaos
+    /// behavior: the queue drains in zero simulated time).
+    pub proc_delay_per_frame: crate::time::SimTime,
+    /// Additional processing time per KiB of frame.
+    pub proc_delay_per_kb: crate::time::SimTime,
+}
+
+impl Default for ResourceLimits {
+    fn default() -> Self {
+        ResourceLimits {
+            max_sessions: 64,
+            max_pending_announcements: 64,
+            max_body_bytes: 4 << 20,
+            max_misbehavior_entries: 256,
+            max_queue_frames: 4096,
+            max_queue_bytes: 64 << 20,
+            proc_delay_per_frame: crate::time::SimTime::ZERO,
+            proc_delay_per_kb: crate::time::SimTime::ZERO,
+        }
+    }
+}
+
+impl ResourceLimits {
+    /// Upper bound on [`ResourceAccounting::accounted_bytes`] implied by
+    /// these caps — what the chaos sweep asserts is never exceeded.
+    pub fn accounted_ceiling(&self) -> u64 {
+        self.max_queue_bytes
+            + self.max_sessions as u64 * (SESSION_FIXED_BYTES + self.max_body_bytes)
+            + self.max_pending_announcements as u64 * PENDING_FIXED_BYTES
+    }
+
+    /// Simulated time to process one inbound frame of `bytes` bytes.
+    pub fn proc_time(&self, bytes: usize) -> crate::time::SimTime {
+        crate::time::SimTime(
+            self.proc_delay_per_frame.0
+                + self.proc_delay_per_kb.0.saturating_mul(bytes as u64) / 1024,
+        )
+    }
+}
+
+/// Point-in-time resource usage of one peer, in accounted bytes.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ResourceAccounting {
+    /// Frames waiting in the inbound queue.
+    pub queue_frames: usize,
+    /// Bytes waiting in the inbound queue.
+    pub queue_bytes: u64,
+    /// Open receive sessions.
+    pub sessions: usize,
+    /// Orphan body bytes buffered across all sessions.
+    pub body_bytes: u64,
+    /// Blocks with re-announcement timers pending.
+    pub pending_announcements: usize,
+    /// Highest accounted-byte total ever observed at this peer.
+    pub hwm_bytes: u64,
+    /// Inbound frames shed by the load-shedding policy (lifetime).
+    pub shed_frames: u64,
+}
+
+impl ResourceAccounting {
+    /// Total accounted memory right now.
+    pub fn accounted_bytes(&self) -> u64 {
+        self.queue_bytes
+            + self.sessions as u64 * SESSION_FIXED_BYTES
+            + self.body_bytes
+            + self.pending_announcements as u64 * PENDING_FIXED_BYTES
+    }
+}
+
+/// Load-shedding class of an inbound frame. Announcements are droppable
+/// (the bounded re-announcement timer re-sends them); recovery frames of
+/// an *active* session are never shed — dropping one would stall a
+/// session that already paid for its request.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum FrameClass {
+    /// `Inv`/`TxInv`: cheapest to shed, retransmitted by design.
+    Announcement,
+    /// Block payload or repair data for an open session.
+    ActiveRecovery,
+    /// Everything else (requests we serve, unsolicited payloads).
+    Other,
+}
 
 /// Peer identifier (index into the network's peer table).
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -133,6 +242,9 @@ struct RxSession {
     cycles: u32,
     /// Bodies collected during the session (prefilled, missing, fetched).
     bodies: HashMap<TxId, Transaction>,
+    /// Accounted bytes in `bodies` (kept incrementally; capped by
+    /// [`ResourceLimits::max_body_bytes`]).
+    body_bytes: u64,
 }
 
 impl RxSession {
@@ -146,7 +258,23 @@ impl RxSession {
             phase: RxPhase::Requested,
             cycles: 0,
             bodies: HashMap::new(),
+            body_bytes: 0,
         }
+    }
+
+    /// Buffer a transaction body, respecting the orphan-body cap. A body
+    /// past the cap is dropped — the session can still finish from the
+    /// mempool, or the ladder's full-block rung re-ships everything.
+    fn add_body(&mut self, limits: &ResourceLimits, tx: &Transaction) {
+        if self.bodies.contains_key(tx.id()) {
+            return;
+        }
+        let sz = tx.size() as u64;
+        if self.body_bytes + sz > limits.max_body_bytes {
+            return;
+        }
+        self.body_bytes += sz;
+        self.bodies.insert(*tx.id(), tx.clone());
     }
 }
 
@@ -175,6 +303,8 @@ pub struct Peer {
     pub behavior: Behavior,
     /// §6.2 caps applied to every inbound message.
     pub caps: MessageCaps,
+    /// Per-peer resource caps (queue depth, sessions, bodies, …).
+    pub limits: ResourceLimits,
     blocks: HashMap<Digest, Block>,
     sessions: HashMap<Digest, RxSession>,
     seen_inv: HashSet<Digest>,
@@ -189,6 +319,14 @@ pub struct Peer {
     banned: HashSet<PeerId>,
     /// Adversarial decision counter (deterministic mangling stream).
     adv_nonce: u64,
+    /// Bounded inbound frame queue: (sender, decoded message, frame bytes).
+    inbox: VecDeque<(PeerId, Message, usize)>,
+    /// Bytes currently queued in `inbox`.
+    inbox_bytes: u64,
+    /// Lifetime count of shed inbound frames.
+    shed_frames: u64,
+    /// High-water mark of accounted memory.
+    hwm_bytes: u64,
 }
 
 /// Frames to transmit plus timers to arm and events for metrics.
@@ -238,6 +376,7 @@ impl Peer {
             mempool,
             behavior: Behavior::Honest,
             caps: MessageCaps::default(),
+            limits: ResourceLimits::default(),
             blocks: HashMap::new(),
             sessions: HashMap::new(),
             seen_inv: HashSet::new(),
@@ -246,6 +385,10 @@ impl Peer {
             misbehavior: HashMap::new(),
             banned: HashSet::new(),
             adv_nonce: 0,
+            inbox: VecDeque::new(),
+            inbox_bytes: 0,
+            shed_frames: 0,
+            hwm_bytes: 0,
         }
     }
 
@@ -274,6 +417,185 @@ impl Peer {
         self.sessions.get(block_id).map(|s| s.rung)
     }
 
+    /// Number of open receive sessions.
+    pub fn open_sessions(&self) -> usize {
+        self.sessions.len()
+    }
+
+    /// Number of blocks with re-announcement timers pending.
+    pub fn pending_announcement_count(&self) -> usize {
+        self.pending_announcements.len()
+    }
+
+    /// Number of remote peers with a tracked misbehavior score.
+    pub fn misbehavior_entries(&self) -> usize {
+        self.misbehavior.len()
+    }
+
+    /// Announced peer list for `block_id` awaiting acknowledgement (test
+    /// and invariant-checking hook).
+    pub fn pending_announcement(&self, block_id: &Digest) -> Option<&[PeerId]> {
+        self.pending_announcements.get(block_id).map(|v| v.as_slice())
+    }
+
+    /// Current resource usage, for metrics and cap assertions.
+    pub fn accounting(&self) -> ResourceAccounting {
+        ResourceAccounting {
+            queue_frames: self.inbox.len(),
+            queue_bytes: self.inbox_bytes,
+            sessions: self.sessions.len(),
+            body_bytes: self.sessions.values().map(|s| s.body_bytes).sum(),
+            pending_announcements: self.pending_announcements.len(),
+            hwm_bytes: self.hwm_bytes,
+            shed_frames: self.shed_frames,
+        }
+    }
+
+    /// Fold the current accounted total into the high-water mark.
+    fn note_usage(&mut self) {
+        let mut acct = self.accounting();
+        acct.hwm_bytes = 0;
+        self.hwm_bytes = self.hwm_bytes.max(acct.accounted_bytes());
+    }
+
+    // --- Bounded inbound queue --------------------------------------------
+
+    /// Load-shedding class of `msg` given this peer's open sessions.
+    fn classify(&self, msg: &Message) -> FrameClass {
+        match msg {
+            Message::Inv(_) | Message::TxInv(_) => FrameClass::Announcement,
+            Message::GrapheneBlock(m) => self.recovery_class(&m.header),
+            Message::CmpctBlock(m) => self.recovery_class(&m.header),
+            Message::XthinBlock(m) => self.recovery_class(&m.header),
+            Message::FullBlock(m) => self.recovery_class(&m.header),
+            Message::GrapheneRecovery(m) => self.recovery_class_id(&m.block_id),
+            Message::BlockTxn(m) => self.recovery_class_id(&m.block_id),
+            _ => FrameClass::Other,
+        }
+    }
+
+    fn recovery_class(&self, header: &Header) -> FrameClass {
+        self.recovery_class_id(&graphene_hashes::sha256d(&header.to_bytes()))
+    }
+
+    fn recovery_class_id(&self, block_id: &Digest) -> FrameClass {
+        if self.sessions.contains_key(block_id) {
+            FrameClass::ActiveRecovery
+        } else {
+            FrameClass::Other
+        }
+    }
+
+    /// Append a decoded frame to the bounded inbound queue, shedding under
+    /// pressure: oldest announcement-class frames first, then oldest
+    /// `Other` frames; an active session's recovery frames are never shed.
+    /// Returns the number of frames shed (for metrics).
+    pub fn enqueue(&mut self, from: PeerId, msg: Message, bytes: usize) -> u64 {
+        let mut shed = 0u64;
+        self.inbox.push_back((from, msg, bytes));
+        self.inbox_bytes += bytes as u64;
+        while self.inbox.len() > self.limits.max_queue_frames
+            || self.inbox_bytes > self.limits.max_queue_bytes
+        {
+            let victim = self
+                .inbox
+                .iter()
+                .position(|(_, m, _)| self.classify(m) == FrameClass::Announcement)
+                .or_else(|| {
+                    self.inbox.iter().position(|(_, m, _)| self.classify(m) == FrameClass::Other)
+                });
+            let Some(idx) = victim else {
+                // Everything queued (including the newcomer) is protected
+                // recovery traffic; the caps are sized so an honest load
+                // never gets here, but a hard cap must hold regardless —
+                // drop the newest arrival.
+                if let Some((_, _, b)) = self.inbox.pop_back() {
+                    self.inbox_bytes -= b as u64;
+                    shed += 1;
+                }
+                break;
+            };
+            if let Some((_, _, b)) = self.inbox.remove(idx) {
+                self.inbox_bytes -= b as u64;
+                shed += 1;
+            }
+        }
+        self.shed_frames += shed;
+        self.note_usage();
+        shed
+    }
+
+    /// Pop the oldest queued frame for processing.
+    pub fn dequeue(&mut self) -> Option<(PeerId, Message, usize)> {
+        let (from, msg, bytes) = self.inbox.pop_front()?;
+        self.inbox_bytes -= bytes as u64;
+        Some((from, msg, bytes))
+    }
+
+    /// Frames currently queued.
+    pub fn queued_frames(&self) -> usize {
+        self.inbox.len()
+    }
+
+    // --- Crash/restart ----------------------------------------------------
+
+    /// Capture the durable state a real node persists: mempool and
+    /// accepted blocks. Everything else — in-flight sessions, queued
+    /// frames, announcement bookkeeping, misbehavior scores — is volatile
+    /// and lost in a crash.
+    pub fn snapshot(&self) -> NodeSnapshot {
+        let mut blocks: Vec<Block> = self.blocks.values().cloned().collect();
+        blocks.sort_by_key(|b| b.id());
+        NodeSnapshot { mempool: self.mempool.clone(), blocks }
+    }
+
+    /// Rebuild after a crash from the durable snapshot. Volatile state is
+    /// re-derived where possible (`seen_inv` from held blocks, tx-inv
+    /// suppression from the mempool) and cleared otherwise; sessions are
+    /// re-established through the ordinary re-announcement path when a
+    /// neighbor [`handshake`](Self::handshake)s or re-invs.
+    pub fn restore(&mut self, snapshot: NodeSnapshot) {
+        self.mempool = snapshot.mempool;
+        self.blocks = snapshot.blocks.into_iter().map(|b| (b.id(), b)).collect();
+        self.sessions.clear();
+        self.seen_inv = self.blocks.keys().copied().collect();
+        self.seen_tx_inv = self.mempool.iter().map(|tx| *tx.id()).collect();
+        self.pending_announcements.clear();
+        self.misbehavior.clear();
+        self.banned.clear();
+        self.inbox.clear();
+        self.inbox_bytes = 0;
+    }
+
+    /// Reconnect handshake with `neighbor`: announce every held block (a
+    /// compressed model of the header/inv exchange real nodes perform on
+    /// connect). The bounded re-announcement timer backs each `Inv`, so a
+    /// neighbor that lost the block mid-crash re-learns it even across
+    /// further frame loss.
+    pub fn handshake(&mut self, neighbor: PeerId) -> Output {
+        let mut out = Output::none();
+        if self.banned.contains(&neighbor) {
+            return out;
+        }
+        let mut held: Vec<Digest> = self.blocks.keys().copied().collect();
+        held.sort();
+        for block_id in held {
+            self.announce(block_id, &[neighbor], &mut out);
+        }
+        self.note_usage();
+        out
+    }
+
+    /// Is a timer with epoch `attempt` for `block_id` still live? The
+    /// network drops stale timers on pop instead of dispatching no-ops.
+    pub fn timer_current(&self, block_id: &Digest, attempt: u32) -> bool {
+        if attempt & ANN_FLAG != 0 {
+            self.pending_announcements.contains_key(block_id)
+        } else {
+            self.sessions.get(block_id).is_some_and(|s| s.attempt == attempt)
+        }
+    }
+
     /// Give this peer a block directly (the origin of a propagation run)
     /// and announce it to `neighbors`.
     pub fn originate(&mut self, block: Block, neighbors: &[PeerId]) -> Output {
@@ -288,6 +610,10 @@ impl Peer {
 
     /// Send `Inv`s for `block_id` to `neighbors` and arm the bounded
     /// re-announcement timer guarding against lost announcement frames.
+    /// Deduped on insert (a re-announcement of the same block to the same
+    /// neighbor must not double-track it) and capped: past
+    /// [`ResourceLimits::max_pending_announcements`] the `Inv`s still go
+    /// out but un-acknowledged neighbors are not re-inv'd.
     fn announce(&mut self, block_id: Digest, neighbors: &[PeerId], out: &mut Output) {
         if neighbors.is_empty() {
             return;
@@ -295,7 +621,25 @@ impl Peer {
         for &n in neighbors {
             out.send.push((n, Message::Inv(InvMsg { block_id })));
         }
-        self.pending_announcements.insert(block_id, neighbors.to_vec());
+        if let Some(pending) = self.pending_announcements.get_mut(&block_id) {
+            // Timer chain already armed; just merge the targets.
+            for &n in neighbors {
+                if !pending.contains(&n) {
+                    pending.push(n);
+                }
+            }
+            return;
+        }
+        if self.pending_announcements.len() >= self.limits.max_pending_announcements {
+            return;
+        }
+        let mut targets: Vec<PeerId> = Vec::with_capacity(neighbors.len());
+        for &n in neighbors {
+            if !targets.contains(&n) {
+                targets.push(n);
+            }
+        }
+        self.pending_announcements.insert(block_id, targets);
         out.timers.push((block_id, ANN_FLAG));
     }
 
@@ -352,7 +696,9 @@ impl Peer {
             Message::GetTxns(m) => self.on_get_txns(from, m),
             Message::Txns(m) => self.on_txns(m, neighbors),
         };
-        self.mangle_output(out)
+        let out = self.mangle_output(out);
+        self.note_usage();
+        out
     }
 
     /// Apply adversarial mangling to outgoing frames, if configured.
@@ -445,7 +791,9 @@ impl Peer {
     pub fn handle_timeout(&mut self, block_id: Digest, attempt: u32) -> Output {
         if attempt & ANN_FLAG != 0 {
             let out = self.announce_timeout(block_id, attempt & !ANN_FLAG);
-            return self.mangle_output(out);
+            let out = self.mangle_output(out);
+            self.note_usage();
+            return out;
         }
         let Some(session) = self.sessions.get(&block_id) else {
             return Output::none(); // completed meanwhile
@@ -454,7 +802,9 @@ impl Peer {
             return Output::none(); // session advanced; stale timer
         }
         let out = self.escalate(block_id);
-        self.mangle_output(out)
+        let out = self.mangle_output(out);
+        self.note_usage();
+        out
     }
 
     /// Re-announce to neighbors that never reacted to our `Inv`. Bounded:
@@ -581,6 +931,16 @@ impl Peer {
     /// over every session it was serving.
     fn punish(&mut self, offender: PeerId, score: u32) -> Output {
         let mut out = Output::none();
+        if !self.misbehavior.contains_key(&offender)
+            && self.misbehavior.len() >= self.limits.max_misbehavior_entries
+        {
+            // Tracking table full: evict the least-incriminated entry
+            // (deterministically — min score, then min id — regardless of
+            // map iteration order) to make room for the fresh offence.
+            if let Some((&evict, _)) = self.misbehavior.iter().min_by_key(|(p, s)| (**s, p.0)) {
+                self.misbehavior.remove(&evict);
+            }
+        }
         let total = self.misbehavior.entry(offender).or_insert(0);
         *total = total.saturating_add(score);
         if *total >= BAN_THRESHOLD && self.banned.insert(offender) {
@@ -641,6 +1001,12 @@ impl Peer {
             return Output::none();
         }
         if self.banned.contains(&from) {
+            return Output::none();
+        }
+        if self.sessions.len() >= self.limits.max_sessions {
+            // At the session cap: ignore the announcement. The announcer's
+            // bounded re-inv timer (or a reconnect handshake) offers the
+            // block again once a slot frees.
             return Output::none();
         }
         self.sessions.insert(m.block_id, RxSession::new(from));
@@ -707,7 +1073,7 @@ impl Peer {
                 return Output::none(); // unsolicited
             }
             for tx in &m.prefilled {
-                session.bodies.insert(*tx.id(), tx.clone());
+                session.add_body(&self.limits, tx);
             }
         }
         match protocol1::receiver_decode(&m, &self.mempool, &cfg) {
@@ -805,14 +1171,14 @@ impl Peer {
         let RelayProtocol::Graphene(cfg) = self.protocol.clone() else {
             return Output::none();
         };
+        for tx in &m.missing {
+            session.add_body(&self.limits, tx);
+        }
         let RxPhase::GrapheneP2 { state, header, order_bytes } = &mut session.phase else {
             return Output::none();
         };
         let header = *header;
         let order_bytes = order_bytes.clone();
-        for tx in &m.missing {
-            session.bodies.insert(*tx.id(), tx.clone());
-        }
         match protocol2::receiver_complete(state, &m, header.merkle_root, &order_bytes, &cfg) {
             Ok(ok) => {
                 if ok.needs_fetch.is_empty() {
@@ -882,7 +1248,7 @@ impl Peer {
         for (i, tx) in &m.prefilled {
             if (*i as usize) < total {
                 slots[*i as usize] = Some(*tx.id());
-                session.bodies.insert(*tx.id(), tx.clone());
+                session.add_body(&self.limits, tx);
             }
         }
         // Short IDs fill the remaining positions in order.
@@ -934,7 +1300,7 @@ impl Peer {
             return Output::none();
         }
         for tx in &m.txns {
-            session.bodies.insert(*tx.id(), tx.clone());
+            session.add_body(&self.limits, tx);
         }
         let mut needs_escalate = false;
         let out = match &mut session.phase {
@@ -1025,7 +1391,7 @@ impl Peer {
             return Output::none();
         }
         for tx in &m.missing {
-            session.bodies.insert(*tx.id(), tx.clone());
+            session.add_body(&self.limits, tx);
         }
         // Mempool-first resolution, as deployed clients do (see
         // `graphene-baselines::xthin` for the §6.1 implications).
@@ -1163,4 +1529,175 @@ pub fn cmpct_key(header: &Header, nonce: u64) -> SipKey {
     k0.copy_from_slice(&h.0[0..8]);
     k1.copy_from_slice(&h.0[8..16]);
     SipKey::new(u64::from_le_bytes(k0), u64::from_le_bytes(k1))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use graphene_blockchain::OrderingScheme;
+
+    fn block_of(n: usize, tag: u8) -> Block {
+        let txns: Vec<Transaction> =
+            (0..n).map(|i| Transaction::new(vec![tag, i as u8, 7, 7])).collect();
+        Block::assemble(Digest::ZERO, 1, txns, OrderingScheme::Ctor)
+    }
+
+    fn graphene_peer(id: usize) -> Peer {
+        Peer::new(PeerId(id), RelayProtocol::Graphene(GrapheneConfig::default()), Mempool::new())
+    }
+
+    #[test]
+    fn announce_dedupes_repeated_targets() {
+        let mut p = graphene_peer(0);
+        let block = block_of(3, 1);
+        let id = block.id();
+        // Originate to overlapping neighbor lists: [1, 2], then a
+        // handshake re-announcement toward 1 again.
+        p.originate(block, &[PeerId(1), PeerId(2), PeerId(1)]);
+        let _ = p.handshake(PeerId(1));
+        let pending = p.pending_announcement(&id).expect("announcement tracked");
+        assert_eq!(pending, &[PeerId(1), PeerId(2)], "duplicate PeerIds tracked");
+    }
+
+    #[test]
+    fn pending_announcements_respect_cap() {
+        let mut p = graphene_peer(0);
+        p.limits.max_pending_announcements = 2;
+        for tag in 0..5u8 {
+            p.originate(block_of(2, tag), &[PeerId(1)]);
+        }
+        assert_eq!(p.pending_announcement_count(), 2);
+    }
+
+    #[test]
+    fn session_cap_ignores_excess_announcements() {
+        let mut p = graphene_peer(0);
+        p.limits.max_sessions = 2;
+        for tag in 0..4u8 {
+            let id = block_of(2, tag).id();
+            p.handle(PeerId(1), Message::Inv(InvMsg { block_id: id }), &[]);
+        }
+        assert_eq!(p.open_sessions(), 2);
+        // Further announcements at the cap are ignored, not queued.
+        let fresh = block_of(2, 9).id();
+        p.handle(PeerId(1), Message::Inv(InvMsg { block_id: fresh }), &[]);
+        assert_eq!(p.open_sessions(), 2, "still at cap");
+    }
+
+    #[test]
+    fn queue_sheds_oldest_announcements_first() {
+        let mut p = graphene_peer(0);
+        p.limits.max_queue_frames = 3;
+        // Open a session for block A so its payload frames are protected.
+        let a = block_of(2, 1).id();
+        p.handle(PeerId(1), Message::Inv(InvMsg { block_id: a }), &[]);
+        // Queue: [inv(x), blocktxn(A), inv(y), inv(z)] — cap 3.
+        let shed = p.enqueue(PeerId(1), Message::Inv(InvMsg { block_id: block_of(2, 2).id() }), 40);
+        assert_eq!(shed, 0);
+        let protected = Message::BlockTxn(BlockTxnMsg { block_id: a, txns: vec![] });
+        assert_eq!(p.enqueue(PeerId(1), protected, 40), 0);
+        assert_eq!(
+            p.enqueue(PeerId(1), Message::Inv(InvMsg { block_id: block_of(2, 3).id() }), 40),
+            0
+        );
+        let shed = p.enqueue(PeerId(1), Message::Inv(InvMsg { block_id: block_of(2, 4).id() }), 40);
+        assert_eq!(shed, 1, "over cap: one frame must go");
+        // The oldest announcement went; the protected recovery frame stayed.
+        let (_, first, _) = p.dequeue().expect("queue non-empty");
+        assert!(matches!(first, Message::BlockTxn(_)), "protected frame was shed: {first:?}");
+        assert_eq!(p.queued_frames(), 2);
+    }
+
+    #[test]
+    fn queue_never_sheds_active_recovery_even_at_byte_cap() {
+        let mut p = graphene_peer(0);
+        p.limits.max_queue_frames = 2;
+        let a = block_of(2, 1).id();
+        p.handle(PeerId(1), Message::Inv(InvMsg { block_id: a }), &[]);
+        let protected = || Message::BlockTxn(BlockTxnMsg { block_id: a, txns: vec![] });
+        assert_eq!(p.enqueue(PeerId(1), protected(), 40), 0);
+        assert_eq!(p.enqueue(PeerId(1), protected(), 40), 0);
+        // All queued frames are protected: the hard cap drops the newest.
+        assert_eq!(p.enqueue(PeerId(1), protected(), 40), 1);
+        assert_eq!(p.queued_frames(), 2);
+    }
+
+    #[test]
+    fn orphan_bodies_respect_byte_cap() {
+        let mut p = graphene_peer(0);
+        p.limits.max_body_bytes = 10;
+        let a = block_of(2, 1).id();
+        p.handle(PeerId(1), Message::Inv(InvMsg { block_id: a }), &[]);
+        // Each tx body is 4 bytes; the cap fits two.
+        let txns: Vec<Transaction> =
+            (0..5).map(|i| Transaction::new(vec![9, i as u8, 1, 1])).collect();
+        p.handle(PeerId(1), Message::BlockTxn(BlockTxnMsg { block_id: a, txns }), &[]);
+        let acct = p.accounting();
+        assert!(acct.body_bytes <= 10, "body bytes {} over cap", acct.body_bytes);
+    }
+
+    #[test]
+    fn misbehavior_table_respects_cap() {
+        let mut p = graphene_peer(0);
+        p.limits.max_misbehavior_entries = 3;
+        let hostile = |_: usize| {
+            Message::XthinGetData(XthinGetDataMsg {
+                block_id: Digest::ZERO,
+                mempool_filter: BloomFilter::new(75_000, 0.001, 7),
+            })
+        };
+        for i in 1..=8usize {
+            p.handle(PeerId(i), hostile(i), &[]);
+        }
+        assert!(p.misbehavior_entries() <= 3, "{} entries", p.misbehavior_entries());
+    }
+
+    #[test]
+    fn snapshot_restore_keeps_durable_loses_volatile() {
+        let mut p = graphene_peer(0);
+        p.mempool.insert(Transaction::new(vec![1, 1, 1]));
+        let block = block_of(3, 2);
+        let held = block.id();
+        p.originate(block, &[PeerId(1)]);
+        // Open a volatile session on another block.
+        let inflight = block_of(2, 3).id();
+        p.handle(PeerId(2), Message::Inv(InvMsg { block_id: inflight }), &[]);
+        assert_eq!(p.open_sessions(), 1);
+        assert_eq!(p.pending_announcement_count(), 1);
+
+        let snap = p.snapshot();
+        p.restore(snap);
+        assert!(p.has_block(&held), "durable block lost");
+        assert!(!p.mempool.is_empty(), "durable mempool lost");
+        assert_eq!(p.open_sessions(), 0, "sessions must not survive a crash");
+        assert_eq!(p.pending_announcement_count(), 0);
+        assert_eq!(p.queued_frames(), 0);
+        // A re-announcement reopens the lost session.
+        p.handle(PeerId(2), Message::Inv(InvMsg { block_id: inflight }), &[]);
+        assert_eq!(p.open_sessions(), 1);
+    }
+
+    #[test]
+    fn timer_current_tracks_session_epoch_and_announcements() {
+        let mut p = graphene_peer(0);
+        let a = block_of(2, 1).id();
+        p.handle(PeerId(1), Message::Inv(InvMsg { block_id: a }), &[]);
+        assert!(p.timer_current(&a, 0));
+        assert!(!p.timer_current(&a, 1), "future epoch is not live");
+        let b = block_of(2, 2).id();
+        p.originate(block_of(2, 2), &[PeerId(1)]);
+        assert!(p.timer_current(&b, ANN_FLAG));
+        let _ = p.handle_timeout(b, MAX_ANN_RETRIES | ANN_FLAG); // exhausts retries
+        assert!(!p.timer_current(&b, ANN_FLAG));
+    }
+
+    #[test]
+    fn accounting_high_water_mark_monotone() {
+        let mut p = graphene_peer(0);
+        let a = block_of(2, 1).id();
+        p.handle(PeerId(1), Message::Inv(InvMsg { block_id: a }), &[]);
+        let hwm = p.accounting().hwm_bytes;
+        assert!(hwm >= SESSION_FIXED_BYTES, "session not accounted: {hwm}");
+        assert!(hwm <= p.limits.accounted_ceiling());
+    }
 }

@@ -1,0 +1,165 @@
+//! Property-based boundedness: after an arbitrary interleaving of
+//! announcements, hostile messages, timer fires, queue pressure and
+//! crash/restore cycles, every capped per-peer structure respects its cap
+//! and the accounted memory total stays under the configured ceiling.
+
+use graphene::GrapheneConfig;
+use graphene_blockchain::{Block, Mempool, OrderingScheme, Transaction};
+use graphene_bloom::BloomFilter;
+use graphene_hashes::Digest;
+use graphene_netsim::peer::{Peer, ANN_FLAG};
+use graphene_netsim::{PeerId, RelayProtocol, ResourceLimits, SimTime};
+use graphene_wire::messages::{BlockTxnMsg, InvMsg, Message, TxInvMsg, XthinGetDataMsg};
+use graphene_wire::Encode;
+use proptest::prelude::*;
+
+/// Tight caps so random interleavings actually hit every limit.
+fn tight_limits() -> ResourceLimits {
+    ResourceLimits {
+        max_sessions: 4,
+        max_pending_announcements: 3,
+        max_body_bytes: 64,
+        max_misbehavior_entries: 3,
+        max_queue_frames: 5,
+        max_queue_bytes: 4096,
+        proc_delay_per_frame: SimTime::ZERO,
+        proc_delay_per_kb: SimTime::ZERO,
+    }
+}
+
+fn block_id(tag: u8) -> Digest {
+    block_for(tag).id()
+}
+
+fn block_for(tag: u8) -> Block {
+    let txns = vec![Transaction::new(vec![tag, 1]), Transaction::new(vec![tag, 2])];
+    Block::assemble(Digest::ZERO, 1, txns, OrderingScheme::Ctor)
+}
+
+/// One step of the interleaving, decoded from `(op, a, b)` bytes.
+fn apply_op(p: &mut Peer, op: u8, a: u8, b: u8) {
+    let from = PeerId(1 + (a as usize % 7));
+    let neighbors = [PeerId(1), PeerId(2), PeerId(3)];
+    match op % 8 {
+        // A block announcement (possibly a repeat).
+        0 => {
+            p.handle(from, Message::Inv(InvMsg { block_id: block_id(b % 10) }), &neighbors);
+        }
+        // Loose-tx announcements.
+        1 => {
+            let txids = vec![*Transaction::new(vec![b, 3]).id()];
+            p.handle(from, Message::TxInv(TxInvMsg { txids }), &neighbors);
+        }
+        // Repair bodies for a (maybe-open) session: exercises orphan caps.
+        2 => {
+            let txns: Vec<Transaction> =
+                (0..4).map(|i| Transaction::new(vec![b, i, 9, 9, 9, 9])).collect();
+            p.handle(
+                from,
+                Message::BlockTxn(BlockTxnMsg { block_id: block_id(b % 10), txns }),
+                &neighbors,
+            );
+        }
+        // A provable §6.2 cap violation: drives misbehavior/ban growth.
+        3 => {
+            let hostile = Message::XthinGetData(XthinGetDataMsg {
+                block_id: block_id(b % 10),
+                mempool_filter: BloomFilter::new(75_000, 0.001, 7),
+            });
+            p.handle(from, hostile, &neighbors);
+        }
+        // Session and announcement timers, current and stale epochs.
+        4 => {
+            p.handle_timeout(block_id(b % 10), (a % 4) as u32);
+        }
+        5 => {
+            p.handle_timeout(block_id(b % 10), (a % 4) as u32 | ANN_FLAG);
+        }
+        // Raw queue pressure (frames awaiting a drain that never comes).
+        6 => {
+            let msg = Message::Inv(InvMsg { block_id: block_id(b % 10) });
+            let bytes = msg.to_vec().len();
+            p.enqueue(from, msg, bytes);
+        }
+        // Crash/restore mid-interleaving.
+        _ => {
+            let snap = p.snapshot();
+            p.restore(snap);
+        }
+    }
+}
+
+fn assert_bounded(p: &Peer, limits: &ResourceLimits) -> Result<(), TestCaseError> {
+    let acct = p.accounting();
+    prop_assert!(p.open_sessions() <= limits.max_sessions, "sessions {}", p.open_sessions());
+    prop_assert!(
+        p.pending_announcement_count() <= limits.max_pending_announcements,
+        "pending {}",
+        p.pending_announcement_count()
+    );
+    prop_assert!(
+        p.misbehavior_entries() <= limits.max_misbehavior_entries,
+        "misbehavior {}",
+        p.misbehavior_entries()
+    );
+    prop_assert!(acct.queue_frames <= limits.max_queue_frames, "queue {}", acct.queue_frames);
+    prop_assert!(acct.queue_bytes <= limits.max_queue_bytes);
+    prop_assert!(
+        acct.body_bytes <= limits.max_body_bytes * limits.max_sessions as u64,
+        "bodies {}",
+        acct.body_bytes
+    );
+    prop_assert!(
+        acct.accounted_bytes() <= limits.accounted_ceiling(),
+        "accounted {} over ceiling {}",
+        acct.accounted_bytes(),
+        limits.accounted_ceiling()
+    );
+    prop_assert!(acct.hwm_bytes <= limits.accounted_ceiling());
+    Ok(())
+}
+
+proptest! {
+    /// Caps hold after every step of an arbitrary interleaving, not just
+    /// at the end. Ops are drawn as a flat byte tape: 3 bytes per step.
+    #[test]
+    fn peer_state_stays_bounded(
+        tape in proptest::collection::vec(any::<u8>(), 3..360),
+    ) {
+        let limits = tight_limits();
+        let mut p = Peer::new(
+            PeerId(0),
+            RelayProtocol::Graphene(GrapheneConfig::default()),
+            Mempool::new(),
+        );
+        p.limits = limits;
+        for step in tape.chunks_exact(3) {
+            apply_op(&mut p, step[0], step[1], step[2]);
+            assert_bounded(&p, &limits)?;
+        }
+    }
+
+    /// The same holds when the peer also *originates* blocks (the
+    /// announcement-tracking side of the ledger).
+    #[test]
+    fn originator_state_stays_bounded(
+        tags in proptest::collection::vec(any::<u8>(), 1..40),
+        tape in proptest::collection::vec(any::<u8>(), 3..180),
+    ) {
+        let limits = tight_limits();
+        let mut p = Peer::new(
+            PeerId(0),
+            RelayProtocol::Graphene(GrapheneConfig::default()),
+            Mempool::new(),
+        );
+        p.limits = limits;
+        for t in tags {
+            p.originate(block_for(t % 16), &[PeerId(1), PeerId(2)]);
+        }
+        assert_bounded(&p, &limits)?;
+        for step in tape.chunks_exact(3) {
+            apply_op(&mut p, step[0], step[1], step[2]);
+            assert_bounded(&p, &limits)?;
+        }
+    }
+}

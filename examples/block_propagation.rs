@@ -30,7 +30,7 @@ fn run(protocol: RelayProtocol, label: &str) {
         latency: SimTime::from_millis(40),
         bandwidth_bps: 10_000_000 / 8, // 10 Mbit/s
         drop_chance: 0.02,             // 2% loss: retries must cope
-        corrupt_chance: 0.0,
+        ..LinkParams::default()
     });
     net.connect_random(DEGREE);
     for i in 0..PEERS {
