@@ -12,7 +12,7 @@
 use crate::BaselineReport;
 use graphene_blockchain::{Block, Mempool};
 use graphene_hashes::{short_id_8, siphash24, SipKey};
-use graphene_iblt::{Iblt, CELL_BYTES, HEADER_BYTES};
+use graphene_iblt::{Iblt, PeelScratch, CELL_BYTES, HEADER_BYTES};
 use graphene_wire::messages::{GetDataMsg, InvMsg, Message};
 use graphene_wire::varint::varint_len;
 
@@ -49,11 +49,14 @@ fn build_strata(values: impl Iterator<Item = u64>, levels: usize, salt: u64) -> 
 /// estimator procedure).
 fn estimate_difference(mine: &[Iblt], theirs: &[Iblt]) -> usize {
     let mut count = 0usize;
+    // One difference buffer and one peel scratch for all strata.
+    let mut diff = Iblt::new(STRATA_CELLS, STRATA_K, 0);
+    let mut scratch = PeelScratch::new();
     for i in (0..mine.len()).rev() {
-        let Ok(mut diff) = mine[i].subtract(&theirs[i]) else {
+        if mine[i].subtract_into(&theirs[i], &mut diff).is_err() {
             return count << (i + 1);
-        };
-        match diff.peel() {
+        }
+        match diff.peel_in_place(&mut scratch) {
             Ok(r) if r.complete => count += r.len(),
             _ => {
                 // Stratum i failed: everything below is unsampled; scale.
@@ -98,9 +101,11 @@ pub fn diff_digest_relay(block: &Block, mempool: &Mempool) -> BaselineReport {
     for tx in mempool.iter() {
         mine.insert(short_id_8(tx.id()));
     }
-    let Ok(mut diff) = iblt.subtract(&mine) else {
+    // Consume the local table as the difference buffer.
+    if mine.subtract_from(&iblt).is_err() {
         return report;
-    };
+    }
+    let mut diff = mine;
     let decoded = match diff.peel() {
         Ok(r) => r,
         Err(_) => return report,

@@ -1,6 +1,10 @@
-//! Shared helpers for the Criterion benchmarks.
+//! Shared benchmark infrastructure: Criterion helpers, the deterministic
+//! regression-gate runner, and pre-optimization reference implementations.
 
 #![forbid(unsafe_code)]
+
+pub mod reference;
+pub mod runner;
 
 use graphene_blockchain::{Scenario, ScenarioParams, TxProfile};
 use rand::{rngs::StdRng, SeedableRng};

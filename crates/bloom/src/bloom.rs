@@ -115,17 +115,31 @@ impl BloomFilter {
     }
 
     /// Insert a txid.
+    ///
+    /// Allocation-free: the `k` bit indexes are computed in one pass (no
+    /// intermediate `Vec`), already reduced modulo `m` exactly once.
     pub fn insert(&mut self, id: &Digest) {
+        self.inserted += 1;
         if self.bits.is_empty() {
-            self.inserted += 1;
             return; // match-everything filter
         }
-        let m = self.bits.len();
-        let idxs: Vec<usize> = self.indexes(id).collect();
-        for idx in idxs {
-            self.bits.set(idx % m);
+        match self.strategy {
+            HashStrategy::DoubleHashing => {
+                let m = self.bits.len() as u64;
+                let (h1, h2) = double_hashes(self.salt, id);
+                let mut h = h1;
+                for _ in 0..self.k {
+                    self.bits.set((h % m) as usize);
+                    h = h.wrapping_add(h2);
+                }
+            }
+            HashStrategy::KPiece => {
+                let m = self.bits.len() as u64;
+                for i in 0..self.k {
+                    self.bits.set(kpiece_index(self.salt, id, i, m));
+                }
+            }
         }
-        self.inserted += 1;
     }
 
     /// The realized false-positive rate given the current fill, from the
@@ -134,35 +148,37 @@ impl BloomFilter {
         theoretical_fpr(self.bits.len(), self.k, self.inserted)
     }
 
-    fn indexes(&self, id: &Digest) -> impl Iterator<Item = usize> + '_ {
-        let m = self.bits.len().max(1);
-        let (h1, h2) = match self.strategy {
-            HashStrategy::DoubleHashing => {
-                let h1 = siphash24(SipKey::new(self.salt, 0x5350_4c49_5431), &id.0);
-                let h2 = siphash24(SipKey::new(self.salt, 0x5350_4c49_5432), &id.0) | 1;
-                (h1, h2)
-            }
-            HashStrategy::KPiece => (0, 0),
-        };
-        let strategy = self.strategy;
-        let salt = self.salt;
-        let id = *id;
-        (0..self.k).map(move |i| match strategy {
-            HashStrategy::DoubleHashing => {
-                (h1.wrapping_add((i as u64).wrapping_mul(h2)) % m as u64) as usize
-            }
-            HashStrategy::KPiece => {
-                // Use the i-th 4-byte piece of the (uniform) txid, mixed with
-                // the salt by a cheap multiply-xor so distinct filters over
-                // the same IDs stay independent.
-                let off = (i as usize) * 4;
-                let piece =
-                    u32::from_le_bytes(id.0[off..off + 4].try_into().expect("4-byte piece"));
-                let mixed = (piece as u64 ^ salt).wrapping_mul(0x9e37_79b9_7f4a_7c15);
-                (mixed % m as u64) as usize
-            }
-        })
+    /// Merge another filter with identical geometry into this one (word-level
+    /// OR). The result answers `contains` true for anything either operand
+    /// matched. Panics on geometry mismatch.
+    pub fn union_with(&mut self, other: &BloomFilter) {
+        assert_eq!(
+            (self.k, self.salt, self.strategy),
+            (other.k, other.salt, other.strategy),
+            "bloom union across different hash geometries"
+        );
+        self.bits.union_with(&other.bits);
+        self.inserted += other.inserted;
     }
+}
+
+/// The Kirsch–Mitzenmacher pair `(h1, h2)` for a txid (`h2` forced odd).
+#[inline]
+fn double_hashes(salt: u64, id: &Digest) -> (u64, u64) {
+    let h1 = siphash24(SipKey::new(salt, 0x5350_4c49_5431), &id.0);
+    let h2 = siphash24(SipKey::new(salt, 0x5350_4c49_5432), &id.0) | 1;
+    (h1, h2)
+}
+
+/// §6.3 index derivation: the i-th 4-byte piece of the (uniform) txid, mixed
+/// with the salt by a cheap multiply-xor so distinct filters over the same
+/// IDs stay independent.
+#[inline]
+fn kpiece_index(salt: u64, id: &Digest, i: u32, m: u64) -> usize {
+    let off = (i as usize) * 4;
+    let piece = u32::from_le_bytes(id.0[off..off + 4].try_into().expect("4-byte piece"));
+    let mixed = (piece as u64 ^ salt).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    (mixed % m) as usize
 }
 
 impl Membership for BloomFilter {
@@ -170,8 +186,26 @@ impl Membership for BloomFilter {
         if self.bits.is_empty() {
             return true; // degenerate fpr >= 1 filter
         }
-        let m = self.bits.len();
-        self.indexes(id).all(|idx| self.bits.get(idx % m))
+        // One-pass, allocation-free probe with early exit on the first
+        // clear bit; indexes are reduced by `m` exactly once.
+        match self.strategy {
+            HashStrategy::DoubleHashing => {
+                let m = self.bits.len() as u64;
+                let (h1, h2) = double_hashes(self.salt, id);
+                let mut h = h1;
+                for _ in 0..self.k {
+                    if !self.bits.get((h % m) as usize) {
+                        return false;
+                    }
+                    h = h.wrapping_add(h2);
+                }
+                true
+            }
+            HashStrategy::KPiece => {
+                let m = self.bits.len() as u64;
+                (0..self.k).all(|i| self.bits.get(kpiece_index(self.salt, id, i, m)))
+            }
+        }
     }
 
     /// Wire size, matching `graphene-wire`'s encoder exactly: a flag byte,

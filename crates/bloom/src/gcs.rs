@@ -9,6 +9,7 @@
 
 use crate::Membership;
 use graphene_hashes::{siphash24, Digest, SipKey};
+use std::sync::OnceLock;
 
 /// Bit-level writer for Golomb–Rice codes.
 #[derive(Default)]
@@ -114,7 +115,16 @@ impl GcsBuilder {
             w.push_bits(delta & ((1u64 << p) - 1), p);
             prev = v;
         }
-        Gcs { data: w.bytes, count: self.hashed.len(), n: self.n, fpr: self.fpr, salt: self.salt }
+        Gcs {
+            // The builder already holds the sorted deduplicated values, so
+            // seed the query cache instead of re-decoding on first lookup.
+            decoded: OnceLock::from(self.hashed.clone()),
+            data: w.bytes,
+            count: self.hashed.len(),
+            n: self.n,
+            fpr: self.fpr,
+            salt: self.salt,
+        }
     }
 }
 
@@ -125,6 +135,10 @@ pub struct Gcs {
     n: usize,
     fpr: f64,
     salt: u64,
+    /// Sorted decoded values, materialized at most once (the set is
+    /// immutable, so the cache never needs invalidation). Wire bytes are
+    /// still `data`; this only accelerates `contains`.
+    decoded: OnceLock<Vec<u64>>,
 }
 
 fn range(n: usize, fpr: f64) -> u64 {
@@ -147,9 +161,20 @@ impl Gcs {
         self.count
     }
 
+    /// The raw Golomb–Rice byte stream (the wire payload). Exposed so
+    /// equivalence tests can assert the encoding byte-for-byte.
+    pub fn data(&self) -> &[u8] {
+        &self.data
+    }
+
     /// True if the set has no members.
     pub fn is_empty(&self) -> bool {
         self.count == 0
+    }
+
+    /// The sorted hashed values, decoded at most once and then shared.
+    fn decoded(&self) -> &[u64] {
+        self.decoded.get_or_init(|| self.decode())
     }
 
     /// Decode the sorted hashed values (linear scan).
@@ -171,8 +196,8 @@ impl Gcs {
 impl Membership for Gcs {
     fn contains(&self, id: &Digest) -> bool {
         let target = hash_to_range(self.salt, id, range(self.n, self.fpr));
-        // Linear decode; a production implementation would cache this.
-        self.decode().binary_search(&target).is_ok()
+        // Decoded lazily at most once, then binary-searched per query.
+        self.decoded().binary_search(&target).is_ok()
     }
 
     fn serialized_size(&self) -> usize {

@@ -230,11 +230,14 @@ pub fn receiver_decode(
     for short in state.by_short.keys() {
         iblt_prime.insert(*short);
     }
-    let Ok(mut delta) = msg.iblt_i.subtract(&iblt_prime) else {
+    // Consume I′ as the difference buffer (I ⊖ I′ in place) — no third
+    // table allocation per decode attempt.
+    if iblt_prime.subtract_from(&msg.iblt_i).is_err() {
         // Unreachable for this code path (I′ copies the message's own
         // geometry), but a hostile message deserves the hostile label.
         return Err((P1Failure::Malformed("iblt geometry self-mismatch"), state));
-    };
+    }
+    let mut delta = iblt_prime;
     let peeled = match delta.peel() {
         Ok(r) => r,
         Err(_) => {

@@ -196,11 +196,14 @@ pub fn receiver_complete(
     for short in by_short.keys() {
         j_prime.insert(*short);
     }
-    let Ok(mut j_delta) = msg.iblt_j.subtract(&j_prime) else {
+    // Consume J′ as the difference buffer (J ⊖ J′ in place) — no third
+    // table allocation per decode attempt.
+    if j_prime.subtract_from(&msg.iblt_j).is_err() {
         // Unreachable for an honest receiver (J′ copies the message's own
         // geometry): a self-inconsistent message is provably hostile.
         return Err(P2Failure::Malformed("iblt geometry self-mismatch"));
-    };
+    }
+    let mut j_delta = j_prime;
 
     // Ping-pong (§4.2): align I ⊖ I′ with J ⊖ J′, then decode jointly. Only
     // valid in the normal (non-F) path where the two differences cover the

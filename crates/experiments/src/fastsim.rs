@@ -94,10 +94,11 @@ pub fn simulate_relay(fc: &FastConfig, cfg: &GrapheneConfig, rng: &mut StdRng) -
     for id in &candidates {
         iblt_prime.insert(short_id_8(id));
     }
-    let mut i_delta = match iblt_i.subtract(&iblt_prime) {
-        Ok(d) => d,
-        Err(_) => return out,
-    };
+    // I ⊖ I′ computed in place into I′ — no third table per relay.
+    if iblt_prime.subtract_from(&iblt_i).is_err() {
+        return out;
+    }
+    let mut i_delta = iblt_prime;
     let p1 = match i_delta.peel() {
         Ok(r) => r,
         Err(_) => return out,
@@ -180,9 +181,10 @@ pub fn simulate_relay(fc: &FastConfig, cfg: &GrapheneConfig, rng: &mut StdRng) -
     for id in &c_set {
         j_prime.insert(short_id_8(id));
     }
-    let Ok(j_delta) = iblt_j.subtract(&j_prime) else {
+    if j_prime.subtract_from(&iblt_j).is_err() {
         return out;
-    };
+    }
+    let j_delta = j_prime;
 
     // Without ping-pong.
     {

@@ -29,7 +29,7 @@ pub mod search;
 pub mod table;
 
 pub use hypergraph::decode_trial;
-pub use search::{optimize, optimize_parallel, search_c, SearchConfig};
+pub use search::{optimize, optimize_parallel, search_c, search_c_with, SearchConfig};
 pub use table::{params_for, IbltParams, ParamTable, TARGET_RATES};
 
 /// A desired decode-failure rate, e.g. `1/240`.

@@ -93,13 +93,26 @@ fn test_candidate(
 /// Returns `None` if even `c_max` is insufficient (never happens for sane
 /// targets with `max_tau = 20`).
 pub fn search_c(j: usize, k: u32, rate: FailureRate, cfg: &SearchConfig) -> Option<usize> {
+    search_c_with(j, k, rate, cfg, &mut Scratch::default())
+}
+
+/// As [`search_c`], with caller-provided hypergraph scratch so the outer
+/// `k`-loop ([`optimize`]) reuses one trial buffer across the whole search
+/// instead of reallocating per `k`. The RNG stream depends only on
+/// `(j, k, seed)`, so results are identical to [`search_c`].
+pub fn search_c_with(
+    j: usize,
+    k: u32,
+    rate: FailureRate,
+    cfg: &SearchConfig,
+    scratch: &mut Scratch,
+) -> Option<usize> {
     let p = rate.success();
     let k_us = k as usize;
     if j == 0 {
         return Some(k_us);
     }
     let mut rng = StdRng::seed_from_u64(cfg.seed ^ (j as u64) << 20 ^ (k as u64));
-    let mut scratch = Scratch::default();
 
     // Search in units of k cells: candidate c = u·k. Fewer cells than items
     // can never decode, so the lower bound is j rounded up.
@@ -107,7 +120,7 @@ pub fn search_c(j: usize, k: u32, rate: FailureRate, cfg: &SearchConfig) -> Opti
     let mut hi = (((j as f64) * cfg.max_tau).ceil() as usize).div_ceil(k_us).max(lo);
 
     // Confirm the upper bound actually suffices.
-    match test_candidate(j, k, hi * k_us, p, cfg, &mut rng, &mut scratch) {
+    match test_candidate(j, k, hi * k_us, p, cfg, &mut rng, scratch) {
         Verdict::Sufficient => {}
         Verdict::Insufficient => return None,
     }
@@ -116,7 +129,7 @@ pub fn search_c(j: usize, k: u32, rate: FailureRate, cfg: &SearchConfig) -> Opti
     // insufficient. Standard lower-bound binary search.
     while lo < hi {
         let mid = lo + (hi - lo) / 2;
-        match test_candidate(j, k, mid * k_us, p, cfg, &mut rng, &mut scratch) {
+        match test_candidate(j, k, mid * k_us, p, cfg, &mut rng, scratch) {
             Verdict::Sufficient => hi = mid,
             Verdict::Insufficient => lo = mid + 1,
         }
@@ -134,6 +147,8 @@ pub fn optimize(
     cfg: &SearchConfig,
 ) -> Option<(u32, usize)> {
     let mut best: Option<(u32, usize)> = None;
+    // One trial scratch for the whole k-loop.
+    let mut scratch = Scratch::default();
     for k in ks {
         if k < 2 {
             continue;
@@ -144,7 +159,7 @@ pub fn optimize(
         if let Some((_, bc)) = best {
             cfg_k.max_tau = cfg_k.max_tau.min(bc as f64 / j.max(1) as f64);
         }
-        if let Some(c) = search_c(j, k, rate, &cfg_k) {
+        if let Some(c) = search_c_with(j, k, rate, &cfg_k, &mut scratch) {
             if best.is_none_or(|(_, bc)| c < bc) {
                 best = Some((k, c));
             }
@@ -173,7 +188,10 @@ pub fn optimize_parallel(
         let mut handles = Vec::with_capacity(ks.len());
         for &k in &ks {
             let cfg = *cfg;
-            handles.push(scope.spawn(move |_| search_c(j, k, rate, &cfg).map(|c| (k, c))));
+            // One scratch per thread, reused across that k's whole search.
+            handles.push(scope.spawn(move |_| {
+                search_c_with(j, k, rate, &cfg, &mut Scratch::default()).map(|c| (k, c))
+            }));
         }
         for (slot, handle) in results.iter_mut().zip(handles) {
             *slot = handle.join().expect("search thread panicked");

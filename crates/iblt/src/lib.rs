@@ -31,7 +31,7 @@ pub mod table;
 
 pub use cell::Cell;
 pub use pingpong::{joint_decode, ping_pong_decode};
-pub use table::{DecodeError, DecodeResult, Iblt};
+pub use table::{DecodeError, DecodeResult, Iblt, PeelScratch};
 
 /// Bytes per cell on the wire: `count: i32` + `keySum: u64` + `checkSum: u32`.
 ///

@@ -11,7 +11,7 @@
 //! (the paper: "the IBLTs should use different seeds in their hash functions
 //! for independence").
 
-use crate::table::{DecodeError, DecodeResult, Iblt};
+use crate::table::{DecodeError, DecodeResult, Iblt, PeelScratch};
 
 /// Jointly decode two IBLT differences covering the same symmetric
 /// difference.
@@ -23,11 +23,13 @@ pub fn ping_pong_decode(a: &mut Iblt, b: &mut Iblt) -> Result<DecodeResult, Deco
     let mut merged = DecodeResult::default();
     let mut seen_left: Vec<u64> = Vec::new();
     let mut seen_right: Vec<u64> = Vec::new();
+    // One scratch across every peel of the ping-pong loop.
+    let mut scratch = PeelScratch::new();
 
     loop {
-        let ra = a.peel()?;
+        let ra = a.peel_in_place(&mut scratch)?;
         transfer(&ra, b, &mut seen_left, &mut seen_right);
-        let rb = b.peel()?;
+        let rb = b.peel_in_place(&mut scratch)?;
         transfer(&rb, a, &mut seen_left, &mut seen_right);
 
         let progressed = !ra.is_empty() || !rb.is_empty();
@@ -70,10 +72,11 @@ fn transfer(from: &DecodeResult, into: &mut Iblt, left: &mut Vec<u64>, right: &m
 pub fn joint_decode(tables: &mut [Iblt]) -> Result<DecodeResult, DecodeError> {
     let mut seen_left: Vec<u64> = Vec::new();
     let mut seen_right: Vec<u64> = Vec::new();
+    let mut scratch = PeelScratch::new();
     loop {
         let mut progressed = false;
         for i in 0..tables.len() {
-            let r = tables[i].peel()?;
+            let r = tables[i].peel_in_place(&mut scratch)?;
             if r.is_empty() {
                 continue;
             }

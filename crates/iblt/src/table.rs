@@ -39,6 +39,46 @@ impl fmt::Display for DecodeError {
 
 impl std::error::Error for DecodeError {}
 
+/// Reusable working memory for [`Iblt::peel_in_place`].
+///
+/// Peeling needs a worklist of candidate pure cells and a set of
+/// already-decoded values (the §6.1 double-decode defense). Allocating both
+/// per peel dominates the decode cost for the small IBLTs Graphene actually
+/// ships, so callers that peel in a loop (ping-pong decoding, the parameter
+/// search, netsim) hold one `PeelScratch` and reuse it. The seen-set is
+/// generation-stamped: clearing it between peels is a counter bump, not a
+/// rehash of the table.
+#[derive(Debug, Default)]
+pub struct PeelScratch {
+    /// Worklist of candidate pure cell indexes.
+    queue: Vec<usize>,
+    /// Decoded values, stamped with the generation that decoded them.
+    seen: std::collections::HashMap<u64, u32>,
+    /// Current generation; entries with older stamps are logically absent.
+    gen: u32,
+}
+
+impl PeelScratch {
+    /// Fresh scratch; equivalent to `PeelScratch::default()`.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Logically empty the scratch without releasing its allocations.
+    fn reset(&mut self) {
+        self.queue.clear();
+        self.gen = match self.gen.checked_add(1) {
+            Some(g) => g,
+            None => {
+                // Generation counter wrapped: stale stamps could collide with
+                // the new generation, so physically clear once per 2^32 peels.
+                self.seen.clear();
+                0
+            }
+        };
+    }
+}
+
 /// Outcome of peeling an IBLT (typically a subtraction `A ⊖ B`).
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct DecodeResult {
@@ -129,21 +169,11 @@ impl Iblt {
         HEADER_BYTES + self.cells.len() * CELL_BYTES
     }
 
-    /// The `k` cell indexes for `value`: one per partition of `c/k` cells.
-    fn indexes(&self, value: u64) -> impl Iterator<Item = usize> + '_ {
-        let part = self.cells.len() / self.k as usize;
-        let salt = self.salt;
-        (0..self.k).map(move |i| {
-            let h = siphash24(SipKey::new(salt, 0x4942_4c54_0000 + i as u64), &value.to_le_bytes());
-            i as usize * part + (h % part as u64) as usize
-        })
-    }
-
     fn apply(&mut self, value: u64, sign: i32) {
         let check = check_hash(self.salt, value);
-        let idxs: Vec<usize> = self.indexes(value).collect();
-        for idx in idxs {
-            self.cells[idx].apply(value, check, sign);
+        let part = self.cells.len() / self.k as usize;
+        for i in 0..self.k {
+            self.cells[cell_index(self.salt, part, i, value)].apply(value, check, sign);
         }
     }
 
@@ -166,9 +196,9 @@ impl Iblt {
     /// manufacture provably malformed tables.
     pub fn insert_partial(&mut self, value: u64, copies: u32) {
         let check = check_hash(self.salt, value);
-        let idxs: Vec<usize> = self.indexes(value).take(copies as usize).collect();
-        for idx in idxs {
-            self.cells[idx].apply(value, check, 1);
+        let part = self.cells.len() / self.k as usize;
+        for i in 0..self.k.min(copies) {
+            self.cells[cell_index(self.salt, part, i, value)].apply(value, check, 1);
         }
     }
 
@@ -186,6 +216,42 @@ impl Iblt {
         Ok(Iblt { cells, k: self.k, salt: self.salt })
     }
 
+    /// Cell-wise subtraction `self ⊖ other` written into `out`, reusing
+    /// `out`'s cell buffer instead of allocating a fresh table. `out`'s prior
+    /// contents are irrelevant; on success it has `self`'s geometry.
+    pub fn subtract_into(&self, other: &Iblt, out: &mut Iblt) -> Result<(), DecodeError> {
+        if self.cells.len() != other.cells.len() || self.k != other.k || self.salt != other.salt {
+            return Err(DecodeError::GeometryMismatch {
+                left: (self.cells.len(), self.k, self.salt),
+                right: (other.cells.len(), other.k, other.salt),
+            });
+        }
+        out.k = self.k;
+        out.salt = self.salt;
+        out.cells.clear();
+        out.cells.extend(self.cells.iter().zip(&other.cells).map(|(a, b)| a.subtract(b)));
+        Ok(())
+    }
+
+    /// In-place subtraction from the *left*: `self ← left ⊖ self`.
+    ///
+    /// This is the decode-side hot path — the receiver rebuilds its local
+    /// IBLT (`self`), subtracts it from the sender's (`left`) and peels, so
+    /// the local table can be consumed as the difference buffer instead of
+    /// allocating a third table per decode attempt.
+    pub fn subtract_from(&mut self, left: &Iblt) -> Result<(), DecodeError> {
+        if self.cells.len() != left.cells.len() || self.k != left.k || self.salt != left.salt {
+            return Err(DecodeError::GeometryMismatch {
+                left: (left.cells.len(), left.k, left.salt),
+                right: (self.cells.len(), self.k, self.salt),
+            });
+        }
+        for (mine, l) in self.cells.iter_mut().zip(&left.cells) {
+            *mine = l.subtract(mine);
+        }
+        Ok(())
+    }
+
     /// Peel the IBLT, consuming pure cells until none remain.
     ///
     /// Returns the recovered values split by sign and whether decoding
@@ -193,20 +259,33 @@ impl Iblt {
     /// defense). `self` is left in the partially peeled state, which is
     /// exactly what ping-pong decoding needs.
     pub fn peel(&mut self) -> Result<DecodeResult, DecodeError> {
+        self.peel_in_place(&mut PeelScratch::new())
+    }
+
+    /// [`Iblt::peel`] with caller-provided working memory, so loops that
+    /// decode many tables (ping-pong, the parameter search, netsim) pay for
+    /// the worklist and seen-set allocations once instead of per attempt.
+    pub fn peel_in_place(
+        &mut self,
+        scratch: &mut PeelScratch,
+    ) -> Result<DecodeResult, DecodeError> {
         let mut result = DecodeResult::default();
-        // Track decoded values to detect the malformed-IBLT attack.
-        let mut seen = std::collections::HashSet::new();
+        scratch.reset();
+        let gen = scratch.gen;
+        let part = self.cells.len() / self.k as usize;
         // Worklist of candidate pure cells.
-        let mut queue: Vec<usize> =
-            (0..self.cells.len()).filter(|&i| self.cells[i].is_pure(self.salt)).collect();
-        while let Some(idx) = queue.pop() {
+        scratch.queue.extend((0..self.cells.len()).filter(|&i| self.cells[i].is_pure(self.salt)));
+        while let Some(idx) = scratch.queue.pop() {
             let cell = self.cells[idx];
             if !cell.is_pure(self.salt) {
                 continue; // stale queue entry
             }
             let value = cell.key_sum;
             let sign = cell.count; // ±1
-            if !seen.insert(value) {
+                                   // Track decoded values to detect the malformed-IBLT attack
+                                   // (§6.1); stamps older than `gen` are leftovers from earlier
+                                   // peels with this scratch and count as absent.
+            if scratch.seen.insert(value, gen) == Some(gen) {
                 return Err(DecodeError::Malformed { value });
             }
             if sign == 1 {
@@ -217,11 +296,11 @@ impl Iblt {
             // Remove the value from all k cells (including this one) and
             // requeue any cells that became pure.
             let check = check_hash(self.salt, value);
-            let idxs: Vec<usize> = self.indexes(value).collect();
-            for i in idxs {
-                self.cells[i].apply(value, check, -sign);
-                if self.cells[i].is_pure(self.salt) {
-                    queue.push(i);
+            for i in 0..self.k {
+                let idx = cell_index(self.salt, part, i, value);
+                self.cells[idx].apply(value, check, -sign);
+                if self.cells[idx].is_pure(self.salt) {
+                    scratch.queue.push(idx);
                 }
             }
         }
@@ -250,6 +329,16 @@ impl Iblt {
     /// (`count: i32`, `key_sum: u64`, `check_sum: u32`), all little-endian.
     pub fn to_bytes(&self) -> Vec<u8> {
         let mut out = Vec::with_capacity(self.serialized_size());
+        self.write_bytes(&mut out);
+        out
+    }
+
+    /// Append the serialized form to `out` without allocating a temporary —
+    /// byte-identical to [`Iblt::to_bytes`]. This is the wire encoder's
+    /// reusable-buffer path (it also lets `graphene-wire` drop its
+    /// clone-per-encode of the whole cell array).
+    pub fn write_bytes(&self, out: &mut Vec<u8>) {
+        out.reserve(self.serialized_size());
         out.extend_from_slice(&(self.cells.len() as u32).to_le_bytes());
         out.push(self.k as u8);
         out.extend_from_slice(&self.salt.to_le_bytes());
@@ -258,7 +347,6 @@ impl Iblt {
             out.extend_from_slice(&cell.key_sum.to_le_bytes());
             out.extend_from_slice(&cell.check_sum.to_le_bytes());
         }
-        out
     }
 
     /// Deserialize from [`Iblt::to_bytes`] output. Returns `None` on
@@ -287,6 +375,16 @@ impl Iblt {
         }
         Some(Iblt { cells, k, salt })
     }
+}
+
+/// The i-th cell index for `value` under the paper's partition scheme: cell
+/// `i·(c/k) + h_i(value) mod (c/k)`. Free function (not a method) so callers
+/// holding `&mut self.cells` can compute indexes without a borrow conflict —
+/// this is what lets insert/peel run without collecting indexes into a `Vec`.
+#[inline]
+fn cell_index(salt: u64, part: usize, i: u32, value: u64) -> usize {
+    let h = siphash24(SipKey::new(salt, 0x4942_4c54_0000 + i as u64), &value.to_le_bytes());
+    i as usize * part + (h % part as u64) as usize
 }
 
 #[cfg(test)]
@@ -391,7 +489,8 @@ mod tests {
         let mut attacker = Iblt::new(12, 3, 6);
         let value = 0xbad;
         let check = check_hash(6, value);
-        let idxs: Vec<usize> = attacker.indexes(value).collect();
+        let part = attacker.cells.len() / attacker.k as usize;
+        let idxs: Vec<usize> = (0..attacker.k).map(|i| cell_index(6, part, i, value)).collect();
         // Insert into only the first k-1 cells.
         for &i in &idxs[..2] {
             attacker.cells[i].apply(value, check, 1);
@@ -477,6 +576,62 @@ mod tests {
         // Detection depends on the phantom cell staying pure; with a small
         // clean difference it should be the overwhelmingly common case.
         assert!(detected >= 15, "only {detected}/20 malformed tables detected");
+    }
+
+    #[test]
+    fn subtract_into_and_from_match_subtract() {
+        let a = filled(&[1, 2, 3, 4, 5], 30, 3, 7);
+        let b = filled(&[4, 5, 6, 7], 30, 3, 7);
+        let reference = a.subtract(&b).unwrap();
+
+        let mut out = Iblt::new(3, 1, 0); // wrong geometry; must be overwritten
+        a.subtract_into(&b, &mut out).unwrap();
+        assert_eq!(out, reference);
+
+        let mut in_place = b.clone();
+        in_place.subtract_from(&a).unwrap();
+        assert_eq!(in_place, reference);
+
+        // Geometry mismatches are still caught.
+        let odd = Iblt::new(12, 4, 7);
+        assert!(matches!(
+            a.subtract_into(&odd, &mut out),
+            Err(DecodeError::GeometryMismatch { .. })
+        ));
+        let mut odd2 = odd.clone();
+        assert!(matches!(odd2.subtract_from(&a), Err(DecodeError::GeometryMismatch { .. })));
+    }
+
+    #[test]
+    fn peel_in_place_scratch_reuse_is_equivalent() {
+        // The same scratch across many peels (including a Malformed abort in
+        // the middle) must give the same answers as fresh-scratch peels.
+        let mut scratch = PeelScratch::new();
+        for salt in 0..30u64 {
+            let values: Vec<u64> = (0..15).map(|i| salt * 1000 + i).collect();
+            let t = filled(&values, 24, 3, salt);
+            let reference = t.clone().peel().unwrap();
+            let reused = t.clone().peel_in_place(&mut scratch).unwrap();
+            assert_eq!(reference, reused, "salt {salt}");
+
+            // A malformed table mid-stream must not poison later peels.
+            let mut evil = filled(&values, 24, 3, salt);
+            evil.insert_partial(0xbad, 2);
+            let mut honest = filled(&values, 24, 3, salt);
+            honest.insert(0xbad);
+            let mut d = evil.subtract(&honest).unwrap();
+            let want = d.clone().peel();
+            assert_eq!(want, d.peel_in_place(&mut scratch), "malformed salt {salt}");
+        }
+    }
+
+    #[test]
+    fn write_bytes_matches_to_bytes() {
+        let t = filled(&[9, 8, 7, 6], 24, 3, 42);
+        let mut appended = vec![0xaa]; // pre-existing prefix survives
+        t.write_bytes(&mut appended);
+        assert_eq!(&appended[..1], &[0xaa]);
+        assert_eq!(&appended[1..], t.to_bytes().as_slice());
     }
 
     #[test]

@@ -15,8 +15,9 @@ pub enum Event {
         to: PeerId,
         /// Source peer.
         from: PeerId,
-        /// The encoded frame (corruption happens on these bytes).
-        frame: Vec<u8>,
+        /// The encoded frame, reference-counted so fan-out to many peers
+        /// shares one allocation (corruption copies on write).
+        frame: bytes::Bytes,
     },
     /// A session timeout fires at a peer (retry/fallback logic).
     Timeout {

@@ -1,6 +1,7 @@
 //! Link model: latency, bandwidth, and fault injection.
 
 use crate::time::SimTime;
+use bytes::Bytes;
 use rand::{rngs::StdRng, RngExt};
 
 /// Parameters of a point-to-point link.
@@ -72,10 +73,26 @@ impl LinkParams {
     /// its chance being nonzero, so configurations that leave the new
     /// faults at 0.0 consume exactly the RNG stream of [`inject_faults`]
     /// (Self::inject_faults) — existing seeded results are unchanged.
-    pub fn deliveries(&self, frame: Vec<u8>, rng: &mut StdRng) -> Vec<(SimTime, Vec<u8>)> {
-        let pristine = frame.clone();
-        let Some(frame) = self.inject_faults(frame, rng) else {
+    ///
+    /// The frame is reference-counted: the usual no-fault delivery is a
+    /// refcount bump, and the payload bytes are only copied when corruption
+    /// actually fires (copy-on-write).
+    pub fn deliveries(&self, frame: &Bytes, rng: &mut StdRng) -> Vec<(SimTime, Bytes)> {
+        if self.drop_chance > 0.0 && rng.random_bool(self.drop_chance.clamp(0.0, 1.0)) {
             return Vec::new();
+        }
+        let delivered = if self.corrupt_chance > 0.0
+            && !frame.is_empty()
+            && rng.random_bool(self.corrupt_chance.clamp(0.0, 1.0))
+        {
+            // Same RNG draws as `inject_faults`: byte index, then bit.
+            let idx = rng.random_range(0..frame.len());
+            let bit = rng.random_range(0..8);
+            let mut copy = frame.to_vec();
+            copy[idx] ^= 1 << bit;
+            Bytes::from(copy)
+        } else {
+            frame.clone()
         };
         let mut out = Vec::with_capacity(2);
         let duplicated =
@@ -83,10 +100,10 @@ impl LinkParams {
         let reordered =
             self.reorder_chance > 0.0 && rng.random_bool(self.reorder_chance.clamp(0.0, 1.0));
         let primary_delay = if reordered { self.reorder_delay } else { SimTime::ZERO };
-        out.push((primary_delay, frame));
+        out.push((primary_delay, delivered));
         if duplicated {
             // The stray copy took another path: clean bytes, extra delay.
-            out.push((self.reorder_delay, pristine));
+            out.push((self.reorder_delay, frame.clone()));
         }
         out
     }
@@ -133,10 +150,10 @@ mod tests {
             let mut a = StdRng::seed_from_u64(seed);
             let mut b = StdRng::seed_from_u64(seed);
             let legacy = link.inject_faults(frame.clone(), &mut a);
-            let multi = link.deliveries(frame, &mut b);
+            let multi = link.deliveries(&Bytes::from(frame), &mut b);
             match legacy {
                 None => assert!(multi.is_empty()),
-                Some(f) => assert_eq!(multi, vec![(SimTime::ZERO, f)]),
+                Some(f) => assert_eq!(multi, vec![(SimTime::ZERO, Bytes::from(f))]),
             }
         }
     }
@@ -145,29 +162,43 @@ mod tests {
     fn duplication_yields_two_copies() {
         let link = LinkParams { duplicate_chance: 1.0, ..Default::default() };
         let mut rng = StdRng::seed_from_u64(4);
-        let out = link.deliveries(vec![9, 9, 9], &mut rng);
+        let frame = Bytes::from(vec![9u8, 9, 9]);
+        let out = link.deliveries(&frame, &mut rng);
         assert_eq!(out.len(), 2);
-        assert_eq!(out[0], (SimTime::ZERO, vec![9, 9, 9]));
-        assert_eq!(out[1], (link.reorder_delay, vec![9, 9, 9]));
+        assert_eq!(out[0], (SimTime::ZERO, frame.clone()));
+        assert_eq!(out[1], (link.reorder_delay, frame));
     }
 
     #[test]
     fn reordering_delays_the_primary_copy() {
         let link = LinkParams { reorder_chance: 1.0, ..Default::default() };
         let mut rng = StdRng::seed_from_u64(5);
-        let out = link.deliveries(vec![7], &mut rng);
-        assert_eq!(out, vec![(link.reorder_delay, vec![7])]);
+        let frame = Bytes::from(vec![7u8]);
+        let out = link.deliveries(&frame, &mut rng);
+        assert_eq!(out, vec![(link.reorder_delay, frame)]);
     }
 
     #[test]
     fn duplicated_copy_is_never_corrupted() {
         let link = LinkParams { corrupt_chance: 1.0, duplicate_chance: 1.0, ..Default::default() };
         let mut rng = StdRng::seed_from_u64(6);
-        let frame = vec![0u8; 32];
-        let out = link.deliveries(frame.clone(), &mut rng);
+        let frame = Bytes::from(vec![0u8; 32]);
+        let out = link.deliveries(&frame, &mut rng);
         assert_eq!(out.len(), 2);
         assert_ne!(out[0].1, frame, "primary should be corrupted");
         assert_eq!(out[1].1, frame, "duplicate must be pristine");
+    }
+
+    #[test]
+    fn clean_delivery_shares_the_frame_allocation() {
+        // No faults: the delivered copy must be a refcount bump, not a
+        // payload copy.
+        let link = LinkParams::default();
+        let mut rng = StdRng::seed_from_u64(7);
+        let frame = Bytes::from(vec![5u8; 64]);
+        let out = link.deliveries(&frame, &mut rng);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].1.as_ptr(), frame.as_ptr(), "expected shared allocation");
     }
 
     #[test]

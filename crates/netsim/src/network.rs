@@ -9,6 +9,7 @@ use crate::link::LinkParams;
 use crate::metrics::Metrics;
 use crate::peer::{Output, Peer, PeerId, RelayProtocol};
 use crate::time::SimTime;
+use bytes::Bytes;
 use graphene::NodeSnapshot;
 use graphene_blockchain::{Block, Mempool};
 use graphene_wire::{Decode, Encode, Message};
@@ -38,6 +39,8 @@ pub struct Network {
     busy_until: Vec<SimTime>,
     /// Is a partition currently splitting the topology?
     partition_active: bool,
+    /// Reusable frame-encoding buffer for the dispatcher.
+    encode_buf: Vec<u8>,
 }
 
 /// Outcome of a propagation run.
@@ -72,6 +75,7 @@ impl Network {
             gen: vec![0; n],
             busy_until: vec![SimTime::ZERO; n],
             partition_active: false,
+            encode_buf: Vec::new(),
         }
     }
 
@@ -174,11 +178,15 @@ impl Network {
 
     fn dispatch(&mut self, from: PeerId, sends: Vec<(PeerId, Message)>) {
         for (to, msg) in sends {
-            let frame = msg.to_vec();
+            // Encode into the persistent scratch buffer, then freeze into a
+            // reference-counted frame: every queued copy (duplicates, the
+            // clean sibling of a corrupted frame) is a refcount bump.
+            msg.encode_into(&mut self.encode_buf);
+            let frame = Bytes::from(&self.encode_buf[..]);
             self.metrics.record_frame(msg.type_byte(), frame.len());
             let link = self.link(from, to);
             let transit = link.transit_time(frame.len());
-            let copies = link.deliveries(frame, &mut self.rng);
+            let copies = link.deliveries(&frame, &mut self.rng);
             if copies.is_empty() {
                 self.metrics.record_drop();
                 continue;
@@ -220,8 +228,7 @@ impl Network {
     /// (inv/getdata/tx relay, §2.2). Call [`Network::run_until`] afterwards
     /// (or rely on a subsequent [`Network::propagate`]) to drain the queue.
     pub fn inject_txns(&mut self, origin: PeerId, txns: Vec<graphene_blockchain::Transaction>) {
-        let neighbors = self.adjacency[origin.0].clone();
-        let out = self.peers[origin.0].originate_txns(txns, &neighbors);
+        let out = self.peers[origin.0].originate_txns(txns, &self.adjacency[origin.0]);
         self.apply_output(origin, out);
     }
 
@@ -233,8 +240,7 @@ impl Network {
         block: Block,
         max_time: SimTime,
     ) -> PropagationResult {
-        let neighbors = self.adjacency[origin.0].clone();
-        let out = self.peers[origin.0].originate(block, &neighbors);
+        let out = self.peers[origin.0].originate(block, &self.adjacency[origin.0]);
         self.metrics.record_block_arrival(origin, SimTime::ZERO);
         self.apply_output(origin, out);
         self.run_until(max_time);
@@ -304,8 +310,8 @@ impl Network {
                         continue; // frame was shed after this drain was armed
                     };
                     self.busy_until[peer.0] = at + self.peers[peer.0].limits.proc_time(bytes);
-                    let neighbors = self.adjacency[peer.0].clone();
-                    let out = self.peers[peer.0].handle(from, msg, &neighbors);
+                    // Disjoint-field borrow: no per-frame adjacency clone.
+                    let out = self.peers[peer.0].handle(from, msg, &self.adjacency[peer.0]);
                     self.apply_output(peer, out);
                 }
                 Event::Timeout { peer, block_id, attempt, gen } => {

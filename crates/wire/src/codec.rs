@@ -41,6 +41,16 @@ pub trait Encode {
         debug_assert_eq!(buf.len(), self.encoded_len(), "encoded_len out of sync");
         buf
     }
+
+    /// Encode into a reusable buffer: clears `buf`, reserves the exact
+    /// length, then appends. Hot paths (netsim's dispatcher) keep one buffer
+    /// alive across frames instead of allocating per [`Encode::to_vec`].
+    fn encode_into(&self, buf: &mut Vec<u8>) {
+        buf.clear();
+        buf.reserve(self.encoded_len());
+        self.encode(buf);
+        debug_assert_eq!(buf.len(), self.encoded_len(), "encoded_len out of sync");
+    }
 }
 
 /// Deserialize from a byte cursor.

@@ -24,7 +24,8 @@ impl Encode for BloomFilter {
         put_u32_le(buf, self.bit_len() as u32);
         buf.push(self.hash_count() as u8);
         put_u64_le(buf, self.salt());
-        buf.extend_from_slice(&self.bit_vec().to_bytes());
+        // Append directly — no temporary byte vector per encode.
+        self.bit_vec().write_bytes(buf);
     }
 
     fn encoded_len(&self) -> usize {
@@ -66,7 +67,7 @@ pub struct WireIblt(pub Iblt);
 
 impl Encode for WireIblt {
     fn encode(&self, buf: &mut Vec<u8>) {
-        buf.extend_from_slice(&self.0.to_bytes());
+        self.0.write_bytes(buf);
     }
 
     fn encoded_len(&self) -> usize {

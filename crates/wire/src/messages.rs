@@ -337,7 +337,7 @@ impl Message {
             Message::GrapheneBlock(m) => {
                 80 + varint_len(m.block_tx_count)
                     + m.bloom_s.encoded_len()
-                    + WireIblt(m.iblt_i.clone()).encoded_len()
+                    + m.iblt_i.serialized_size()
                     + txns_len(&m.prefilled)
                     + varint_len(m.order_bytes.len() as u64)
                     + m.order_bytes.len()
@@ -347,7 +347,7 @@ impl Message {
             }
             Message::GrapheneRecovery(m) => {
                 32 + txns_len(&m.missing)
-                    + WireIblt(m.iblt_j.clone()).encoded_len()
+                    + m.iblt_j.serialized_size()
                     + 1
                     + m.bloom_f.as_ref().map_or(0, Encode::encoded_len)
             }
@@ -417,7 +417,8 @@ impl Encode for Message {
                 encode_header(buf, &m.header);
                 write_varint(buf, m.block_tx_count);
                 m.bloom_s.encode(buf);
-                WireIblt(m.iblt_i.clone()).encode(buf);
+                // Serialize in place — no clone of the cell array per encode.
+                m.iblt_i.write_bytes(buf);
                 encode_txns(buf, &m.prefilled);
                 write_varint(buf, m.order_bytes.len() as u64);
                 buf.extend_from_slice(&m.order_bytes);
@@ -432,7 +433,7 @@ impl Encode for Message {
             Message::GrapheneRecovery(m) => {
                 encode_digest(buf, &m.block_id);
                 encode_txns(buf, &m.missing);
-                WireIblt(m.iblt_j.clone()).encode(buf);
+                m.iblt_j.write_bytes(buf);
                 match &m.bloom_f {
                     Some(f) => {
                         buf.push(1);

@@ -1,0 +1,189 @@
+//! Optimized-vs-reference equivalence: the zero-allocation hot paths must
+//! be *bit-identical* to the pre-optimization implementations they replaced
+//! (kept in `graphene_bench::reference`), and a set of committed golden
+//! vectors pins the exact bytes so a behavior change cannot hide behind a
+//! matching pair of bugs.
+
+use graphene_bench::reference::{ref_peel, ref_subtract_peel, RefBloom, RefGcs};
+use graphene_bloom::{BloomFilter, GcsBuilder, HashStrategy, Membership};
+use graphene_hashes::{hex, sha256, Digest};
+use graphene_iblt::{Iblt, PeelScratch};
+use graphene_wire::Encode;
+use proptest::prelude::*;
+
+fn digests(n: usize, tag: u64) -> Vec<Digest> {
+    (0..n as u64).map(|i| sha256(&[i.to_le_bytes(), tag.to_le_bytes()].concat())).collect()
+}
+
+proptest! {
+    /// Optimized Bloom insert/contains sets exactly the bits the old
+    /// Vec-collecting path set, for both hash strategies, and answers
+    /// membership identically for members and non-members.
+    #[test]
+    fn bloom_matches_reference(
+        n in 1usize..300,
+        fpr in 0.001f64..0.5,
+        salt: u64,
+        kpiece: bool,
+    ) {
+        let strategy = if kpiece { HashStrategy::KPiece } else { HashStrategy::DoubleHashing };
+        let set = digests(n, salt);
+        let probes = digests(200, salt ^ 0xabcd);
+        let mut f = BloomFilter::with_strategy(n, fpr, salt, strategy);
+        let mut r = RefBloom::with_strategy(n, fpr, salt, strategy);
+        prop_assert_eq!(f.hash_count(), r.hash_count());
+        for id in &set {
+            f.insert(id);
+            r.insert(id);
+        }
+        prop_assert_eq!(f.bit_vec().to_bytes(), r.bit_bytes());
+        for id in set.iter().chain(&probes) {
+            prop_assert_eq!(f.contains(id), r.contains(id));
+        }
+    }
+
+    /// The three subtraction paths agree, and the scratch-reusing peel
+    /// recovers exactly what the old allocating peel recovered — same
+    /// values, same order, same completeness — with identical serialized
+    /// bytes for the peeled remainder.
+    #[test]
+    fn iblt_matches_reference(
+        only_a in 0usize..25,
+        only_b in 0usize..25,
+        shared in 0usize..100,
+        salt: u64,
+    ) {
+        let cells = ((only_a + only_b) * 3).max(12);
+        let mut a = Iblt::new(cells, 3, salt);
+        let mut b = Iblt::new(cells, 3, salt);
+        let base = 1_000_000u64;
+        for i in 0..shared as u64 {
+            a.insert(base + i);
+            b.insert(base + i);
+        }
+        for i in 0..only_a as u64 {
+            a.insert(2 * base + i);
+        }
+        for i in 0..only_b as u64 {
+            b.insert(3 * base + i);
+        }
+
+        // subtract == subtract_into == subtract_from, cell for cell.
+        let diff = a.subtract(&b).unwrap();
+        let mut into = Iblt::new(1, 1, 0);
+        a.subtract_into(&b, &mut into).unwrap();
+        prop_assert_eq!(&into, &diff);
+        let mut from = b.clone();
+        from.subtract_from(&a).unwrap();
+        prop_assert_eq!(&from, &diff);
+
+        // Allocating reference peel == scratch-reusing peel, element order
+        // included; the partially-peeled remainders serialize identically.
+        let reference = ref_peel(&diff);
+        let combined = ref_subtract_peel(&a, &b);
+        prop_assert_eq!(&reference, &combined);
+        let mut scratch = PeelScratch::new();
+        let mut peeled = diff.clone();
+        let optimized = peeled.peel_in_place(&mut scratch);
+        prop_assert_eq!(&reference, &optimized);
+        let mut legacy = diff.clone();
+        let plain = legacy.peel();
+        prop_assert_eq!(&plain, &optimized);
+        prop_assert_eq!(legacy.to_bytes(), peeled.to_bytes());
+    }
+
+    /// The cached-decode GCS answers every query exactly as the
+    /// re-decode-per-query reference, over identical wire bytes.
+    #[test]
+    fn gcs_matches_reference(n in 1usize..300, fpr in 0.001f64..0.3, salt: u64) {
+        let set = digests(n, salt);
+        let probes = digests(200, salt ^ 0x6c5);
+        let mut b = GcsBuilder::new(n, fpr, salt);
+        for id in &set {
+            b.insert(id);
+        }
+        let g = b.build();
+        let r = RefGcs::build(&set, n, fpr, salt);
+        prop_assert_eq!(g.data(), r.data());
+        prop_assert_eq!(g.len(), r.len());
+        for id in set.iter().chain(&probes) {
+            prop_assert_eq!(g.contains(id), r.contains(id));
+        }
+    }
+
+    /// `encode_into` (the reusable-buffer wire path) produces exactly
+    /// `encode` + fresh Vec, whatever was in the buffer before.
+    #[test]
+    fn encode_into_matches_encode(n in 0usize..50, salt: u64, junk in 0usize..64) {
+        let mut f = BloomFilter::new(n.max(1), 0.02, salt);
+        for id in digests(n, salt) {
+            f.insert(&id);
+        }
+        let mut buf = vec![0xee; junk]; // stale garbage must be cleared
+        f.encode_into(&mut buf);
+        prop_assert_eq!(buf, f.to_vec());
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Golden vectors: the exact bytes of the optimized structures, committed.
+// If one of these fails, the "optimization" changed observable behavior.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn golden_bloom_double_hashing() {
+    let mut f = BloomFilter::with_strategy(8, 0.1, 42, HashStrategy::DoubleHashing);
+    for id in digests(8, 7) {
+        f.insert(&id);
+    }
+    assert_eq!(hex::encode(&f.to_vec()), GOLDEN_BLOOM_DOUBLE);
+}
+
+#[test]
+fn golden_bloom_kpiece() {
+    let mut f = BloomFilter::with_strategy(8, 0.1, 42, HashStrategy::KPiece);
+    for id in digests(8, 7) {
+        f.insert(&id);
+    }
+    assert_eq!(hex::encode(&f.to_vec()), GOLDEN_BLOOM_KPIECE);
+}
+
+#[test]
+fn golden_iblt_after_peel() {
+    let mut a = Iblt::new(12, 3, 7);
+    let mut b = Iblt::new(12, 3, 7);
+    for v in [1u64, 2, 3, 4] {
+        a.insert(v);
+    }
+    for v in [3u64, 4, 5] {
+        b.insert(v);
+    }
+    let mut d = a.subtract(&b).unwrap();
+    assert_eq!(hex::encode(&d.to_bytes()), GOLDEN_IBLT_DIFF);
+    let r = d.peel_in_place(&mut PeelScratch::new()).unwrap();
+    assert!(r.complete);
+    let mut left = r.only_left.clone();
+    left.sort_unstable();
+    assert_eq!(left, vec![1, 2]);
+    assert_eq!(r.only_right, vec![5]);
+    assert!(d.is_drained());
+}
+
+#[test]
+fn golden_gcs() {
+    let mut b = GcsBuilder::new(8, 0.05, 3);
+    for id in digests(8, 9) {
+        b.insert(&id);
+    }
+    let g = b.build();
+    assert_eq!(hex::encode(g.data()), GOLDEN_GCS);
+}
+
+const GOLDEN_BLOOM_DOUBLE: &str = "0027000000032a0000000000000008da34ba19";
+const GOLDEN_BLOOM_KPIECE: &str = "0227000000032a0000000000000028f7c1b32f";
+const GOLDEN_IBLT_DIFF: &str = "0c00000003070000000000000000000000040000000000000082adf228\
+     0000000000000000000000000000000000000000000000000000000000000000010000000200000000000000\
+     eedf099700000000000000000000000000000000ffffffff0500000000000000e6a0bbcf0100000002000000\
+     00000000eedf0997010000000100000000000000640d49e7010000000200000000000000eedf0997ffffffff\
+     0500000000000000e6a0bbcf00000000000000000000000000000000010000000100000000000000640d49e7";
+const GOLDEN_GCS: &str = "2d085e0255c0";
