@@ -16,7 +16,8 @@
 
 use graphene::config::GrapheneConfig;
 use graphene::protocol1;
-use graphene::session::relay_block;
+use graphene::session::{relay_block, relay_block_cached};
+use graphene::EncodeCache;
 use graphene_bench::bench_scenario;
 use graphene_bench::reference::{ref_subtract_peel, RefBloom, RefGcs};
 use graphene_bench::runner::{regressions, result, time_fn, to_json, BenchResult};
@@ -252,6 +253,45 @@ fn bench_relay_block(it: &Iters) -> BenchResult {
     result("relay_block_n500", iters, ns, None)
 }
 
+fn bench_relay_fanout(it: &Iters) -> BenchResult {
+    // Encode-once fan-out: one 150-txn block relayed to 64 receivers in
+    // four mempool-size classes. The measured path serves canonical
+    // frames from a per-iteration relay cache; the reference performs the
+    // same canonical encode fresh for every receiver.
+    let cfg = GrapheneConfig::default();
+    let s = bench_scenario(150, 14);
+    let mut pools = Vec::new();
+    for class in 0..4usize {
+        let mut pool = s.receiver_mempool.clone();
+        for (j, id) in ids(90 * class, 15).iter().enumerate() {
+            pool.insert(graphene_blockchain::Transaction::new(
+                [&id.0[..], &(j as u64).to_le_bytes()].concat(),
+            ));
+        }
+        pools.push(pool);
+    }
+    let (warmup, iters) = it.of(10);
+    let ns = time_fn(warmup, iters, || {
+        let cache = EncodeCache::new(1 << 20);
+        let mut ok = 0usize;
+        for i in 0..64 {
+            let r = relay_block_cached(&s.block, None, &pools[i % 4], &cfg, Some(&cache));
+            ok += r.outcome.is_success() as usize;
+        }
+        assert_eq!(ok, 64);
+        black_box(cache.stats().hits);
+    });
+    let ref_ns = time_fn(warmup, iters, || {
+        let mut ok = 0usize;
+        for i in 0..64 {
+            let r = relay_block_cached(&s.block, None, &pools[i % 4], &cfg, None);
+            ok += r.outcome.is_success() as usize;
+        }
+        black_box(ok);
+    });
+    result("relay_fanout_64rx_n150", iters, ns, Some(ref_ns))
+}
+
 fn bench_netsim_relay(it: &Iters) -> BenchResult {
     // Block relay across an 8-peer random topology: every iteration rebuilds
     // the network (same seed — bit-identical event stream) and floods one
@@ -312,6 +352,7 @@ fn main() {
         bench_param_search(&it),
         bench_protocol1(&it),
         bench_relay_block(&it),
+        bench_relay_fanout(&it),
         bench_netsim_relay(&it),
     ];
     for b in &benches {

@@ -35,6 +35,7 @@
 #![warn(missing_docs)]
 
 pub mod config;
+pub mod encode_cache;
 pub mod error;
 pub mod mempool_sync;
 pub mod ordering;
@@ -45,7 +46,11 @@ pub mod recovery;
 pub mod session;
 
 pub use config::GrapheneConfig;
+pub use encode_cache::{CacheKey, CacheStats, CacheVariant, EncodeCache, MBucket};
 pub use error::GrapheneError;
 pub use params::{a_star, optimal_a, optimal_b, x_star, y_star, ProtocolParams};
 pub use recovery::{relay_with_recovery, LadderReport, RecoveryPolicy, RungKind, RungReport};
-pub use session::{relay_block, relay_block_attempt, NodeSnapshot, RelayOutcome, RelayReport};
+pub use session::{
+    relay_block, relay_block_attempt, relay_block_attempt_cached, relay_block_cached, NodeSnapshot,
+    RelayOutcome, RelayReport,
+};

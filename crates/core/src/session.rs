@@ -9,6 +9,7 @@
 #![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
 use crate::config::GrapheneConfig;
+use crate::encode_cache::EncodeCache;
 use crate::error::P2Failure;
 use crate::protocol1::{self, RetryTweak};
 use crate::protocol2::{self};
@@ -206,12 +207,41 @@ pub fn relay_block(
     receiver_mempool: &Mempool,
     cfg: &GrapheneConfig,
 ) -> RelayReport {
-    let mut report =
-        relay_block_attempt(block, peer, receiver_mempool, cfg, &RetryTweak::initial(cfg));
+    let report = relay_block_attempt(block, peer, receiver_mempool, cfg, &RetryTweak::initial(cfg));
+    finish_with_fallback(block, report)
+}
+
+/// [`relay_block`] through the encode-once relay cache.
+///
+/// The Protocol 1 frame is encoded (or served) at the canonical `m` of the
+/// receiver's mempool-size bucket — see
+/// [`sender_encode_cached`](protocol1::sender_encode_cached) — so every
+/// receiver in a size class observes a byte-identical frame. With
+/// `cache: None` the same canonical encoding is performed fresh, making
+/// this the uncached oracle the equivalence tests compare against.
+pub fn relay_block_cached(
+    block: &Block,
+    peer: Option<&PeerView>,
+    receiver_mempool: &Mempool,
+    cfg: &GrapheneConfig,
+    cache: Option<&EncodeCache>,
+) -> RelayReport {
+    let report = relay_block_attempt_cached(
+        block,
+        peer,
+        receiver_mempool,
+        cfg,
+        &RetryTweak::initial(cfg),
+        cache,
+    );
+    finish_with_fallback(block, report)
+}
+
+/// A real client does not stop at "failed": it fetches the full block, and
+/// those bytes belong in the accounting (they used to be silently dropped,
+/// under-reporting every failed relay).
+fn finish_with_fallback(block: &Block, mut report: RelayReport) -> RelayReport {
     if let RelayOutcome::Failed { p2, .. } = report.outcome {
-        // A real client does not stop at "failed": it fetches the full
-        // block, and those bytes belong in the accounting (they used to be
-        // silently dropped, under-reporting every failed relay).
         let get = Message::GetFullBlock(GetFullBlockMsg { block_id: block.id() }).wire_size();
         let full = Message::FullBlock(FullBlockMsg {
             header: *block.header(),
@@ -239,6 +269,42 @@ pub fn relay_block_attempt(
     cfg: &GrapheneConfig,
     tweak: &RetryTweak,
 ) -> RelayReport {
+    attempt_inner(block, peer, receiver_mempool, cfg, tweak, EncodeMode::PerReceiver)
+}
+
+/// [`relay_block_attempt`] through the encode-once relay cache: the
+/// Protocol 1 frame is canonical for the receiver's mempool-size bucket
+/// (with or without a cache), retry rungs and Protocol 2 responses bypass
+/// the cache and are accounted as bypasses.
+pub fn relay_block_attempt_cached(
+    block: &Block,
+    peer: Option<&PeerView>,
+    receiver_mempool: &Mempool,
+    cfg: &GrapheneConfig,
+    tweak: &RetryTweak,
+    cache: Option<&EncodeCache>,
+) -> RelayReport {
+    attempt_inner(block, peer, receiver_mempool, cfg, tweak, EncodeMode::Bucketed(cache))
+}
+
+/// How the attempt encodes Protocol 1's message.
+enum EncodeMode<'a> {
+    /// Size `S`/`I` for the receiver's exact `m` (the paper's two-party
+    /// session; byte counts match the figures).
+    PerReceiver,
+    /// Size for the canonical `m` of the receiver's bucket, optionally
+    /// serving/populating the relay cache.
+    Bucketed(Option<&'a EncodeCache>),
+}
+
+fn attempt_inner(
+    block: &Block,
+    peer: Option<&PeerView>,
+    receiver_mempool: &Mempool,
+    cfg: &GrapheneConfig,
+    tweak: &RetryTweak,
+    mode: EncodeMode<'_>,
+) -> RelayReport {
     let mut bytes = ByteBreakdown::default();
     let m = receiver_mempool.len();
 
@@ -261,7 +327,14 @@ pub fn relay_block_attempt(
     // Protocol 1. Downstream sizing (x*, y*, b) uses the attempt's decayed
     // β too, so the whole rung is more forgiving, not just the filter.
     let cfg = &GrapheneConfig { beta: tweak.beta, ..*cfg };
-    let (p1_msg, _choice) = protocol1::sender_encode_retry(block, m as u64, peer, cfg, tweak);
+    let p1_msg = match &mode {
+        EncodeMode::PerReceiver => {
+            protocol1::sender_encode_retry(block, m as u64, peer, cfg, tweak).0
+        }
+        EncodeMode::Bucketed(cache) => {
+            protocol1::sender_encode_cached(block, m as u64, peer, cfg, tweak, *cache).msg
+        }
+    };
     account_p1(&p1_msg, &mut bytes);
 
     let (p1_failure, mut state) = match protocol1::receiver_decode(&p1_msg, receiver_mempool, cfg) {
@@ -297,7 +370,12 @@ pub fn relay_block_attempt(
     bytes.bloom_r = req.bloom_r.serialized_size();
     bytes.p2_request_overhead = req_wire - bytes.bloom_r;
 
-    let rec = protocol2::sender_respond(block, &req, m, cfg);
+    let rec = match &mode {
+        EncodeMode::PerReceiver => protocol2::sender_respond(block, &req, m, cfg),
+        EncodeMode::Bucketed(cache) => {
+            protocol2::sender_respond_cached(block, &req, m, cfg, *cache)
+        }
+    };
     let rec_wire = Message::GrapheneRecovery(rec.clone()).wire_size();
     bytes.missing_txns =
         rec.missing.iter().map(|tx| varint_len(tx.size() as u64) + tx.size()).sum();

@@ -19,6 +19,7 @@
 
 pub mod adversary;
 pub mod chaos;
+pub mod fanout;
 pub mod fastsim;
 pub mod mc;
 pub mod output;

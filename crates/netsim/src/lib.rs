@@ -46,6 +46,7 @@ pub mod time;
 pub use adversary::{AdversaryConfig, Behavior};
 pub use caps::MessageCaps;
 pub use chaos::{ChaosConfig, ChaosEvent, OutageKind};
+pub use graphene::encode_cache::{CacheStats, EncodeCache};
 pub use link::LinkParams;
 pub use metrics::Metrics;
 pub use network::{Network, PropagationResult};

@@ -2,6 +2,7 @@
 
 use crate::peer::PeerId;
 use crate::time::SimTime;
+use graphene::encode_cache::CacheStats;
 use parking_lot::Mutex;
 use std::collections::HashMap;
 
@@ -34,6 +35,9 @@ struct Inner {
     crashes: u64,
     shed_frames: u64,
     resource_hwm_bytes: u64,
+    /// Network-wide relay-cache counters, *set* (not accumulated) from the
+    /// peers' own cumulative stats at the end of each `run_until`.
+    cache: CacheStats,
 }
 
 impl Metrics {
@@ -121,6 +125,20 @@ impl Metrics {
     pub fn record_resource_hwm(&self, bytes: u64) {
         let mut g = self.inner.lock();
         g.resource_hwm_bytes = g.resource_hwm_bytes.max(bytes);
+    }
+
+    /// Overwrite the network-wide relay-cache totals. Peers keep their own
+    /// cumulative [`CacheStats`]; the network folds them after each
+    /// `run_until`, and *setting* (rather than adding) keeps repeated
+    /// folds from double-counting.
+    pub fn set_cache_totals(&self, totals: CacheStats) {
+        self.inner.lock().cache = totals;
+    }
+
+    /// Network-wide relay-cache counters (hits, misses, evictions,
+    /// bytes saved, bypasses) as of the last `run_until`.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.inner.lock().cache
     }
 
     /// Record the first time `peer` fully reconstructed the block.

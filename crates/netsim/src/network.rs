@@ -183,21 +183,37 @@ impl Network {
             // clean sibling of a corrupted frame) is a refcount bump.
             msg.encode_into(&mut self.encode_buf);
             let frame = Bytes::from(&self.encode_buf[..]);
-            self.metrics.record_frame(msg.type_byte(), frame.len());
-            let link = self.link(from, to);
-            let transit = link.transit_time(frame.len());
-            let copies = link.deliveries(&frame, &mut self.rng);
-            if copies.is_empty() {
-                self.metrics.record_drop();
-                continue;
-            }
-            if copies.len() > 1 {
-                self.metrics.record_duplicate();
-            }
-            for (extra, frame) in copies {
-                let at = self.queue.now() + transit + extra;
-                self.schedule(at, Event::Deliver { to, from, frame });
-            }
+            self.deliver_frame(from, to, msg.type_byte(), frame);
+        }
+    }
+
+    /// Dispatch pre-encoded frames — the encode-once relay cache's
+    /// zero-copy path. No per-receiver encode happens here: the refcounted
+    /// frame (shared with the sender's cache) is scheduled directly.
+    fn dispatch_frames(&mut self, from: PeerId, sends: Vec<(PeerId, Bytes)>) {
+        for (to, frame) in sends {
+            // A frame's first byte is its wire type (frame = type ‖ len ‖
+            // body), so metrics stay per-type without a decode.
+            let type_byte = frame.first().copied().unwrap_or(0);
+            self.deliver_frame(from, to, type_byte, frame);
+        }
+    }
+
+    fn deliver_frame(&mut self, from: PeerId, to: PeerId, type_byte: u8, frame: Bytes) {
+        self.metrics.record_frame(type_byte, frame.len());
+        let link = self.link(from, to);
+        let transit = link.transit_time(frame.len());
+        let copies = link.deliveries(&frame, &mut self.rng);
+        if copies.is_empty() {
+            self.metrics.record_drop();
+            return;
+        }
+        if copies.len() > 1 {
+            self.metrics.record_duplicate();
+        }
+        for (extra, frame) in copies {
+            let at = self.queue.now() + transit + extra;
+            self.schedule(at, Event::Deliver { to, from, frame });
         }
     }
 
@@ -222,6 +238,7 @@ impl Network {
         self.metrics.record_failovers(out.failovers);
         self.metrics.record_escalations(out.escalations);
         self.dispatch(peer, out.send);
+        self.dispatch_frames(peer, out.send_frames);
     }
 
     /// Inject freshly authored transactions at `origin` and let them gossip
@@ -336,6 +353,20 @@ impl Network {
         for i in 0..self.peers.len() {
             self.metrics.record_resource_hwm(self.peers[i].accounting().hwm_bytes);
         }
+        // Fold per-peer relay-cache counters into the shared metrics. The
+        // peers' stats are cumulative, so this *sets* the totals rather
+        // than adding — repeated `run_until` calls must not double-count.
+        let mut totals = graphene::encode_cache::CacheStats::default();
+        for p in &self.peers {
+            if let Some(s) = p.cache_stats() {
+                totals.hits += s.hits;
+                totals.misses += s.misses;
+                totals.evictions += s.evictions;
+                totals.bytes_saved += s.bytes_saved;
+                totals.bypasses += s.bypasses;
+            }
+        }
+        self.metrics.set_cache_totals(totals);
     }
 
     /// Execute one chaos action.

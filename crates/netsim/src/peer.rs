@@ -41,7 +41,9 @@
 
 use crate::adversary::Behavior;
 use crate::caps::MessageCaps;
+use bytes::Bytes;
 use graphene::config::GrapheneConfig;
+use graphene::encode_cache::{CacheKey, CacheStats, EncodeCache};
 use graphene::error::{P1Failure, P2Failure};
 use graphene::protocol1::{self, CandidateSet, RetryTweak};
 use graphene::protocol2::{self};
@@ -54,6 +56,7 @@ use graphene_wire::messages::{
     GetGrapheneRetryMsg, GetGrapheneTxnMsg, GetTxnsMsg, InvMsg, Message, TxInvMsg, TxnsMsg,
     XthinBlockMsg, XthinGetDataMsg,
 };
+use graphene_wire::Encode;
 use std::collections::{HashMap, HashSet, VecDeque};
 
 /// Same-rung retries for the non-Graphene protocols before the full-block
@@ -109,6 +112,11 @@ pub struct ResourceLimits {
     pub max_queue_frames: usize,
     /// Inbound queue depth in bytes.
     pub max_queue_bytes: u64,
+    /// Byte budget of the encode-once relay cache (used only by peers that
+    /// [`Peer::enable_encode_cache`]; LRU eviction keeps the cache under
+    /// it, and it is charged against the accounted ceiling regardless so
+    /// enabling the cache never grows a node past its declared memory).
+    pub max_encode_cache_bytes: u64,
     /// Per-frame processing time (0 = process instantly, the pre-chaos
     /// behavior: the queue drains in zero simulated time).
     pub proc_delay_per_frame: crate::time::SimTime,
@@ -125,6 +133,7 @@ impl Default for ResourceLimits {
             max_misbehavior_entries: 256,
             max_queue_frames: 4096,
             max_queue_bytes: 64 << 20,
+            max_encode_cache_bytes: 8 << 20,
             proc_delay_per_frame: crate::time::SimTime::ZERO,
             proc_delay_per_kb: crate::time::SimTime::ZERO,
         }
@@ -138,6 +147,7 @@ impl ResourceLimits {
         self.max_queue_bytes
             + self.max_sessions as u64 * (SESSION_FIXED_BYTES + self.max_body_bytes)
             + self.max_pending_announcements as u64 * PENDING_FIXED_BYTES
+            + self.max_encode_cache_bytes
     }
 
     /// Simulated time to process one inbound frame of `bytes` bytes.
@@ -162,6 +172,9 @@ pub struct ResourceAccounting {
     pub body_bytes: u64,
     /// Blocks with re-announcement timers pending.
     pub pending_announcements: usize,
+    /// Frame bytes held by the encode-once relay cache (zero when the
+    /// cache is disabled).
+    pub encode_cache_bytes: u64,
     /// Highest accounted-byte total ever observed at this peer.
     pub hwm_bytes: u64,
     /// Inbound frames shed by the load-shedding policy (lifetime).
@@ -175,6 +188,7 @@ impl ResourceAccounting {
             + self.sessions as u64 * SESSION_FIXED_BYTES
             + self.body_bytes
             + self.pending_announcements as u64 * PENDING_FIXED_BYTES
+            + self.encode_cache_bytes
     }
 }
 
@@ -319,6 +333,9 @@ pub struct Peer {
     banned: HashSet<PeerId>,
     /// Adversarial decision counter (deterministic mangling stream).
     adv_nonce: u64,
+    /// Encode-once relay cache (None = per-receiver encoding, the seed
+    /// behavior). Volatile: a crash/restore cycle restarts it empty.
+    cache: Option<EncodeCache>,
     /// Bounded inbound frame queue: (sender, decoded message, frame bytes).
     inbox: VecDeque<(PeerId, Message, usize)>,
     /// Bytes currently queued in `inbox`.
@@ -333,6 +350,11 @@ pub struct Peer {
 pub struct Output {
     /// (destination, message) pairs to send.
     pub send: Vec<(PeerId, Message)>,
+    /// (destination, pre-encoded frame) pairs to send verbatim — the
+    /// encode-once relay cache's zero-copy path. Each entry is a complete
+    /// wire frame (refcounted, shared with the cache), byte-identical to
+    /// what encoding the equivalent [`Message`] would produce.
+    pub send_frames: Vec<(PeerId, Bytes)>,
     /// Retry timers to arm: (block, timer epoch).
     pub timers: Vec<(Digest, u32)>,
     /// Set when this peer just completed a block (for metrics).
@@ -349,6 +371,7 @@ impl Output {
     fn none() -> Output {
         Output {
             send: Vec::new(),
+            send_frames: Vec::new(),
             timers: Vec::new(),
             completed_block: None,
             banned: Vec::new(),
@@ -359,6 +382,7 @@ impl Output {
 
     fn absorb(&mut self, other: Output) {
         self.send.extend(other.send);
+        self.send_frames.extend(other.send_frames);
         self.timers.extend(other.timers);
         self.completed_block = self.completed_block.or(other.completed_block);
         self.banned.extend(other.banned);
@@ -385,6 +409,7 @@ impl Peer {
             misbehavior: HashMap::new(),
             banned: HashSet::new(),
             adv_nonce: 0,
+            cache: None,
             inbox: VecDeque::new(),
             inbox_bytes: 0,
             shed_frames: 0,
@@ -438,6 +463,23 @@ impl Peer {
         self.pending_announcements.get(block_id).map(|v| v.as_slice())
     }
 
+    /// Turn on the encode-once relay cache, budgeted at
+    /// [`ResourceLimits::max_encode_cache_bytes`]. Off by default (the
+    /// seed's per-receiver encoding); relay-node experiments opt in.
+    pub fn enable_encode_cache(&mut self) {
+        self.cache = Some(EncodeCache::new(self.limits.max_encode_cache_bytes));
+    }
+
+    /// Effectiveness counters of the relay cache, if enabled.
+    pub fn cache_stats(&self) -> Option<CacheStats> {
+        self.cache.as_ref().map(EncodeCache::stats)
+    }
+
+    /// The relay cache itself, if enabled (test and assertion hook).
+    pub fn encode_cache(&self) -> Option<&EncodeCache> {
+        self.cache.as_ref()
+    }
+
     /// Current resource usage, for metrics and cap assertions.
     pub fn accounting(&self) -> ResourceAccounting {
         ResourceAccounting {
@@ -446,6 +488,7 @@ impl Peer {
             sessions: self.sessions.len(),
             body_bytes: self.sessions.values().map(|s| s.body_bytes).sum(),
             pending_announcements: self.pending_announcements.len(),
+            encode_cache_bytes: self.cache.as_ref().map_or(0, EncodeCache::used_bytes),
             hwm_bytes: self.hwm_bytes,
             shed_frames: self.shed_frames,
         }
@@ -565,6 +608,12 @@ impl Peer {
         self.banned.clear();
         self.inbox.clear();
         self.inbox_bytes = 0;
+        // The relay cache is process memory, deliberately outside
+        // `NodeSnapshot`: a restarted node re-encodes on demand rather
+        // than trusting frames from before the crash.
+        if self.cache.is_some() {
+            self.enable_encode_cache();
+        }
     }
 
     /// Reconnect handshake with `neighbor`: announce every held block (a
@@ -1022,35 +1071,64 @@ impl Peer {
         };
         let mut out = Output::none();
         match &self.protocol {
-            RelayProtocol::Graphene(cfg) => {
-                let (msg, _) = protocol1::sender_encode(block, m.mempool_count, None, cfg);
-                out.send.push((from, Message::GrapheneBlock(msg)));
-            }
+            RelayProtocol::Graphene(cfg) => match &self.cache {
+                Some(cache) => {
+                    // The relay-node path: serve (or populate) the canonical
+                    // frame for this receiver's mempool-size bucket and ship
+                    // the refcounted bytes verbatim.
+                    let enc = protocol1::sender_encode_cached(
+                        block,
+                        m.mempool_count,
+                        None,
+                        cfg,
+                        &RetryTweak::initial(cfg),
+                        Some(cache),
+                    );
+                    out.send_frames.push((from, enc.frame));
+                }
+                None => {
+                    let (msg, _) = protocol1::sender_encode(block, m.mempool_count, None, cfg);
+                    out.send.push((from, Message::GrapheneBlock(msg)));
+                }
+            },
             RelayProtocol::CompactBlocks => {
                 out.send.push((from, Message::CmpctBlock(build_cmpctblock(block))));
             }
-            RelayProtocol::FullBlocks => {
-                out.send.push((
-                    from,
-                    Message::FullBlock(FullBlockMsg {
-                        header: *block.header(),
-                        txns: block.txns().to_vec(),
-                    }),
-                ));
-            }
-            RelayProtocol::Xthin { .. } => {
+            RelayProtocol::FullBlocks | RelayProtocol::Xthin { .. } => {
                 // XThin requests arrive as XthinGetData instead; a plain
                 // getdata gets the full block.
-                out.send.push((
-                    from,
-                    Message::FullBlock(FullBlockMsg {
-                        header: *block.header(),
-                        txns: block.txns().to_vec(),
-                    }),
-                ));
+                Self::push_full_block(&self.cache, from, block, &mut out);
             }
         }
         out
+    }
+
+    /// Send the full block to `to`, through the relay cache's `FullBlock`
+    /// variant when enabled (the ladder's terminal rung is the largest
+    /// frame a relay node repeats, so it benefits most from encode-once).
+    fn push_full_block(cache: &Option<EncodeCache>, to: PeerId, block: &Block, out: &mut Output) {
+        if let Some(cache) = cache {
+            let key = CacheKey::full_block(block.id());
+            if let Some(frame) = cache.lookup(&key) {
+                out.send_frames.push((to, frame));
+                return;
+            }
+            let msg = Message::FullBlock(FullBlockMsg {
+                header: *block.header(),
+                txns: block.txns().to_vec(),
+            });
+            let frame = Bytes::from(msg.to_vec());
+            cache.insert(key, frame.clone());
+            out.send_frames.push((to, frame));
+            return;
+        }
+        out.send.push((
+            to,
+            Message::FullBlock(FullBlockMsg {
+                header: *block.header(),
+                txns: block.txns().to_vec(),
+            }),
+        ));
     }
 
     // --- Graphene ---------------------------------------------------------
@@ -1120,7 +1198,14 @@ impl Peer {
             return Output::none();
         };
         // The sender does not re-learn m here; deployed graphene caches it.
-        let rec = protocol2::sender_respond(block, &m, self.mempool.len().max(block.len()), cfg);
+        // Receiver-dependent (`R` differs per peer): always a cache bypass.
+        let rec = protocol2::sender_respond_cached(
+            block,
+            &m,
+            self.mempool.len().max(block.len()),
+            cfg,
+            self.cache.as_ref(),
+        );
         let mut out = Output::none();
         out.send.push((from, Message::GrapheneRecovery(rec)));
         out
@@ -1135,6 +1220,15 @@ impl Peer {
         let mut out = Output::none();
         match &self.protocol {
             RelayProtocol::Graphene(cfg) => {
+                // Deliberately cache-free: a retry exists to re-encode with
+                // a *fresh* salt after a failed decode, so this handler
+                // never consults the relay cache — serving the cached
+                // attempt-0 frame would replay the very salts that just
+                // failed. (`EncodeCache::cacheable` enforces the same rule
+                // for anyone routing retries through the cached encoder.)
+                if let Some(cache) = &self.cache {
+                    cache.note_bypass();
+                }
                 let tweak = RetryTweak::for_attempt(cfg, m.attempt);
                 let (msg, _) =
                     protocol1::sender_encode_retry(block, m.mempool_count, None, cfg, &tweak);
@@ -1434,13 +1528,7 @@ impl Peer {
             return Output::none();
         };
         let mut out = Output::none();
-        out.send.push((
-            from,
-            Message::FullBlock(FullBlockMsg {
-                header: *block.header(),
-                txns: block.txns().to_vec(),
-            }),
-        ));
+        Self::push_full_block(&self.cache, from, block, &mut out);
         out
     }
 
@@ -1689,6 +1777,103 @@ mod tests {
         assert!(p.timer_current(&b, ANN_FLAG));
         let _ = p.handle_timeout(b, MAX_ANN_RETRIES | ANN_FLAG); // exhausts retries
         assert!(!p.timer_current(&b, ANN_FLAG));
+    }
+
+    /// Satellite regression for the encode-once cache: a `0x14`
+    /// `GetGrapheneRetry` must NEVER be answered with a cached frame — the
+    /// retry rung exists to re-encode with a fresh salt after the cached
+    /// attempt-0 salts already failed to decode.
+    #[test]
+    fn retry_rung_never_reuses_a_cached_frame() {
+        use graphene_wire::Decode;
+        let mut p = graphene_peer(0);
+        p.enable_encode_cache();
+        let block = block_of(30, 5);
+        let id = block.id();
+        p.originate(block, &[]);
+
+        // Attempt 0: the canonical frame is encoded once and cached.
+        let out = p.handle(
+            PeerId(1),
+            Message::GetData(GetDataMsg { block_id: id, mempool_count: 60 }),
+            &[],
+        );
+        assert_eq!(out.send_frames.len(), 1, "cached path ships a raw frame");
+        let cached_frame = out.send_frames[0].1.clone();
+        let stats = p.cache_stats().expect("cache enabled");
+        assert_eq!((stats.hits, stats.misses, stats.bypasses), (0, 1, 0));
+
+        // The 0x14 retry rung: structurally cache-free, fresh salts.
+        let retry_req = |attempt| {
+            Message::GetGrapheneRetry(GetGrapheneRetryMsg {
+                block_id: id,
+                mempool_count: 60,
+                attempt,
+            })
+        };
+        let out = p.handle(PeerId(1), retry_req(1), &[]);
+        assert!(out.send_frames.is_empty(), "retry must not ship a cached frame");
+        let stats = p.cache_stats().expect("cache enabled");
+        assert_eq!(stats.hits, 0, "retry was served from the cache");
+        assert_eq!(stats.bypasses, 1, "retry must be accounted as a bypass");
+        let Some((_, Message::GrapheneBlock(retry))) = out.send.first() else {
+            panic!("retry must answer with a fresh GrapheneBlock: {:?}", out.send);
+        };
+        let Ok(Message::GrapheneBlock(cached)) = Message::decode_exact(&cached_frame) else {
+            panic!("cached frame must decode");
+        };
+        assert_ne!(retry.iblt_i.salt(), cached.iblt_i.salt(), "retry reused the cached salts");
+        assert_ne!(
+            Message::GrapheneBlock(retry.clone()).to_vec().as_slice(),
+            &cached_frame[..],
+            "retry frame byte-identical to the cached attempt-0 frame"
+        );
+
+        // Even a hostile attempt-0 "retry" stays off the cache: the
+        // handler never consults it, so no lookup can hit.
+        let out = p.handle(PeerId(1), retry_req(0), &[]);
+        assert!(out.send_frames.is_empty());
+        let stats = p.cache_stats().expect("cache enabled");
+        assert_eq!((stats.hits, stats.bypasses), (0, 2));
+    }
+
+    /// Shed ordering with cache-served bodies queued: the decoded frame of
+    /// a relay-cache `GrapheneBlock` classifies as active-session recovery,
+    /// so announcements still drop first.
+    #[test]
+    fn cache_served_bodies_survive_shedding_before_announcements() {
+        use graphene_wire::Decode;
+        let mut p = graphene_peer(0);
+        p.limits.max_queue_frames = 3;
+        let block = block_of(20, 6);
+        let a = block.id();
+        p.handle(PeerId(1), Message::Inv(InvMsg { block_id: a }), &[]);
+
+        // A sender-side relay with the cache enabled produces A's frame.
+        let mut sender = graphene_peer(9);
+        sender.enable_encode_cache();
+        sender.originate(block, &[]);
+        let out = sender.handle(
+            PeerId(0),
+            Message::GetData(GetDataMsg { block_id: a, mempool_count: 40 }),
+            &[],
+        );
+        let frame = out.send_frames[0].1.clone();
+        let body = Message::decode_exact(&frame).expect("cached frame decodes");
+        assert!(matches!(body, Message::GrapheneBlock(_)));
+
+        // Queue [inv, body(A), inv] at cap 3; the next inv must shed an
+        // announcement, never the cache-served session body.
+        let inv = |tag| Message::Inv(InvMsg { block_id: block_of(2, tag).id() });
+        assert_eq!(p.enqueue(PeerId(1), inv(7), 40), 0);
+        assert_eq!(p.enqueue(PeerId(1), body, frame.len()), 0);
+        assert_eq!(p.enqueue(PeerId(1), inv(8), 40), 0);
+        assert_eq!(p.enqueue(PeerId(1), inv(9), 40), 1, "over cap: one announcement goes");
+        let mut bodies = 0;
+        while let Some((_, m, _)) = p.dequeue() {
+            bodies += matches!(m, Message::GrapheneBlock(_)) as usize;
+        }
+        assert_eq!(bodies, 1, "the cache-served body was shed");
     }
 
     #[test]

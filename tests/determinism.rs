@@ -5,9 +5,9 @@
 use graphene::config::GrapheneConfig;
 use graphene::session::{relay_block, RelayOutcome};
 use graphene_blockchain::{Scenario, ScenarioParams};
-use graphene_experiments::{Engine, MeanAcc, PropAcc};
+use graphene_experiments::{fanout, Engine, MeanAcc, PropAcc};
 use graphene_iblt_params::{search_c, FailureRate, SearchConfig};
-use graphene_netsim::{Network, PeerId, RelayProtocol, SimTime};
+use graphene_netsim::{ChaosConfig, LinkParams, Network, PeerId, RelayProtocol, SimTime};
 use rand::{rngs::StdRng, SeedableRng};
 
 #[test]
@@ -75,6 +75,88 @@ fn figure_sweep_is_thread_count_invariant() {
     let one = sweep(1);
     assert_eq!(one, sweep(2), "2-thread sweep diverged from 1-thread");
     assert_eq!(one, sweep(8), "8-thread sweep diverged from 1-thread");
+}
+
+/// The encode-once fan-out sweep behind `results/fanout_sweep.csv` is
+/// bit-identical at 1, 2 and 8 worker threads: every aggregated field —
+/// float means, hit rate, max cache occupancy — compares equal, so the
+/// emitted CSV is byte-identical for any `--threads` value.
+#[test]
+fn fanout_sweep_is_thread_count_invariant() {
+    let run = |threads: usize| {
+        let engine = Engine::new(threads, 0xeca1);
+        [fanout::sweep_point(&engine, 2, 120), fanout::sweep_point(&engine, 2, 260)]
+    };
+    let (a, b, c) = (run(1), run(2), run(8));
+    assert_eq!(a, b, "1 vs 2 threads diverged");
+    assert_eq!(a, c, "1 vs 8 threads diverged");
+    for p in &a {
+        assert_eq!(p.frame_mismatches, 0.0, "cached frame diverged: {p:?}");
+        assert!((p.delivery_cached - 1.0).abs() < 1e-12, "delivery not total: {p:?}");
+        assert!((p.delivery_uncached - 1.0).abs() < 1e-12, "delivery not total: {p:?}");
+    }
+}
+
+/// Chaos grid with every peer's encode-once relay cache enabled: churn
+/// plus a mid-relay partition on lossy, duplicating, reordering links
+/// still delivers the block to all peers, the caches actually serve hits
+/// along the way, and accounted memory (cache included) stays under the
+/// configured ceiling. Cache-served frames are byte-identical to fresh
+/// encodes, so turning caches on must never cost delivery.
+#[test]
+fn chaos_grid_with_relay_caches_still_delivers_everywhere() {
+    use graphene_experiments::chaos::{sweep_limits, PEERS};
+    let params = ScenarioParams {
+        block_size: 150,
+        extra_mempool_multiple: 1.0,
+        block_fraction_in_mempool: 1.0,
+        ..Default::default()
+    };
+    let s = Scenario::generate(&params, &mut StdRng::seed_from_u64(0x0ca9e));
+    let mut net = Network::new(PEERS, RelayProtocol::Graphene(GrapheneConfig::default()), 0xd1);
+    for i in 0..PEERS {
+        let p = net.peer_mut(PeerId(i));
+        p.mempool = s.receiver_mempool.clone();
+        p.limits = sweep_limits();
+        p.enable_encode_cache();
+    }
+    net.set_default_link(LinkParams {
+        latency: SimTime::from_millis(30),
+        drop_chance: 0.01,
+        corrupt_chance: 0.01,
+        duplicate_chance: 0.02,
+        reorder_chance: 0.05,
+        ..LinkParams::default()
+    });
+    for i in 0..PEERS {
+        net.connect(PeerId(i), PeerId((i + 1) % PEERS));
+    }
+    for i in 0..PEERS / 2 {
+        net.connect(PeerId(i), PeerId(i + PEERS / 2));
+    }
+    net.enable_chaos(ChaosConfig {
+        seed: 0x7e11,
+        churn_rate: 0.02,
+        partition_at: Some(SimTime::from_millis(500)),
+        partition_duration: SimTime::from_millis(30_000),
+        active_from: SimTime::ZERO,
+        active_until: SimTime::from_millis(90_000),
+        exempt: vec![PeerId(0)],
+        ..Default::default()
+    });
+    net.propagate(PeerId(0), s.block, SimTime(600_000_000));
+
+    let reached = (0..PEERS).filter(|&i| net.metrics.arrival(PeerId(i)).is_some()).count();
+    assert_eq!(reached, PEERS, "a peer missed the block with relay caches on");
+    let cache = net.metrics.cache_stats();
+    assert!(cache.hits >= 1, "fan-out under churn produced no cache hits: {cache:?}");
+    assert!(cache.bytes_saved > 0, "hits saved no frame bytes: {cache:?}");
+    let ceiling = sweep_limits().accounted_ceiling();
+    assert!(
+        net.metrics.resource_hwm_bytes() <= ceiling,
+        "hwm {} over ceiling {ceiling}",
+        net.metrics.resource_hwm_bytes()
+    );
 }
 
 #[test]
