@@ -23,7 +23,7 @@ use graphene_bench::reference::{ref_subtract_peel, RefBloom, RefGcs};
 use graphene_bench::runner::{regressions, result, time_fn, to_json, BenchResult};
 use graphene_bloom::{BloomFilter, GcsBuilder, HashStrategy, Membership};
 use graphene_hashes::{sha256, siphash24, Digest, SipKey};
-use graphene_iblt::{Iblt, PeelScratch};
+use graphene_iblt::{CellStream, DecodeProgress, Iblt, PeelScratch, RatelessDecoder};
 use graphene_iblt_params::hypergraph::Scratch;
 use graphene_iblt_params::{params_for, search_c_with, FailureRate, SearchConfig};
 use graphene_netsim::{Network, PeerId, RelayProtocol, SimTime};
@@ -292,6 +292,50 @@ fn bench_relay_fanout(it: &Iters) -> BenchResult {
     result("relay_fanout_64rx_n150", iters, ns, Some(ref_ns))
 }
 
+fn bench_rateless_encode(it: &Iters) -> BenchResult {
+    // The stateless server path: rebuild the coded-cell stream over a
+    // 2000-item set and emit one 512-cell window. Every `GetMoreCells`
+    // pays this (plus a skip), so the heap-driven generator is hot.
+    let items: Vec<u64> = (0..2000u64).map(|i| i.wrapping_mul(0x9e37_79b9_7f4a_7c15) | 1).collect();
+    let (warmup, iters) = it.of(200);
+    let ns = time_fn(warmup, iters, || {
+        let mut s = CellStream::new(7, items.iter().copied());
+        black_box(s.cells(512).len());
+    });
+    result("rateless_encode_512cells_n2000", iters, ns, None)
+}
+
+fn bench_rateless_decode(it: &Iters) -> BenchResult {
+    // Receiver-side incremental peel of a 50-item difference against 2000
+    // candidates — the same difference shape as `iblt_peel_d50`, decoded
+    // from a pre-generated cell prefix so only the decoder is timed.
+    let salt = 9u64;
+    let remote: Vec<u64> =
+        (0..2000u64).map(|i| i.wrapping_mul(0xa076_1d64_78bd_642f) | 1).collect();
+    let local: Vec<u64> = remote[50..].to_vec();
+    // Dry-run to find the exact decodable prefix length.
+    let mut probe = RatelessDecoder::new(salt, local.iter().copied());
+    let mut stream = CellStream::new(salt, remote.iter().copied());
+    let mut need = 150usize; // ~3×d first window
+    loop {
+        let start = stream.emitted();
+        let cells = stream.cells(need);
+        match probe.push_cells(start, &cells).expect("honest stream") {
+            DecodeProgress::Decoded(_) => break,
+            DecodeProgress::NeedMore(n) => need = n,
+        }
+    }
+    let total = stream.emitted() as usize;
+    let cells = CellStream::new(salt, remote.iter().copied()).cells(total);
+    let (warmup, iters) = it.of(200);
+    let ns = time_fn(warmup, iters, || {
+        let mut d = RatelessDecoder::new(salt, local.iter().copied());
+        let r = d.push_cells(0, &cells).expect("honest stream");
+        black_box(matches!(r, DecodeProgress::Decoded(_)));
+    });
+    result("rateless_decode_d50_n2000", iters, ns, None)
+}
+
 fn bench_netsim_relay(it: &Iters) -> BenchResult {
     // Block relay across an 8-peer random topology: every iteration rebuilds
     // the network (same seed — bit-identical event stream) and floods one
@@ -353,6 +397,8 @@ fn main() {
         bench_protocol1(&it),
         bench_relay_block(&it),
         bench_relay_fanout(&it),
+        bench_rateless_encode(&it),
+        bench_rateless_decode(&it),
         bench_netsim_relay(&it),
     ];
     for b in &benches {

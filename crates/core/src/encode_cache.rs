@@ -32,6 +32,12 @@
 //!   is supplied, the prefilled transaction list differs per receiver.
 //! * **Protocol 2 responses.** `GrapheneRecoveryMsg` is a function of the
 //!   receiver's Bloom filter `R` — receiver-dependent by construction.
+//! * **Rateless cell windows.** A `RatelessCellsMsg` answers a window
+//!   request keyed by its start index, and every request names a window the
+//!   stream has not served that receiver yet — a cached frame could only
+//!   replay cells the receiver already consumed (the decoder rejects the
+//!   duplicate as a gap). Servers regenerate any window statelessly from
+//!   `(block, salt)` and count the encode as a bypass.
 //!
 //! Bypasses are counted ([`CacheStats::bypasses`]) so the fan-out
 //! experiment can report them as encodings performed.

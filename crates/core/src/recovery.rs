@@ -13,10 +13,16 @@
 //!    β decayed toward 1 (shrinking the failure budget per Theorem 3's
 //!    assurance model), and an IBLT sized `1.5×` per attempt
 //!    ([`RetryTweak`]).
-//! 3. **ShortIdFetch** — an xthin-style exchange (BUIP010): the receiver
+//! 3. **Rateless** (optional, via [`RatelessMode`]) — stream coded cells
+//!    from a rateless IBLT (arXiv 2402.02668) against the candidate set
+//!    the failed attempt already built, growing the stream until it
+//!    decodes. A bad difference estimate costs a few more cells instead of
+//!    a whole fresh sketch — this rung replaces the retry cliff with
+//!    incremental degradation.
+//! 4. **ShortIdFetch** — an xthin-style exchange (BUIP010): the receiver
 //!    ships a Bloom filter of its mempool, the sender answers with the
 //!    block's 8-byte short IDs plus whatever missed the filter.
-//! 4. **FullBlock** — the uncompressed block; cannot fail.
+//! 5. **FullBlock** — the uncompressed block; cannot fail.
 //!
 //! Every rung records its bytes and rounds in a [`RungReport`]; the merged
 //! [`ByteBreakdown`] keeps figures honest about what degradation costs.
@@ -24,14 +30,16 @@
 #![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
 use crate::config::GrapheneConfig;
-use crate::protocol1::RetryTweak;
+use crate::protocol1::{self, RetryTweak};
+use crate::protocol2;
 use crate::session::{relay_block_attempt, ByteBreakdown};
 use graphene_blockchain::{Block, Mempool, PeerView, TxId};
 use graphene_bloom::{BloomFilter, Membership};
-use graphene_hashes::{merkle_root, short_id_8};
+use graphene_hashes::{merkle_root, short_id_8, Digest};
+use graphene_iblt::rateless::{CellStream, DecodeProgress, RatelessDecoder, MAX_CELLS_PER_BATCH};
 use graphene_wire::messages::{
-    BlockTxnMsg, FullBlockMsg, GetFullBlockMsg, GetGrapheneTxnMsg, Message, XthinBlockMsg,
-    XthinGetDataMsg,
+    BlockTxnMsg, FullBlockMsg, GetFullBlockMsg, GetGrapheneTxnMsg, GetMoreCellsMsg, Message,
+    RatelessCellsMsg, XthinBlockMsg, XthinGetDataMsg,
 };
 use graphene_wire::varint::varint_len;
 use std::collections::HashMap;
@@ -39,6 +47,31 @@ use std::collections::HashMap;
 /// Salt domain for the short-ID rung's mempool filter, disjoint from the
 /// S/I/R/J/F domains in [`crate::protocol1`].
 const SALT_XF: u64 = 0x5846;
+
+/// Salt domain for the rateless rung's cell stream, disjoint from every
+/// other domain.
+const SALT_RL: u64 = 0x524c;
+
+/// The rateless codec salt for a block: a deterministic function of the
+/// block ID, so a receiver can verify the salt a `RatelessCells` frame
+/// claims — a wrong salt is provable misbehavior, not a decode mystery.
+pub fn rateless_salt(block_id: &Digest) -> u64 {
+    block_id.low_u64() ^ SALT_RL
+}
+
+/// Where the rateless rung sits in the ladder, if anywhere.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum RatelessMode {
+    /// No rateless rung (the PR 2 ladder, unchanged).
+    #[default]
+    Off,
+    /// Run the inflated retries first, then the rateless rung before
+    /// falling through to short-ID fetch.
+    AfterRetries,
+    /// Replace the inflated retries entirely: one Graphene attempt, then
+    /// stream cells. This is the "no retry cliff" configuration.
+    ReplaceRetries,
+}
 
 /// Knobs for the recovery ladder.
 #[derive(Clone, Copy, Debug)]
@@ -48,11 +81,29 @@ pub struct RecoveryPolicy {
     pub graphene_retries: u32,
     /// False-positive rate of the mempool filter in the short-ID rung.
     pub shortid_fpr: f64,
+    /// Whether (and where) the rateless rung runs.
+    pub rateless: RatelessMode,
+    /// Most coded-cell batches the rateless rung may request before it
+    /// falls through to the short-ID rung.
+    pub rateless_max_batches: u32,
 }
 
 impl Default for RecoveryPolicy {
     fn default() -> Self {
-        RecoveryPolicy { graphene_retries: 2, shortid_fpr: 0.001 }
+        RecoveryPolicy {
+            graphene_retries: 2,
+            shortid_fpr: 0.001,
+            rateless: RatelessMode::Off,
+            rateless_max_batches: 8,
+        }
+    }
+}
+
+impl RecoveryPolicy {
+    /// The "no retry cliff" ladder: one Graphene attempt, then stream
+    /// rateless cells instead of inflated retries.
+    pub fn rateless_first() -> Self {
+        RecoveryPolicy { rateless: RatelessMode::ReplaceRetries, ..Default::default() }
     }
 }
 
@@ -63,6 +114,8 @@ pub enum RungKind {
     Graphene,
     /// Inflated-parameter Graphene re-request.
     GrapheneRetry,
+    /// Rateless coded-cell stream against the failed attempt's candidates.
+    Rateless,
     /// Xthin-style short-ID fetch.
     ShortIdFetch,
     /// Uncompressed block.
@@ -75,6 +128,7 @@ impl RungKind {
         match self {
             RungKind::Graphene => "graphene",
             RungKind::GrapheneRetry => "graphene_retry",
+            RungKind::Rateless => "rateless",
             RungKind::ShortIdFetch => "shortid_fetch",
             RungKind::FullBlock => "full_block",
         }
@@ -134,8 +188,13 @@ pub fn relay_with_recovery(
     let mut bytes = ByteBreakdown::default();
     let mut rounds = 0u32;
 
-    // Rungs 1–2: Graphene, then inflated re-requests with fresh salts.
-    for attempt in 0..=policy.graphene_retries {
+    // Rungs 1–2: Graphene, then inflated re-requests with fresh salts
+    // (skipped when the rateless rung replaces them).
+    let retries = match policy.rateless {
+        RatelessMode::ReplaceRetries => 0,
+        _ => policy.graphene_retries,
+    };
+    for attempt in 0..=retries {
         let tweak = RetryTweak::for_attempt(cfg, attempt);
         let r = relay_block_attempt(block, peer, receiver_mempool, cfg, &tweak);
         bytes.absorb(&r.bytes);
@@ -147,6 +206,24 @@ pub fn relay_with_recovery(
             if let Some(ordered_ids) = r.ordered_ids {
                 return LadderReport { delivered: kind, rungs, bytes, rounds, ordered_ids };
             }
+        }
+    }
+
+    // Rateless rung: stream coded cells against the candidates the failed
+    // attempt already built, growing the stream until it decodes.
+    if policy.rateless != RatelessMode::Off {
+        match rateless_rung(block, peer, receiver_mempool, cfg, policy, &mut bytes, &mut rounds) {
+            Ok((report, ordered_ids)) => {
+                rungs.push(report);
+                return LadderReport {
+                    delivered: RungKind::Rateless,
+                    rungs,
+                    bytes,
+                    rounds,
+                    ordered_ids,
+                };
+            }
+            Err(report) => rungs.push(report),
         }
     }
 
@@ -183,6 +260,160 @@ pub fn relay_with_recovery(
         success: true,
     });
     LadderReport { delivered: RungKind::FullBlock, rungs, bytes, rounds, ordered_ids: block.ids() }
+}
+
+/// The rateless rung: the receiver keeps the [`CandidateSet`] its failed
+/// Graphene attempt built (mempool survivors of `S`, i.e. block∩mempool
+/// plus `S` false positives), so sender and receiver already share almost
+/// everything — the remaining job is reconciling the block's short-ID set
+/// against the candidates, whose symmetric difference is small however
+/// badly the original IBLT was sized. The sender streams coded cells from
+/// a [`CellStream`] over the block's short IDs; the receiver's
+/// [`RatelessDecoder`] peels incrementally and asks for more until it
+/// decodes. Recovered `only_remote` IDs are genuinely missing bodies
+/// (fetched by short ID, as in Protocol 2's extra round); `only_local`
+/// IDs are `S` false positives and are dropped from the candidates.
+///
+/// The candidate state is regenerated here rather than threaded out of
+/// [`relay_block_attempt`] — the encode is deterministic, so this is
+/// byte-for-byte the state the receiver holds, at zero wire cost.
+///
+/// [`CandidateSet`]: crate::protocol1::CandidateSet
+fn rateless_rung(
+    block: &Block,
+    peer: Option<&PeerView>,
+    mempool: &Mempool,
+    cfg: &GrapheneConfig,
+    policy: &RecoveryPolicy,
+    bytes: &mut ByteBreakdown,
+    rounds: &mut u32,
+) -> Result<(RungReport, Vec<TxId>), RungReport> {
+    let fail = |bytes: usize, rounds: u32| RungReport {
+        kind: RungKind::Rateless,
+        attempt: 0,
+        bytes,
+        rounds,
+        success: false,
+    };
+
+    let (msg, _) = protocol1::sender_encode(block, mempool.len() as u64, peer, cfg);
+    let state = match protocol1::receiver_decode(&msg, mempool, cfg) {
+        // Unreachable when the ladder descended honestly (the identical
+        // attempt just failed), but harmless: deliver at zero extra cost.
+        Ok(ok) => {
+            return Ok((
+                RungReport {
+                    kind: RungKind::Rateless,
+                    attempt: 0,
+                    bytes: 0,
+                    rounds: 0,
+                    success: true,
+                },
+                ok.ordered_ids,
+            ))
+        }
+        Err((_, state)) => state,
+    };
+
+    let salt = rateless_salt(&block.id());
+    let mut stream = CellStream::new(salt, block.txns().iter().map(|tx| short_id_8(tx.id())));
+    let mut decoder = RatelessDecoder::new(salt, state.by_short.keys().copied());
+
+    // First-batch sizing: the partial peel and the candidate-count gap both
+    // lower-bound the difference — and both undercount it, because Bloom
+    // false positives inflate `z` toward `n` while also joining the
+    // difference themselves. 3× covers that undercount plus the codec's
+    // ~1.35d overhead, so most degraded relays decode in one batch.
+    let d_est = (state.partial_left.len() + state.partial_right.len())
+        .max(state.z.abs_diff(block.len()))
+        .max(4);
+    let mut batch = (3 * d_est).clamp(8, MAX_CELLS_PER_BATCH);
+
+    let mut rung_bytes = 0usize;
+    let mut rung_rounds = 0u32;
+    let mut decoded = None;
+    for _ in 0..policy.rateless_max_batches {
+        let start = stream.emitted();
+        let cells = stream.cells(batch);
+        let req = Message::GetMoreCells(GetMoreCellsMsg {
+            block_id: block.id(),
+            from_index: start,
+            count: batch as u32,
+        });
+        let resp = Message::RatelessCells(RatelessCellsMsg {
+            block_id: block.id(),
+            salt,
+            start_index: start,
+            cells: cells.clone(),
+        });
+        rung_bytes += req.wire_size() + resp.wire_size();
+        rung_rounds += 1;
+        match decoder.push_cells(start, &cells) {
+            Ok(DecodeProgress::Decoded(diff)) => {
+                decoded = Some(diff);
+                break;
+            }
+            Ok(DecodeProgress::NeedMore(n)) => batch = n,
+            // An honest stream cannot be malformed; bail to the next rung.
+            Err(_) => break,
+        }
+    }
+    bytes.rateless += rung_bytes;
+    *rounds += rung_rounds;
+    let Some(diff) = decoded else {
+        return Err(fail(rung_bytes, rung_rounds));
+    };
+
+    // Resolve the decoded difference: drop `S` false positives, fetch the
+    // genuinely missing bodies by short ID (Protocol 2's extra round).
+    let mut resolved: HashMap<u64, TxId> = state.by_short.clone();
+    for s in &diff.only_local {
+        resolved.remove(s);
+    }
+    if !diff.only_remote.is_empty() {
+        let req = Message::GetGrapheneTxn(GetGrapheneTxnMsg {
+            block_id: block.id(),
+            short_ids: diff.only_remote.clone(),
+        });
+        let lookup: HashMap<u64, &graphene_blockchain::Transaction> =
+            block.txns().iter().map(|tx| (short_id_8(tx.id()), tx)).collect();
+        let fetched: Vec<_> =
+            diff.only_remote.iter().filter_map(|s| lookup.get(s).map(|tx| (*tx).clone())).collect();
+        let resp = Message::BlockTxn(BlockTxnMsg { block_id: block.id(), txns: fetched.clone() });
+        let fetched_bodies: usize =
+            fetched.iter().map(|tx| varint_len(tx.size() as u64) + tx.size()).sum();
+        let fetch_bytes = req.wire_size() + resp.wire_size();
+        rung_bytes += fetch_bytes;
+        rung_rounds += 1;
+        bytes.rateless += fetch_bytes - fetched_bodies;
+        bytes.missing_txns += fetched_bodies;
+        *rounds += 1;
+        if fetched.len() != diff.only_remote.len() {
+            // A recovered short ID the sender does not recognize: a decode
+            // artifact (XOR collision); fall through to the next rung.
+            return Err(fail(rung_bytes, rung_rounds));
+        }
+        for tx in &fetched {
+            resolved.insert(short_id_8(tx.id()), *tx.id());
+        }
+    }
+
+    match protocol2::finalize_p2(&resolved, block.header().merkle_root, &msg.order_bytes, cfg) {
+        Ok(ok) => match ok.ordered_ids {
+            Some(ids) => Ok((
+                RungReport {
+                    kind: RungKind::Rateless,
+                    attempt: 0,
+                    bytes: rung_bytes,
+                    rounds: rung_rounds,
+                    success: true,
+                },
+                ids,
+            )),
+            None => Err(fail(rung_bytes, rung_rounds)),
+        },
+        Err(_) => Err(fail(rung_bytes, rung_rounds)),
+    }
 }
 
 /// The xthin-style rung: receiver sends a Bloom filter of its mempool, the
@@ -403,6 +634,137 @@ mod tests {
         // Whichever rung delivered, the bodies all had to travel.
         let bodies: usize = s.block.txns().iter().map(|tx| tx.size()).sum();
         assert!(r.bytes.total() >= bodies);
+    }
+
+    fn flaky() -> GrapheneConfig {
+        let mut flaky = cfg();
+        flaky.beta = 0.51;
+        flaky.iblt_rate_denom = 3;
+        flaky.pingpong = false;
+        flaky
+    }
+
+    #[test]
+    fn rateless_rung_rescues_the_flaky_config() {
+        // The "no retry cliff" ladder: every degraded seed must be rescued
+        // by the rateless rung (never an inflated retry, and the deeper
+        // rungs should not be needed — the stream just grows until it
+        // decodes).
+        let policy = RecoveryPolicy::rateless_first();
+        let mut degraded = 0usize;
+        for seed in 0..100u64 {
+            let s = scenario(100, 1.0, 0.5, seed);
+            let r = relay_with_recovery(&s.block, None, &s.receiver_mempool, &flaky(), &policy);
+            assert_eq!(r.ordered_ids, s.block.ids(), "seed {seed}");
+            assert!(
+                r.rungs.iter().all(|g| g.kind != RungKind::GrapheneRetry),
+                "seed {seed}: ReplaceRetries ran a retry rung: {:?}",
+                r.rungs
+            );
+            if !r.clean() {
+                degraded += 1;
+                assert_eq!(r.delivered, RungKind::Rateless, "seed {seed}: {:?}", r.rungs);
+                assert!(r.bytes.rateless > 0, "seed {seed}: rateless rung charged no bytes");
+            }
+        }
+        assert!(degraded > 0, "flaky config never degraded; test is vacuous");
+    }
+
+    #[test]
+    fn rateless_after_retries_sits_between_retry_and_shortid() {
+        // `AfterRetries` only engages once every Graphene attempt —
+        // including the inflated retry — has failed, so this needs a
+        // harsher config than `flaky()`: an IBLT rate coarse enough that
+        // even the 1.5×-inflated retry occasionally fails to peel.
+        let mut harsh = flaky();
+        harsh.iblt_rate_denom = 2;
+        let policy = RecoveryPolicy {
+            rateless: RatelessMode::AfterRetries,
+            graphene_retries: 1,
+            ..Default::default()
+        };
+        let mut saw_rateless = false;
+        for seed in 0..300u64 {
+            let s = scenario(200, 1.0, 0.5, seed);
+            let r = relay_with_recovery(&s.block, None, &s.receiver_mempool, &harsh, &policy);
+            assert_eq!(r.ordered_ids, s.block.ids(), "seed {seed}");
+            if let Some(pos) = r.rungs.iter().position(|g| g.kind == RungKind::Rateless) {
+                saw_rateless = true;
+                // Every rung before it is a Graphene attempt, all failed.
+                for g in &r.rungs[..pos] {
+                    assert!(g.kind <= RungKind::GrapheneRetry, "{:?}", r.rungs);
+                    assert!(!g.success);
+                }
+            }
+        }
+        assert!(saw_rateless, "rateless rung never engaged");
+    }
+
+    #[test]
+    fn rateless_ladder_bytes_are_the_sum_of_rungs() {
+        for seed in 0..30u64 {
+            let s = scenario(120, 1.0, 0.6, seed);
+            let r = relay_with_recovery(
+                &s.block,
+                None,
+                &s.receiver_mempool,
+                &flaky(),
+                &RecoveryPolicy::rateless_first(),
+            );
+            let rung_sum: usize = r.rungs.iter().map(|g| g.bytes).sum();
+            assert_eq!(r.bytes.total(), rung_sum, "seed {seed}: {:?}", r.rungs);
+            let rounds_sum: u32 = r.rungs.iter().map(|g| g.rounds).sum();
+            assert_eq!(r.rounds, rounds_sum, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn rateless_rung_cheaper_than_inflated_retries_when_degraded() {
+        // The bad-difference-estimate regime, at unit scale: a big block
+        // almost entirely held by the receiver, so the true difference is
+        // tiny relative to `n` — yet the under-assured sketches fail. A
+        // retry re-ships block-proportional sketches (fresh S + inflated I
+        // + full P2); the rateless rung streams difference-proportional
+        // cells instead, and must beat it on bytes AND rounds.
+        let mut retry_bytes = 0usize;
+        let mut retry_rounds = 0u32;
+        let mut rateless_bytes = 0usize;
+        let mut rateless_rounds = 0u32;
+        let mut degraded = 0usize;
+        for seed in 0..60u64 {
+            let s = scenario(800, 1.0, 0.95, seed);
+            let a = relay_with_recovery(
+                &s.block,
+                None,
+                &s.receiver_mempool,
+                &flaky(),
+                &RecoveryPolicy::default(),
+            );
+            let b = relay_with_recovery(
+                &s.block,
+                None,
+                &s.receiver_mempool,
+                &flaky(),
+                &RecoveryPolicy::rateless_first(),
+            );
+            if a.clean() && b.clean() {
+                continue;
+            }
+            degraded += 1;
+            retry_bytes += a.bytes.total_excluding_txns();
+            retry_rounds += a.rounds;
+            rateless_bytes += b.bytes.total_excluding_txns();
+            rateless_rounds += b.rounds;
+        }
+        assert!(degraded > 0, "no degraded seeds");
+        assert!(
+            rateless_bytes < retry_bytes,
+            "rateless {rateless_bytes} B !< retry {retry_bytes} B over {degraded} degraded seeds"
+        );
+        assert!(
+            rateless_rounds < retry_rounds,
+            "rateless {rateless_rounds} rounds !< retry {retry_rounds}"
+        );
     }
 
     #[test]

@@ -113,6 +113,9 @@ pub struct ByteBreakdown {
     pub p2_response_overhead: usize,
     /// The extra round fetching `R` false positives by short ID.
     pub extra_fetch: usize,
+    /// Rateless-rung structural bytes: coded-cell windows and their
+    /// requests (bodies fetched afterwards land in `missing_txns`).
+    pub rateless: usize,
     /// Structural bytes of non-Graphene fallback rungs (short-ID fetch or
     /// full block, including framing; bodies land in `missing_txns`).
     pub fallback: usize,
@@ -135,6 +138,7 @@ impl ByteBreakdown {
             + self.bloom_f
             + self.p2_response_overhead
             + self.extra_fetch
+            + self.rateless
             + self.fallback
     }
 
@@ -162,6 +166,7 @@ impl ByteBreakdown {
         self.bloom_f += other.bloom_f;
         self.p2_response_overhead += other.p2_response_overhead;
         self.extra_fetch += other.extra_fetch;
+        self.rateless += other.rateless;
         self.fallback += other.fallback;
     }
 }
@@ -673,6 +678,7 @@ mod tests {
                 + b.bloom_f
                 + b.p2_response_overhead
                 + b.extra_fetch
+                + b.rateless
                 + b.fallback
         );
         assert!(b.total_excluding_txns() <= b.total());

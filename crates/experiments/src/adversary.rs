@@ -34,6 +34,9 @@ const MAX_TIME: SimTime = SimTime(900_000_000);
 pub struct SweepPoint {
     /// Per-message attack firing probability of the hostile peers.
     pub rate: f64,
+    /// Whether every peer's ladder ran the rateless coded-cell rung in
+    /// place of the inflated Graphene retry.
+    pub rateless: bool,
     /// Fraction of honest peers that received the block, over all trials.
     pub honest_delivery: f64,
     /// Mean time until the *last* honest peer held the block (ms).
@@ -73,7 +76,7 @@ fn adversary_at(rate: f64, seed: u64) -> AdversaryConfig {
 
 /// One trial: build the ring-plus-adversaries network, relay one 150-txn
 /// block from peer 0, and read the metrics off.
-fn run_once(rate: f64, seed: u64) -> Trial {
+fn run_once(rate: f64, rateless: bool, seed: u64) -> Trial {
     let mut rng = StdRng::seed_from_u64(seed);
     let params = ScenarioParams {
         block_size: 150,
@@ -89,6 +92,9 @@ fn run_once(rate: f64, seed: u64) -> Trial {
     }
     for a in HONEST..PEERS {
         net.peer_mut(PeerId(a)).behavior = Behavior::Adversarial(adversary_at(rate, rng.random()));
+    }
+    if rateless {
+        net.enable_rateless();
     }
     // Mild unattributable link faults ride along at every rate, so the
     // ladder handles corruption and hostility at once.
@@ -124,12 +130,13 @@ fn run_once(rate: f64, seed: u64) -> Trial {
 }
 
 /// Run `trials` trials at one attack rate through `engine`.
-pub fn sweep_point(engine: &Engine, trials: usize, rate: f64) -> SweepPoint {
+pub fn sweep_point(engine: &Engine, trials: usize, rate: f64, rateless: bool) -> SweepPoint {
     type Acc = (PropAcc, MeanAcc, MeanAcc, SumAcc, SumAcc, SumAcc);
-    let label = format!("adversary rate={:.0}%", rate * 100.0);
+    let arm = if rateless { "rateless" } else { "retry" };
+    let label = format!("adversary rate={:.0}% arm={arm}", rate * 100.0);
     let (delivered, completion, bytes, bans, escalations, failovers) =
         engine.run(&label, trials, |_, rng: &mut StdRng, acc: &mut Acc| {
-            let t = run_once(rate, rng.random());
+            let t = run_once(rate, rateless, rng.random());
             for i in 0..HONEST {
                 acc.0.push(i < t.honest_with_block);
             }
@@ -141,6 +148,7 @@ pub fn sweep_point(engine: &Engine, trials: usize, rate: f64) -> SweepPoint {
         });
     SweepPoint {
         rate,
+        rateless,
         honest_delivery: delivered.rate(),
         mean_completion_ms: completion.mean(),
         mean_bytes: bytes.mean(),
@@ -150,9 +158,16 @@ pub fn sweep_point(engine: &Engine, trials: usize, rate: f64) -> SweepPoint {
     }
 }
 
-/// Sweep all `rates`.
+/// Sweep all `rates`, each in both ladder arms (inflated retries, then
+/// the rateless coded-cell rung).
 pub fn run_sweep(engine: &Engine, trials: usize, rates: &[f64]) -> Vec<SweepPoint> {
-    rates.iter().map(|&rate| sweep_point(engine, trials, rate)).collect()
+    let mut points = Vec::new();
+    for &rateless in &[false, true] {
+        for &rate in rates {
+            points.push(sweep_point(engine, trials, rate, rateless));
+        }
+    }
+    points
 }
 
 #[cfg(test)]
@@ -164,10 +179,16 @@ mod tests {
     #[test]
     fn honest_delivery_is_complete_under_attack() {
         // The ISSUE acceptance scenario: link drop + corruption plus a
-        // hostile peer firing malformed IBLTs at well over 10%.
-        let t = run_once(0.3, 0xdeed);
-        assert_eq!(t.honest_with_block, HONEST, "an honest peer missed the block");
-        assert!(t.bytes > 0.0);
+        // hostile peer firing malformed IBLTs at well over 10% — in both
+        // ladder arms.
+        for rateless in [false, true] {
+            let t = run_once(0.3, rateless, 0xdeed);
+            assert_eq!(
+                t.honest_with_block, HONEST,
+                "an honest peer missed the block (rateless={rateless})"
+            );
+            assert!(t.bytes > 0.0);
+        }
     }
 
     /// Provably-malformed traffic gets someone banned at high rates.
@@ -175,9 +196,22 @@ mod tests {
     fn high_rate_attacks_get_banned() {
         let mut bans = 0.0;
         for seed in 0..6u64 {
-            bans += run_once(0.8, 0x1234 + seed).bans;
+            bans += run_once(0.8, false, 0x1234 + seed).bans;
         }
         assert!(bans > 0.0, "no adversary was ever banned");
+    }
+
+    /// The rateless arm survives the full fault battery too — including
+    /// the cell-specific attacks (stalled streams, garbage cells).
+    #[test]
+    fn rateless_arm_delivers_under_attack() {
+        let mut bans = 0.0;
+        for seed in 0..6u64 {
+            let t = run_once(0.5, true, 0x5150 + seed);
+            assert_eq!(t.honest_with_block, HONEST, "seed {seed}: honest peer missed the block");
+            bans += t.bans;
+        }
+        assert!(bans > 0.0, "no adversary was ever banned in the rateless arm");
     }
 
     /// The sweep is bit-identical for any thread count (the mc engine's
@@ -203,8 +237,8 @@ mod tests {
     #[test]
     fn attack_rate_increases_recovery_work() {
         let engine = Engine::new(4, 5);
-        let clean = sweep_point(&engine, 8, 0.0);
-        let hostile = sweep_point(&engine, 8, 0.5);
+        let clean = sweep_point(&engine, 8, 0.0, false);
+        let hostile = sweep_point(&engine, 8, 0.5, false);
         assert_eq!(clean.mean_bans, 0.0, "honest peers must never be banned: {clean:?}");
         assert!(hostile.mean_bans > 0.0, "no adversary banned: {hostile:?}");
         assert!(

@@ -18,8 +18,9 @@ fn main() {
     let ceiling = sweep_limits().accounted_ceiling();
     let mut table = Table::new(
         "Chaos sweep — 12 peers (ring + chords), churn × partition × crash, \
-         duplicating/reordering lossy links, bounded inboxes",
+         duplicating/reordering lossy links, bounded inboxes, both ladder arms",
         &[
+            "arm",
             "churn_%",
             "part_s",
             "crash_%",
@@ -40,6 +41,7 @@ fn main() {
             p.max_hwm_bytes
         );
         table.row(&[
+            (if p.rateless { "rateless" } else { "retry" }).to_string(),
             format!("{:.0}", p.churn_rate * 100.0),
             format!("{}", p.partition_ms / 1000),
             format!("{:.0}", p.crash_rate * 100.0),
@@ -54,11 +56,13 @@ fn main() {
     }
     TableWriter::new().emit("chaos_sweep", &table);
     println!(
-        "All {PEERS} peers received the block at every point (asserted), and the\n\
-         largest per-peer accounted memory stayed under the {ceiling}-byte ceiling\n\
-         (asserted). Churn rejoins re-learn the block through the reconnect\n\
-         handshake, partitioned sides converge after the heal re-announcement,\n\
-         and crashed peers restore from their durable snapshot — losing every\n\
-         in-flight session but never the chain."
+        "All {PEERS} peers received the block at every point (asserted), in both\n\
+         ladder arms, and the largest per-peer accounted memory stayed under\n\
+         the {ceiling}-byte ceiling (asserted) — in-flight rateless decode state\n\
+         is charged against the same ceiling. Churn rejoins re-learn the block\n\
+         through the reconnect handshake, partitioned sides converge after the\n\
+         heal re-announcement, and crashed peers restore from their durable\n\
+         snapshot — losing every in-flight session (and any half-decoded cell\n\
+         stream) but never the chain."
     );
 }

@@ -48,6 +48,7 @@ pub fn sweep_limits() -> ResourceLimits {
         max_queue_frames: 256,
         max_queue_bytes: 1 << 20,
         max_encode_cache_bytes: 256 << 10,
+        max_rateless_state_bytes: 64 << 10,
         proc_delay_per_frame: SimTime::from_micros(200),
         proc_delay_per_kb: SimTime::from_micros(100),
     }
@@ -56,6 +57,9 @@ pub fn sweep_limits() -> ResourceLimits {
 /// Aggregated results for one (churn, partition, crash) sweep point.
 #[derive(Clone, Copy, Debug, PartialEq)]
 pub struct SweepPoint {
+    /// Whether every peer's ladder ran the rateless coded-cell rung in
+    /// place of the inflated Graphene retry.
+    pub rateless: bool,
     /// Per-slot churn probability.
     pub churn_rate: f64,
     /// Partition duration in milliseconds (0 = none).
@@ -92,7 +96,13 @@ struct Trial {
 /// One trial: a 12-peer ring-with-chords Graphene network relays one
 /// 150-txn block from peer 0 while the chaos schedule churns, crashes and
 /// partitions everyone else.
-fn run_once(churn_rate: f64, partition_ms: u64, crash_rate: f64, seed: u64) -> Trial {
+fn run_once(
+    rateless: bool,
+    churn_rate: f64,
+    partition_ms: u64,
+    crash_rate: f64,
+    seed: u64,
+) -> Trial {
     let mut rng = StdRng::seed_from_u64(seed);
     let params = ScenarioParams {
         block_size: 150,
@@ -107,6 +117,9 @@ fn run_once(churn_rate: f64, partition_ms: u64, crash_rate: f64, seed: u64) -> T
         let p = net.peer_mut(PeerId(i));
         p.mempool = s.receiver_mempool.clone();
         p.limits = sweep_limits();
+    }
+    if rateless {
+        net.enable_rateless();
     }
     // Lossy, duplicating, reordering links at every sweep point — chaos
     // rides on top of an already-imperfect network.
@@ -163,20 +176,22 @@ fn run_once(churn_rate: f64, partition_ms: u64, crash_rate: f64, seed: u64) -> T
 pub fn sweep_point(
     engine: &Engine,
     trials: usize,
+    rateless: bool,
     churn_rate: f64,
     partition_ms: u64,
     crash_rate: f64,
 ) -> SweepPoint {
     type Acc = (PropAcc, MeanAcc, MeanAcc, MaxAcc, SumAcc, SumAcc, SumAcc);
+    let arm = if rateless { "rateless" } else { "retry" };
     let label = format!(
-        "chaos churn={:.0}% part={}s crash={:.0}%",
+        "chaos churn={:.0}% part={}s crash={:.0}% arm={arm}",
         churn_rate * 100.0,
         partition_ms / 1000,
         crash_rate * 100.0
     );
     let (delivered, completion, bytes, hwm, shed, stale, outages) =
         engine.run(&label, trials, |_, rng: &mut StdRng, acc: &mut Acc| {
-            let t = run_once(churn_rate, partition_ms, crash_rate, rng.random());
+            let t = run_once(rateless, churn_rate, partition_ms, crash_rate, rng.random());
             for i in 0..PEERS {
                 acc.0.push(i < t.with_block);
             }
@@ -188,6 +203,7 @@ pub fn sweep_point(
             acc.6.push(t.outages);
         });
     SweepPoint {
+        rateless,
         churn_rate,
         partition_ms,
         crash_rate,
@@ -201,13 +217,16 @@ pub fn sweep_point(
     }
 }
 
-/// Sweep the full churn × partition × crash grid.
+/// Sweep the full churn × partition × crash grid, in both ladder arms
+/// (inflated retries, then the rateless coded-cell rung).
 pub fn run_sweep(engine: &Engine, trials: usize) -> Vec<SweepPoint> {
     let mut points = Vec::new();
-    for &churn in CHURN_RATES {
-        for &part in PARTITION_MS {
-            for &crash in CRASH_RATES {
-                points.push(sweep_point(engine, trials, churn, part, crash));
+    for &rateless in &[false, true] {
+        for &churn in CHURN_RATES {
+            for &part in PARTITION_MS {
+                for &crash in CRASH_RATES {
+                    points.push(sweep_point(engine, trials, rateless, churn, part, crash));
+                }
             }
         }
     }
@@ -224,18 +243,23 @@ mod tests {
     #[test]
     fn combined_chaos_still_delivers_everywhere() {
         let ceiling = sweep_limits().accounted_ceiling() as f64;
-        for seed in [0x0c4a05u64, 0x0c4a06] {
-            let t = run_once(0.02, 30_000, 0.01, seed);
-            assert_eq!(t.with_block, PEERS, "a peer missed the block (seed {seed:#x})");
-            assert!(t.hwm_bytes <= ceiling, "hwm {} over ceiling {ceiling}", t.hwm_bytes);
-            assert!(t.bytes > 0.0);
+        for rateless in [false, true] {
+            for seed in [0x0c4a05u64, 0x0c4a06] {
+                let t = run_once(rateless, 0.02, 30_000, 0.01, seed);
+                assert_eq!(
+                    t.with_block, PEERS,
+                    "a peer missed the block (seed {seed:#x}, rateless={rateless})"
+                );
+                assert!(t.hwm_bytes <= ceiling, "hwm {} over ceiling {ceiling}", t.hwm_bytes);
+                assert!(t.bytes > 0.0);
+            }
         }
     }
 
     /// The all-zero sweep point injects nothing and completes quickly.
     #[test]
     fn quiet_point_is_chaos_free() {
-        let t = run_once(0.0, 0, 0.0, 0xbead);
+        let t = run_once(false, 0.0, 0, 0.0, 0xbead);
         assert_eq!(t.with_block, PEERS);
         // No outages — though stale timers still occur: completed sessions
         // leave their (cancelled) timers to be dropped on pop.
@@ -251,8 +275,8 @@ mod tests {
         let run = |threads| {
             let engine = Engine::new(threads, 0x51);
             [
-                sweep_point(&engine, trials, 0.0, 0, 0.0),
-                sweep_point(&engine, trials, 0.02, 30_000, 0.01),
+                sweep_point(&engine, trials, false, 0.0, 0, 0.0),
+                sweep_point(&engine, trials, true, 0.02, 30_000, 0.01),
             ]
         };
         let (a, b, c) = (run(1), run(2), run(8));

@@ -23,6 +23,7 @@ pub mod fanout;
 pub mod fastsim;
 pub mod mc;
 pub mod output;
+pub mod rateless;
 pub mod stats;
 
 pub use fastsim::{simulate_relay, FastConfig, FastOutcome};

@@ -27,10 +27,12 @@
 
 pub mod cell;
 pub mod pingpong;
+pub mod rateless;
 pub mod table;
 
 pub use cell::Cell;
 pub use pingpong::{joint_decode, ping_pong_decode};
+pub use rateless::{CellStream, DecodeProgress, RatelessDecoder, RatelessDiff, RatelessError};
 pub use table::{DecodeError, DecodeResult, Iblt, PeelScratch};
 
 /// Bytes per cell on the wire: `count: i32` + `keySum: u64` + `checkSum: u32`.

@@ -1,8 +1,33 @@
 //! Property-based tests for IBLT invariants.
 
-use graphene_iblt::{Iblt, CELL_BYTES, HEADER_BYTES};
+use graphene_iblt::rateless::MAX_CELLS_PER_BATCH;
+use graphene_iblt::{
+    CellStream, DecodeProgress, Iblt, RatelessDecoder, RatelessDiff, CELL_BYTES, HEADER_BYTES,
+};
 use proptest::prelude::*;
 use std::collections::HashSet;
+
+/// Distinct synthetic values (odd, so never zero).
+fn val(i: u64) -> u64 {
+    i.wrapping_mul(0x9e37_79b9_7f4a_7c15) | 1
+}
+
+/// Drive an honest sender/receiver pair to completion, batch-by-batch.
+/// Returns `(cells_consumed, diff)`.
+fn reconcile(salt: u64, remote: &[u64], local: &[u64]) -> (u64, RatelessDiff) {
+    let mut s = CellStream::new(salt, remote.iter().copied());
+    let mut d = RatelessDecoder::new(salt, local.iter().copied());
+    let mut batch = 8usize;
+    loop {
+        let start = s.emitted();
+        let cells = s.cells(batch);
+        match d.push_cells(start, &cells).expect("honest stream must not be malformed") {
+            DecodeProgress::Decoded(diff) => return (s.emitted(), diff),
+            DecodeProgress::NeedMore(n) => batch = n.min(MAX_CELLS_PER_BATCH),
+        }
+        assert!(s.emitted() < 4_000_000, "decoder failed to converge");
+    }
+}
 
 proptest! {
     /// Serialization round-trips for arbitrary contents and geometry.
@@ -89,5 +114,75 @@ proptest! {
     #[test]
     fn from_bytes_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..400)) {
         let _ = Iblt::from_bytes(&bytes);
+    }
+}
+
+proptest! {
+    /// The rateless decoder converges for any difference size 1–10 000,
+    /// two-sided in any ratio, and consumes cells within a constant factor
+    /// of the difference — the "no retry cliff" guarantee: cost scales with
+    /// the actual `d`, never with how wrong an up-front estimate was.
+    #[test]
+    fn rateless_converges_for_any_difference_size(
+        d in 1usize..=10_000,
+        shared_n in 0usize..1500,
+        split_pct in 0usize..=100,
+        salt: u64,
+    ) {
+        let remote_only = (d * split_pct) / 100;
+        let local_only = d - remote_only;
+        let shared: Vec<u64> = (0..shared_n as u64).map(val).collect();
+        let mut remote = shared.clone();
+        remote.extend((0..remote_only as u64).map(|i| val(1_000_000 + i)));
+        let mut local = shared;
+        local.extend((0..local_only as u64).map(|i| val(2_000_000 + i)));
+
+        let (cells, diff) = reconcile(salt, &remote, &local);
+        prop_assert_eq!(diff.only_remote.len(), remote_only);
+        prop_assert_eq!(diff.only_local.len(), local_only);
+        // ~1.35·d–2·d cells suffice; geometric batch growth overshoots by
+        // at most 2×, so 8·d + one minimal batch is a safe constant factor.
+        prop_assert!(
+            cells <= 8 * d as u64 + 8,
+            "difference {} took {} cells", d, cells
+        );
+    }
+
+    /// The rateless decode recovers exactly the set a generously-sized
+    /// fixed IBLT peels for the same difference — same answer, no estimate.
+    #[test]
+    fn rateless_matches_fixed_iblt_peel(
+        remote_only in proptest::collection::hash_set(any::<u64>(), 0..40),
+        local_only in proptest::collection::hash_set(any::<u64>(), 0..40),
+        shared_n in 0usize..200,
+        salt in any::<u64>(),
+    ) {
+        let remote_only: Vec<u64> =
+            remote_only.difference(&local_only).copied().collect();
+        let shared: Vec<u64> = (0..shared_n as u64).map(val).collect();
+        prop_assume!(remote_only.iter().all(|v| !shared.contains(v)));
+        prop_assume!(local_only.iter().all(|v| !shared.contains(v)));
+        let mut remote = shared.clone();
+        remote.extend(remote_only.iter().copied());
+        let mut local = shared;
+        local.extend(local_only.iter().copied());
+
+        let (_, diff) = reconcile(salt, &remote, &local);
+
+        let iblt_salt = salt & 0xffff; // fixed-table salt domain is narrower
+        let cells = 4 * (remote_only.len() + local_only.len()) + 24;
+        let mut a = Iblt::new(cells, 3, iblt_salt);
+        let mut b = Iblt::new(cells, 3, iblt_salt);
+        for v in &remote { a.insert(*v); }
+        for v in &local { b.insert(*v); }
+        let mut delta = a.subtract(&b).expect("same geometry");
+        let r = delta.peel().expect("clean peel");
+        prop_assume!(r.complete); // a generous table virtually always peels
+        let mut left = r.only_left;
+        let mut right = r.only_right;
+        left.sort_unstable();
+        right.sort_unstable();
+        prop_assert_eq!(diff.only_remote, left);
+        prop_assert_eq!(diff.only_local, right);
     }
 }

@@ -166,6 +166,23 @@ impl AdversaryConfig {
                 }
                 Message::GrapheneRequest(m)
             }
+            Message::RatelessCells(mut m) => {
+                if self.garbage > 0.0 && roll(self.seed, nonce, 0x6a1b) < self.garbage {
+                    // Fold one phantom value into every cell of the window,
+                    // with live checksums keyed by the honest salt. Once the
+                    // genuine difference peels away, each remaining cell is
+                    // the pure phantom — recovered once, cancelled only on
+                    // its true mapping, then recovered again from the cells
+                    // off that mapping: a provable double-decode (the §6.1
+                    // attack in rateless form).
+                    let phantom = mix64(self.seed ^ nonce ^ 0x15c3) | 1;
+                    let check = graphene_iblt::cell::check_hash(m.salt, phantom);
+                    for cell in &mut m.cells {
+                        cell.apply(phantom, check, 1);
+                    }
+                }
+                Message::RatelessCells(m)
+            }
             other => other,
         })
     }
@@ -183,6 +200,7 @@ fn stallable(msg: &Message) -> bool {
             | Message::BlockTxn(_)
             | Message::FullBlock(_)
             | Message::Txns(_)
+            | Message::RatelessCells(_)
     )
 }
 
@@ -227,6 +245,55 @@ mod tests {
             let b = cfg.mangle(nonce, full_block_msg()).map(|m| graphene_wire::Encode::to_vec(&m));
             assert_eq!(a, b);
         }
+    }
+
+    #[test]
+    fn stall_covers_the_cell_stream() {
+        use graphene_wire::messages::RatelessCellsMsg;
+        let cfg = AdversaryConfig { stall: 1.0, ..Default::default() };
+        let cells = Message::RatelessCells(RatelessCellsMsg {
+            block_id: graphene_hashes::Digest::ZERO,
+            salt: 7,
+            start_index: 0,
+            cells: vec![graphene_iblt::Cell::default(); 8],
+        });
+        assert!(cfg.mangle(1, cells).is_none(), "mid-stream stall must drop the window");
+    }
+
+    #[test]
+    fn garbage_cells_force_a_provable_double_decode() {
+        use graphene_iblt::rateless::{CellStream, RatelessDecoder, RatelessError};
+        use graphene_wire::messages::RatelessCellsMsg;
+        let cfg = AdversaryConfig { garbage: 1.0, seed: 8, ..Default::default() };
+        let salt = 0x524c_u64;
+        let remote: Vec<u64> = (0..60u64).map(|i| i.wrapping_mul(0x9e37) | 1).collect();
+        let local: Vec<u64> = remote[2..].to_vec(); // honest difference of 2
+        let msg = Message::RatelessCells(RatelessCellsMsg {
+            block_id: graphene_hashes::Digest::ZERO,
+            salt,
+            start_index: 0,
+            cells: CellStream::new(salt, remote.iter().copied()).cells(24),
+        });
+        let Some(Message::RatelessCells(mangled)) = cfg.mangle(3, msg) else {
+            panic!("expected a RatelessCells back");
+        };
+        let mut d = RatelessDecoder::new(salt, local.iter().copied());
+        let mut start = 0u64;
+        let mut outcome = d.push_cells(start, &mangled.cells);
+        start += mangled.cells.len() as u64;
+        // The poisoned stream must never decode cleanly; within a couple of
+        // honest follow-up windows it pins the double-decode on the sender.
+        let mut honest = CellStream::new(salt, remote.iter().copied());
+        honest.skip(start);
+        for _ in 0..4 {
+            if matches!(outcome, Err(RatelessError::Malformed(_))) {
+                return;
+            }
+            let cells = honest.cells(d.suggested_batch());
+            outcome = d.push_cells(start, &cells);
+            start += cells.len() as u64;
+        }
+        panic!("garbage cells never provoked the double-decode: {outcome:?}");
     }
 
     #[test]

@@ -95,6 +95,16 @@ impl MessageCaps {
             Message::BlockTxn(m) if m.txns.len() > self.max_txns => {
                 Err("too many repair transactions")
             }
+            Message::RatelessCells(m)
+                if m.cells.len() > graphene_iblt::rateless::MAX_CELLS_PER_BATCH =>
+            {
+                Err("oversized rateless cell batch")
+            }
+            Message::GetMoreCells(m)
+                if m.count as usize > graphene_iblt::rateless::MAX_CELLS_PER_BATCH =>
+            {
+                Err("oversized rateless cell request")
+            }
             _ => Ok(()),
         }
     }
@@ -174,6 +184,34 @@ mod tests {
         assert!(served.from_cache, "second encode must be a cache hit");
         let msg = Message::decode_exact(&served.frame).expect("served frame decodes");
         assert!(MessageCaps::default().validate(&msg).is_ok());
+    }
+
+    #[test]
+    fn oversized_rateless_batch_rejected() {
+        use graphene_iblt::rateless::MAX_CELLS_PER_BATCH;
+        use graphene_wire::messages::{GetMoreCellsMsg, RatelessCellsMsg};
+        let caps = MessageCaps::default();
+        let cell = graphene_iblt::Cell { count: 1, key_sum: 7, check_sum: 9 };
+        let over = Message::RatelessCells(RatelessCellsMsg {
+            block_id: Digest::ZERO,
+            salt: 1,
+            start_index: 0,
+            cells: vec![cell; MAX_CELLS_PER_BATCH + 1],
+        });
+        assert_eq!(caps.validate(&over), Err("oversized rateless cell batch"));
+        let at_cap = Message::RatelessCells(RatelessCellsMsg {
+            block_id: Digest::ZERO,
+            salt: 1,
+            start_index: 0,
+            cells: vec![cell; MAX_CELLS_PER_BATCH],
+        });
+        assert!(caps.validate(&at_cap).is_ok());
+        let greedy = Message::GetMoreCells(GetMoreCellsMsg {
+            block_id: Digest::ZERO,
+            from_index: 0,
+            count: MAX_CELLS_PER_BATCH as u32 + 1,
+        });
+        assert_eq!(caps.validate(&greedy), Err("oversized rateless cell request"));
     }
 
     #[test]

@@ -93,6 +93,14 @@ impl Network {
         self.online[peer.0]
     }
 
+    /// Switch every peer's recovery ladder to the rateless rung (coded-cell
+    /// streaming instead of inflated sketch retries).
+    pub fn enable_rateless(&mut self) {
+        for p in &mut self.peers {
+            p.enable_rateless();
+        }
+    }
+
     /// Schedule a single chaos action at an explicit time — for
     /// deterministic failure-scenario tests that need a crash at a precise
     /// instant rather than a seeded schedule.
@@ -700,6 +708,85 @@ mod tests {
         assert!(net.metrics.bytes_for(0x14) > 0, "GetGrapheneRetry rung never requested");
         assert!(net.metrics.bytes_for(0x30) > 0, "short-ID fetch rung never requested");
         assert!(net.metrics.escalations() >= 3);
+    }
+
+    /// Satellite: a hostile server that stalls mid-cell-stream. Silence is
+    /// not provable, so nobody is banned — the window timer re-requests,
+    /// batches exhaust, and the ladder fails over to the honest announcer.
+    #[test]
+    fn stalled_cell_stream_times_out_and_fails_over() {
+        // Partial mempool at the victim so the ladder reaches Protocol 2
+        // (the rateless rung grows out of its candidate set); stall odds
+        // below 1.0 so the initial GrapheneBlock can arrive.
+        let params = ScenarioParams {
+            block_size: 150,
+            extra_mempool_multiple: 1.0,
+            block_fraction_in_mempool: 0.6,
+            ..Default::default()
+        };
+        let s = Scenario::generate(&params, &mut StdRng::seed_from_u64(36));
+        // Whether a given session reaches the rateless rung depends on which
+        // responses the stall dice eat (the initial block must arrive, the
+        // P2 recovery must not), so sweep a few adversary seeds: delivery
+        // and no-ban must hold in every run, engagement in at least one.
+        let mut engaged = false;
+        for seed in 0..8u64 {
+            let mut net = Network::new(3, RelayProtocol::Graphene(GrapheneConfig::default()), 99);
+            for i in 0..3 {
+                net.peer_mut(PeerId(i)).mempool = s.receiver_mempool.clone();
+            }
+            net.enable_rateless();
+            net.peer_mut(PeerId(0)).behavior =
+                Behavior::Adversarial(AdversaryConfig { stall: 0.7, seed, ..Default::default() });
+            net.connect(PeerId(2), PeerId(0));
+            net.connect(PeerId(0), PeerId(1));
+            net.connect_with(
+                PeerId(2),
+                PeerId(1),
+                LinkParams { latency: SimTime::from_millis(5_000), ..LinkParams::default() },
+            );
+            let r = net.propagate(PeerId(2), s.block.clone(), SimTime::from_millis(600_000));
+            assert_eq!(r.peers_reached, 3, "seed {seed}: {r:?}");
+            assert_eq!(net.metrics.bans(), 0, "stalling is never attributable");
+            engaged |= net.metrics.bytes_for(0x16) > 0;
+        }
+        assert!(engaged, "no run ever reached the rateless rung");
+    }
+
+    /// Satellite: garbage/duplicate coded cells are provable misbehavior —
+    /// the double-decode defense bans the sender and the session fails
+    /// over, so every honest peer still gets the block.
+    #[test]
+    fn garbage_cell_stream_bans_and_recovers() {
+        let params = ScenarioParams {
+            block_size: 150,
+            extra_mempool_multiple: 1.0,
+            block_fraction_in_mempool: 0.6,
+            ..Default::default()
+        };
+        let s = Scenario::generate(&params, &mut StdRng::seed_from_u64(37));
+        let mut net = Network::new(3, RelayProtocol::Graphene(GrapheneConfig::default()), 99);
+        for i in 0..3 {
+            net.peer_mut(PeerId(i)).mempool = s.receiver_mempool.clone();
+        }
+        net.enable_rateless();
+        // Garbage poisons both the P2 recovery (forcing the escalation into
+        // the rateless rung) and the cell stream itself (the §6.1-style
+        // double-decode that pins the offence on the sender).
+        net.peer_mut(PeerId(0)).behavior =
+            Behavior::Adversarial(AdversaryConfig { garbage: 1.0, seed: 5, ..Default::default() });
+        net.connect(PeerId(2), PeerId(0));
+        net.connect(PeerId(0), PeerId(1));
+        net.connect_with(
+            PeerId(2),
+            PeerId(1),
+            LinkParams { latency: SimTime::from_millis(5_000), ..LinkParams::default() },
+        );
+        let r = net.propagate(PeerId(2), s.block, SimTime::from_millis(600_000));
+        assert_eq!(r.peers_reached, 3, "{r:?}");
+        assert!(net.metrics.bytes_for(0x15) > 0, "cell stream never served");
+        assert!(net.peer(PeerId(1)).is_banned(PeerId(0)), "garbage cells must ban");
+        assert!(net.metrics.bans() >= 1);
     }
 
     // --- Chaos substrate -----------------------------------------------------

@@ -47,14 +47,18 @@ use graphene::encode_cache::{CacheKey, CacheStats, EncodeCache};
 use graphene::error::{P1Failure, P2Failure};
 use graphene::protocol1::{self, CandidateSet, RetryTweak};
 use graphene::protocol2::{self};
+use graphene::recovery::rateless_salt;
 use graphene::NodeSnapshot;
 use graphene_blockchain::{Block, Header, Mempool, OrderingScheme, Transaction, TxId};
 use graphene_bloom::{BloomFilter, Membership};
 use graphene_hashes::{sha256, short_id_6, short_id_8, Digest, SipKey};
+use graphene_iblt::rateless::{
+    CellStream, DecodeProgress, RatelessDecoder, RatelessError, MAX_CELLS_PER_BATCH,
+};
 use graphene_wire::messages::{
     BlockTxnMsg, CmpctBlockMsg, FullBlockMsg, GetBlockTxnMsg, GetDataMsg, GetFullBlockMsg,
-    GetGrapheneRetryMsg, GetGrapheneTxnMsg, GetTxnsMsg, InvMsg, Message, TxInvMsg, TxnsMsg,
-    XthinBlockMsg, XthinGetDataMsg,
+    GetGrapheneRetryMsg, GetGrapheneTxnMsg, GetMoreCellsMsg, GetTxnsMsg, InvMsg, Message,
+    RatelessCellsMsg, TxInvMsg, TxnsMsg, XthinBlockMsg, XthinGetDataMsg,
 };
 use graphene_wire::Encode;
 use std::collections::{HashMap, HashSet, VecDeque};
@@ -65,6 +69,11 @@ pub const MAX_ATTEMPTS: u32 = 3;
 
 /// `GetGrapheneRetry` re-requests before escalating to short-ID fetch.
 pub const MAX_GRAPHENE_RETRIES: u32 = 2;
+
+/// Coded-cell batches a rateless-rung session may consume (responses or
+/// timed-out window re-requests) before falling through to short-ID fetch
+/// — the bounded-batch knob mirroring `RecoveryPolicy::rateless_max_batches`.
+pub const MAX_RATELESS_BATCHES: u32 = 8;
 
 /// Misbehavior score at which a peer is banned.
 pub const BAN_THRESHOLD: u32 = 100;
@@ -117,6 +126,11 @@ pub struct ResourceLimits {
     /// it, and it is charged against the accounted ceiling regardless so
     /// enabling the cache never grows a node past its declared memory).
     pub max_encode_cache_bytes: u64,
+    /// In-flight rateless decode state per session, in bytes (materialized
+    /// cells plus the pending-participation heap). A session whose next
+    /// batch would exceed this abandons the stream and falls through to
+    /// short-ID fetch.
+    pub max_rateless_state_bytes: u64,
     /// Per-frame processing time (0 = process instantly, the pre-chaos
     /// behavior: the queue drains in zero simulated time).
     pub proc_delay_per_frame: crate::time::SimTime,
@@ -134,6 +148,7 @@ impl Default for ResourceLimits {
             max_queue_frames: 4096,
             max_queue_bytes: 64 << 20,
             max_encode_cache_bytes: 8 << 20,
+            max_rateless_state_bytes: 1 << 20,
             proc_delay_per_frame: crate::time::SimTime::ZERO,
             proc_delay_per_kb: crate::time::SimTime::ZERO,
         }
@@ -145,7 +160,8 @@ impl ResourceLimits {
     /// these caps — what the chaos sweep asserts is never exceeded.
     pub fn accounted_ceiling(&self) -> u64 {
         self.max_queue_bytes
-            + self.max_sessions as u64 * (SESSION_FIXED_BYTES + self.max_body_bytes)
+            + self.max_sessions as u64
+                * (SESSION_FIXED_BYTES + self.max_body_bytes + self.max_rateless_state_bytes)
             + self.max_pending_announcements as u64 * PENDING_FIXED_BYTES
             + self.max_encode_cache_bytes
     }
@@ -175,6 +191,9 @@ pub struct ResourceAccounting {
     /// Frame bytes held by the encode-once relay cache (zero when the
     /// cache is disabled).
     pub encode_cache_bytes: u64,
+    /// In-flight rateless decode state across all sessions (volatile,
+    /// like the sessions that own it).
+    pub rateless_state_bytes: u64,
     /// Highest accounted-byte total ever observed at this peer.
     pub hwm_bytes: u64,
     /// Inbound frames shed by the load-shedding policy (lifetime).
@@ -189,6 +208,7 @@ impl ResourceAccounting {
             + self.body_bytes
             + self.pending_announcements as u64 * PENDING_FIXED_BYTES
             + self.encode_cache_bytes
+            + self.rateless_state_bytes
     }
 }
 
@@ -233,6 +253,10 @@ pub enum Rung {
     Graphene,
     /// Re-request with inflated parameters and a fresh salt.
     GrapheneRetry,
+    /// Rateless coded-cell stream against the candidate set the failed
+    /// Graphene attempt already built (peers that
+    /// [`Peer::enable_rateless`] take this rung *instead of* the retry).
+    Rateless,
     /// Xthin-style short-ID fetch.
     ShortIdFetch,
     /// Uncompressed block (cannot fail).
@@ -296,7 +320,20 @@ enum RxPhase {
     /// Request sent, awaiting the block payload.
     Requested,
     /// Graphene Protocol 2 request sent.
-    GrapheneP2 { state: Box<CandidateSet>, header: Header, order_bytes: Vec<u8> },
+    GrapheneP2 {
+        state: Box<CandidateSet>,
+        header: Header,
+        order_bytes: Vec<u8>,
+        block_tx_count: usize,
+    },
+    /// Rateless cell stream in flight: the decoder accumulates windows
+    /// until the difference peels.
+    Rateless {
+        by_short: HashMap<u64, TxId>,
+        decoder: Box<RatelessDecoder>,
+        header: Header,
+        order_bytes: Vec<u8>,
+    },
     /// Graphene extra-fetch of R false positives sent.
     GrapheneFetch { resolved: HashMap<u64, TxId>, header: Header, order_bytes: Vec<u8> },
     /// Compact Blocks repair round pending; slots hold resolved IDs.
@@ -336,6 +373,9 @@ pub struct Peer {
     /// Encode-once relay cache (None = per-receiver encoding, the seed
     /// behavior). Volatile: a crash/restore cycle restarts it empty.
     cache: Option<EncodeCache>,
+    /// Whether this peer's recovery ladder streams rateless cells instead
+    /// of inflated Graphene retries (off = the seed ladder).
+    rateless: bool,
     /// Bounded inbound frame queue: (sender, decoded message, frame bytes).
     inbox: VecDeque<(PeerId, Message, usize)>,
     /// Bytes currently queued in `inbox`.
@@ -410,6 +450,7 @@ impl Peer {
             banned: HashSet::new(),
             adv_nonce: 0,
             cache: None,
+            rateless: false,
             inbox: VecDeque::new(),
             inbox_bytes: 0,
             shed_frames: 0,
@@ -470,6 +511,18 @@ impl Peer {
         self.cache = Some(EncodeCache::new(self.limits.max_encode_cache_bytes));
     }
 
+    /// Replace the inflated-retry rung with the rateless coded-cell
+    /// stream: the "no retry cliff" ladder. Off by default (the seed
+    /// ladder); rateless sweeps opt in.
+    pub fn enable_rateless(&mut self) {
+        self.rateless = true;
+    }
+
+    /// Whether the rateless rung is enabled.
+    pub fn rateless_enabled(&self) -> bool {
+        self.rateless
+    }
+
     /// Effectiveness counters of the relay cache, if enabled.
     pub fn cache_stats(&self) -> Option<CacheStats> {
         self.cache.as_ref().map(EncodeCache::stats)
@@ -489,6 +542,14 @@ impl Peer {
             body_bytes: self.sessions.values().map(|s| s.body_bytes).sum(),
             pending_announcements: self.pending_announcements.len(),
             encode_cache_bytes: self.cache.as_ref().map_or(0, EncodeCache::used_bytes),
+            rateless_state_bytes: self
+                .sessions
+                .values()
+                .map(|s| match &s.phase {
+                    RxPhase::Rateless { decoder, .. } => decoder.state_bytes(),
+                    _ => 0,
+                })
+                .sum(),
             hwm_bytes: self.hwm_bytes,
             shed_frames: self.shed_frames,
         }
@@ -513,6 +574,11 @@ impl Peer {
             Message::FullBlock(m) => self.recovery_class(&m.header),
             Message::GrapheneRecovery(m) => self.recovery_class_id(&m.block_id),
             Message::BlockTxn(m) => self.recovery_class_id(&m.block_id),
+            // Cell windows are droppable by design: the stream is
+            // deterministic and the session's timer re-requests the same
+            // window, so under pressure they shed with the announcements
+            // rather than crowding out non-replayable recovery frames.
+            Message::RatelessCells(_) => FrameClass::Announcement,
             _ => FrameClass::Other,
         }
     }
@@ -704,6 +770,7 @@ impl Peer {
             Message::GetBlockTxn(m) => m.block_id,
             Message::XthinGetData(m) => m.block_id,
             Message::GetFullBlock(m) => m.block_id,
+            Message::GetMoreCells(m) => m.block_id,
             _ => return,
         };
         if let Some(pending) = self.pending_announcements.get_mut(&block_id) {
@@ -734,6 +801,8 @@ impl Peer {
             Message::GrapheneRecovery(m) => self.on_graphene_recovery(from, m, neighbors),
             Message::GetGrapheneTxn(m) => self.on_get_graphene_txn(from, m),
             Message::GetGrapheneRetry(m) => self.on_get_graphene_retry(from, m),
+            Message::RatelessCells(m) => self.on_rateless_cells(from, m, neighbors),
+            Message::GetMoreCells(m) => self.on_get_more_cells(from, m),
             Message::CmpctBlock(m) => self.on_cmpct_block(from, m, neighbors),
             Message::GetBlockTxn(m) => self.on_get_block_txn(from, m),
             Message::BlockTxn(m) => self.on_block_txn(from, m, neighbors),
@@ -881,7 +950,11 @@ impl Peer {
     /// rung while its budget lasts). Exhausting the ladder fails over.
     fn escalate(&mut self, block_id: Digest) -> Output {
         let is_graphene = matches!(self.protocol, RelayProtocol::Graphene(_));
+        let rateless_on = self.rateless;
         let mut escalated = false;
+        // `(from_index, count)` of the cell window to (re-)request when the
+        // session lands on the rateless rung.
+        let mut cell_window: Option<(u64, u32)> = None;
         let (server, epoch, rung, retries) = {
             let Some(s) = self.sessions.get_mut(&block_id) else {
                 return Output::none();
@@ -889,14 +962,50 @@ impl Peer {
             s.attempt += 1;
             match s.rung {
                 Rung::Graphene => {
-                    if is_graphene {
+                    let has_candidates = matches!(s.phase, RxPhase::GrapheneP2 { .. });
+                    if is_graphene && rateless_on && has_candidates {
+                        // The "no retry cliff" path: instead of re-shipping
+                        // whole inflated sketches, grow a coded-cell stream
+                        // against the candidate set the failed attempt
+                        // already built.
+                        let RxPhase::GrapheneP2 { state, header, order_bytes, block_tx_count } =
+                            std::mem::replace(&mut s.phase, RxPhase::Requested)
+                        else {
+                            unreachable!("phase checked above");
+                        };
+                        // Both the partial peel and the candidate-count gap
+                        // lower-bound (and undercount) the difference; 3×
+                        // covers the undercount plus the codec's ~1.35d
+                        // overhead (same sizing as the core recovery rung).
+                        let d_est = (state.partial_left.len() + state.partial_right.len())
+                            .max(state.z.abs_diff(block_tx_count))
+                            .max(4);
+                        let batch = (3 * d_est).clamp(8, MAX_CELLS_PER_BATCH);
+                        let decoder = RatelessDecoder::new(
+                            rateless_salt(&block_id),
+                            state.by_short.keys().copied(),
+                        );
+                        s.phase = RxPhase::Rateless {
+                            by_short: state.by_short,
+                            decoder: Box::new(decoder),
+                            header,
+                            order_bytes,
+                        };
+                        s.rung = Rung::Rateless;
+                        s.retries = 0;
+                        escalated = true;
+                        cell_window = Some((0, batch as u32));
+                    } else if is_graphene {
                         s.rung = Rung::GrapheneRetry;
                         s.retries = 1;
+                        s.phase = RxPhase::Requested;
                         escalated = true;
                     } else if s.retries + 1 < MAX_ATTEMPTS {
                         s.retries += 1; // plain re-request
+                        s.phase = RxPhase::Requested;
                     } else {
                         s.rung = Rung::FullBlock;
+                        s.phase = RxPhase::Requested;
                         escalated = true;
                     }
                 }
@@ -907,9 +1016,33 @@ impl Peer {
                         s.rung = Rung::ShortIdFetch;
                         escalated = true;
                     }
+                    s.phase = RxPhase::Requested;
+                }
+                Rung::Rateless => {
+                    // A timed-out (lost or shed) window, or an exhausted
+                    // stream budget: re-request the pending window while
+                    // batches remain, else fall through to short IDs.
+                    if s.retries < MAX_RATELESS_BATCHES {
+                        if let RxPhase::Rateless { decoder, .. } = &s.phase {
+                            s.retries += 1;
+                            cell_window =
+                                Some((decoder.received(), decoder.suggested_batch() as u32));
+                        } else {
+                            // Decode state lost (e.g. mid-fetch timeout):
+                            // nothing to grow, fall through.
+                            s.rung = Rung::ShortIdFetch;
+                            s.phase = RxPhase::Requested;
+                            escalated = true;
+                        }
+                    } else {
+                        s.rung = Rung::ShortIdFetch;
+                        s.phase = RxPhase::Requested;
+                        escalated = true;
+                    }
                 }
                 Rung::ShortIdFetch => {
                     s.rung = Rung::FullBlock;
+                    s.phase = RxPhase::Requested;
                     escalated = true;
                 }
                 Rung::FullBlock => {
@@ -917,7 +1050,6 @@ impl Peer {
                     return self.failover(block_id);
                 }
             }
-            s.phase = RxPhase::Requested;
             (s.server, s.attempt, s.rung, s.retries)
         };
         let msg = match rung {
@@ -927,6 +1059,10 @@ impl Peer {
                 mempool_count: self.mempool.len() as u64,
                 attempt: retries,
             }),
+            Rung::Rateless => {
+                let (from_index, count) = cell_window.unwrap_or((0, 8));
+                Message::GetMoreCells(GetMoreCellsMsg { block_id, from_index, count })
+            }
             Rung::ShortIdFetch => self.shortid_request(block_id, 0.001),
             Rung::FullBlock => Message::GetFullBlock(GetFullBlockMsg { block_id }),
         };
@@ -1176,6 +1312,7 @@ impl Peer {
                     state: Box::new(state),
                     header: m.header,
                     order_bytes: m.order_bytes.clone(),
+                    block_tx_count: m.block_tx_count as usize,
                 };
                 let attempt = session.attempt;
                 let mut out = Output::none();
@@ -1268,7 +1405,7 @@ impl Peer {
         for tx in &m.missing {
             session.add_body(&self.limits, tx);
         }
-        let RxPhase::GrapheneP2 { state, header, order_bytes } = &mut session.phase else {
+        let RxPhase::GrapheneP2 { state, header, order_bytes, .. } = &mut session.phase else {
             return Output::none();
         };
         let header = *header;
@@ -1317,6 +1454,180 @@ impl Peer {
         let mut out = Output::none();
         out.send.push((from, Message::BlockTxn(BlockTxnMsg { block_id: m.block_id, txns })));
         out
+    }
+
+    // --- Rateless rung ------------------------------------------------------
+
+    /// Serve a coded-cell window request. Stateless on the sender: the
+    /// stream is a deterministic function of `(block, salt)`, so any
+    /// window is regenerated by replaying from index 0 — no per-receiver
+    /// stream state to account, shed, or lose in a crash.
+    fn on_get_more_cells(&mut self, from: PeerId, m: GetMoreCellsMsg) -> Output {
+        let Some(block) = self.blocks.get(&m.block_id) else {
+            return Output::none();
+        };
+        let mut out = Output::none();
+        match &self.protocol {
+            RelayProtocol::Graphene(_) => {
+                // Structurally cache-free: every request names a different
+                // window (`from_index` advances), so a cached frame could
+                // only ever replay a window the receiver already holds —
+                // the same never-cache rule as the 0x14 retry rung
+                // (`EncodeCache::cacheable_cells`). Count the bypass so
+                // fan-out metrics stay honest.
+                if let Some(cache) = &self.cache {
+                    cache.note_bypass();
+                }
+                let salt = rateless_salt(&m.block_id);
+                let mut stream =
+                    CellStream::new(salt, block.txns().iter().map(|tx| short_id_8(tx.id())));
+                stream.skip(m.from_index);
+                let cells = stream.cells((m.count as usize).min(MAX_CELLS_PER_BATCH));
+                out.send.push((
+                    from,
+                    Message::RatelessCells(RatelessCellsMsg {
+                        block_id: m.block_id,
+                        salt,
+                        start_index: m.from_index,
+                        cells,
+                    }),
+                ));
+            }
+            _ => {
+                // A non-Graphene server cannot stream cells; answer with
+                // the full block so the ladder still terminates.
+                Self::push_full_block(&self.cache, from, block, &mut out);
+            }
+        }
+        out
+    }
+
+    fn on_rateless_cells(
+        &mut self,
+        from: PeerId,
+        m: RatelessCellsMsg,
+        neighbors: &[PeerId],
+    ) -> Output {
+        let block_id = m.block_id;
+        // The codec salt is a public function of the block ID: a frame
+        // claiming any other salt is provably hostile, no session needed.
+        if m.salt != rateless_salt(&block_id) {
+            return self.punish(from, MALFORMED_SCORE);
+        }
+        let RelayProtocol::Graphene(cfg) = self.protocol.clone() else {
+            return Output::none();
+        };
+        enum Step {
+            Ignore,
+            Hostile,
+            FallThrough,
+            Request { from_index: u64, count: u32, epoch: u32 },
+            Fetch { needs: Vec<u64>, epoch: u32 },
+            Done { ids: Vec<TxId>, header: Header },
+        }
+        let step = {
+            let Some(session) = self.sessions.get_mut(&block_id) else {
+                return Output::none();
+            };
+            if from != session.server {
+                return Output::none();
+            }
+            let state_limit = self.limits.max_rateless_state_bytes;
+            let RxPhase::Rateless { by_short, decoder, header, order_bytes } = &mut session.phase
+            else {
+                return Output::none(); // stale window from a rung we left
+            };
+            let incoming = (m.cells.len() * graphene_iblt::CELL_BYTES) as u64;
+            if decoder.state_bytes() + incoming > state_limit {
+                // Decode state would outgrow its budget: abandon the
+                // stream (short IDs bound the worst case instead).
+                session.retries = MAX_RATELESS_BATCHES;
+                Step::FallThrough
+            } else {
+                match decoder.push_cells(m.start_index, &m.cells) {
+                    // A duplicate or reordered window (retransmission
+                    // after a timed-out re-request): not attributable,
+                    // not useful — drop it and let the timer re-request.
+                    Err(RatelessError::Gap { .. }) => Step::Ignore,
+                    // Double-decode: the §6.1 attack in rateless form.
+                    Err(RatelessError::Malformed(_)) => Step::Hostile,
+                    Ok(DecodeProgress::NeedMore(n)) => {
+                        if session.retries >= MAX_RATELESS_BATCHES {
+                            Step::FallThrough
+                        } else {
+                            session.retries += 1;
+                            session.attempt += 1;
+                            Step::Request {
+                                from_index: decoder.received(),
+                                count: n.min(MAX_CELLS_PER_BATCH) as u32,
+                                epoch: session.attempt,
+                            }
+                        }
+                    }
+                    Ok(DecodeProgress::Decoded(diff)) => {
+                        let mut resolved = by_short.clone();
+                        for sid in &diff.only_local {
+                            resolved.remove(sid);
+                        }
+                        let header = *header;
+                        let order_bytes = order_bytes.clone();
+                        if diff.only_remote.is_empty() {
+                            match protocol2::finalize_p2(
+                                &resolved,
+                                header.merkle_root,
+                                &order_bytes,
+                                &cfg,
+                            ) {
+                                Ok(ok) => match ok.ordered_ids {
+                                    Some(ids) => Step::Done { ids, header },
+                                    None => {
+                                        session.retries = MAX_RATELESS_BATCHES;
+                                        Step::FallThrough
+                                    }
+                                },
+                                Err(_) => {
+                                    // Decoded but would not finalize: the
+                                    // stream cannot do better, fall through.
+                                    session.retries = MAX_RATELESS_BATCHES;
+                                    Step::FallThrough
+                                }
+                            }
+                        } else {
+                            session.attempt += 1;
+                            let epoch = session.attempt;
+                            let needs = diff.only_remote.clone();
+                            session.phase =
+                                RxPhase::GrapheneFetch { resolved, header, order_bytes };
+                            Step::Fetch { needs, epoch }
+                        }
+                    }
+                }
+            }
+        };
+        match step {
+            Step::Ignore => Output::none(),
+            Step::Hostile => self.punish(from, MALFORMED_SCORE),
+            Step::FallThrough => self.escalate(block_id),
+            Step::Request { from_index, count, epoch } => {
+                let mut out = Output::none();
+                out.send.push((
+                    from,
+                    Message::GetMoreCells(GetMoreCellsMsg { block_id, from_index, count }),
+                ));
+                out.timers.push((block_id, epoch));
+                out
+            }
+            Step::Fetch { needs, epoch } => {
+                let mut out = Output::none();
+                out.send.push((
+                    from,
+                    Message::GetGrapheneTxn(GetGrapheneTxnMsg { block_id, short_ids: needs }),
+                ));
+                out.timers.push((block_id, epoch));
+                out
+            }
+            Step::Done { ids, header } => self.complete_block(block_id, header, ids, neighbors),
+        }
     }
 
     // --- Compact Blocks ----------------------------------------------------
@@ -1884,5 +2195,178 @@ mod tests {
         let hwm = p.accounting().hwm_bytes;
         assert!(hwm >= SESSION_FIXED_BYTES, "session not accounted: {hwm}");
         assert!(hwm <= p.limits.accounted_ceiling());
+    }
+
+    // --- Rateless rung -----------------------------------------------------
+
+    /// Build a server/receiver pair mid-ladder: the receiver's Protocol 2
+    /// request went unanswered, the timeout fired, and the session now sits
+    /// on the rateless rung with its first `GetMoreCells` in `out`.
+    fn rateless_session() -> (Peer, Peer, Digest, Output) {
+        use graphene_blockchain::{Scenario, ScenarioParams};
+        use rand::{rngs::StdRng, SeedableRng};
+        let params = ScenarioParams {
+            block_size: 150,
+            extra_mempool_multiple: 1.0,
+            block_fraction_in_mempool: 0.6,
+            ..Default::default()
+        };
+        let s = Scenario::generate(&params, &mut StdRng::seed_from_u64(8));
+        let id = s.block.id();
+        let mut server = graphene_peer(0);
+        server.mempool = s.receiver_mempool.clone();
+        server.originate(s.block.clone(), &[]);
+        let mut receiver = graphene_peer(1);
+        receiver.mempool = s.receiver_mempool.clone();
+        receiver.enable_rateless();
+
+        let out = receiver.handle(PeerId(0), Message::Inv(InvMsg { block_id: id }), &[]);
+        let (_, getdata) = out.send.into_iter().next().expect("getdata");
+        let out = server.handle(PeerId(1), getdata, &[]);
+        let (_, gblock) = out.send.into_iter().next().expect("graphene block");
+        let out = receiver.handle(PeerId(0), gblock, &[]);
+        assert!(out.completed_block.is_none(), "partial mempool must need Protocol 2");
+        let &(_, attempt) = out.timers.last().expect("P2 timer armed");
+        // The GrapheneRequest is lost; the timeout escalates. With rateless
+        // enabled and a candidate set in hand, the next rung is the stream.
+        let out = receiver.handle_timeout(id, attempt);
+        assert_eq!(out.escalations, 1);
+        assert!(
+            matches!(out.send.first(), Some((_, Message::GetMoreCells(_)))),
+            "expected a cell window request: {:?}",
+            out.send
+        );
+        (server, receiver, id, out)
+    }
+
+    #[test]
+    fn rateless_rung_decodes_after_lost_p2_response() {
+        let (mut server, mut receiver, id, out) = rateless_session();
+        // In-flight decode state is charged against the resource ceiling.
+        let acct = receiver.accounting();
+        assert!(acct.rateless_state_bytes > 0, "decoder state not accounted");
+        assert!(acct.hwm_bytes <= receiver.limits.accounted_ceiling());
+
+        let mut to_server: Vec<Message> = out.send.into_iter().map(|(_, m)| m).collect();
+        let mut completed = false;
+        for _ in 0..64 {
+            let mut to_receiver = Vec::new();
+            for m in to_server.drain(..) {
+                to_receiver.extend(server.handle(PeerId(1), m, &[]).send);
+            }
+            for (_, m) in to_receiver {
+                let out = receiver.handle(PeerId(0), m, &[]);
+                completed |= out.completed_block == Some(id);
+                to_server.extend(out.send.into_iter().map(|(_, m)| m));
+            }
+            if completed {
+                break;
+            }
+            assert!(!to_server.is_empty(), "exchange stalled before completion");
+        }
+        assert!(completed, "rateless rung never reconstructed the block");
+        assert!(receiver.has_block(&id));
+        assert_eq!(receiver.accounting().rateless_state_bytes, 0, "state freed on completion");
+    }
+
+    #[test]
+    fn wrong_salt_cell_stream_is_banned() {
+        let mut p = graphene_peer(1);
+        let id = block_of(2, 1).id();
+        // The codec salt is a public function of the block ID: any other
+        // salt is provably hostile even without an open session.
+        let msg = Message::RatelessCells(RatelessCellsMsg {
+            block_id: id,
+            salt: rateless_salt(&id) ^ 1,
+            start_index: 0,
+            cells: vec![graphene_iblt::Cell::default(); 4],
+        });
+        let out = p.handle(PeerId(0), msg, &[]);
+        assert_eq!(out.banned, vec![PeerId(0)]);
+        assert!(p.is_banned(PeerId(0)));
+    }
+
+    #[test]
+    fn rateless_state_cap_falls_through_to_short_ids() {
+        let (mut server, mut receiver, _id, out) = rateless_session();
+        // Shrink the budget below the already-charged pending heap: the
+        // next window must abandon the stream for the bounded short-ID rung.
+        receiver.limits.max_rateless_state_bytes = 64;
+        let (_, req) = out.send.into_iter().next().expect("window request");
+        let sout = server.handle(PeerId(1), req, &[]);
+        let (_, cells) = sout.send.into_iter().next().expect("cells");
+        let rout = receiver.handle(PeerId(0), cells, &[]);
+        assert_eq!(rout.escalations, 1, "budget overrun must escalate");
+        assert!(
+            matches!(rout.send.first(), Some((_, Message::XthinGetData(_)))),
+            "expected the short-ID rung: {:?}",
+            rout.send
+        );
+    }
+
+    #[test]
+    fn duplicate_cell_window_is_ignored_not_punished() {
+        let (mut server, mut receiver, id, out) = rateless_session();
+        let (_, req) = out.send.into_iter().next().expect("window request");
+        let sout = server.handle(PeerId(1), req, &[]);
+        let (_, cells) = sout.send.into_iter().next().expect("cells");
+        let _ = receiver.handle(PeerId(0), cells.clone(), &[]);
+        // A replayed window (duplicate delivery, link reorder) is not
+        // attributable misbehavior: dropped, re-requested by the timer.
+        let out = receiver.handle(PeerId(0), cells, &[]);
+        assert!(out.banned.is_empty());
+        assert!(out.send.is_empty());
+        assert!(!receiver.is_banned(PeerId(0)));
+        assert!(receiver.timer_current(&id, receiver.sessions[&id].attempt));
+    }
+
+    #[test]
+    fn crash_wipes_rateless_decode_state() {
+        let (_server, mut receiver, _id, _out) = rateless_session();
+        assert!(receiver.accounting().rateless_state_bytes > 0);
+        let snap = receiver.snapshot();
+        receiver.restore(snap);
+        assert_eq!(receiver.open_sessions(), 0, "decode sessions must not survive a crash");
+        assert_eq!(receiver.accounting().rateless_state_bytes, 0);
+    }
+
+    /// Satellite regression mirroring the 0x14 rule: a `GetMoreCells` must
+    /// never be answered from the encode cache. Every request names a
+    /// different window (`from_index` advances), so a cached frame could
+    /// only replay cells the receiver already consumed.
+    #[test]
+    fn rateless_rung_never_reuses_a_cached_frame() {
+        let mut p = graphene_peer(0);
+        p.enable_encode_cache();
+        let block = block_of(30, 5);
+        let id = block.id();
+        p.originate(block, &[]);
+
+        // Attempt 0 populates the cache with the canonical frame.
+        let out = p.handle(
+            PeerId(1),
+            Message::GetData(GetDataMsg { block_id: id, mempool_count: 60 }),
+            &[],
+        );
+        assert_eq!(out.send_frames.len(), 1, "cached path ships a raw frame");
+        let stats = p.cache_stats().expect("cache enabled");
+        assert_eq!((stats.hits, stats.misses, stats.bypasses), (0, 1, 0));
+
+        // A cell window request: structurally cache-free.
+        let out = p.handle(
+            PeerId(1),
+            Message::GetMoreCells(GetMoreCellsMsg { block_id: id, from_index: 16, count: 8 }),
+            &[],
+        );
+        assert!(out.send_frames.is_empty(), "cells must not ship as a cached frame");
+        let stats = p.cache_stats().expect("cache enabled");
+        assert_eq!(stats.hits, 0, "cell window was served from the cache");
+        assert_eq!(stats.bypasses, 1, "cell window must be accounted as a bypass");
+        let Some((_, Message::RatelessCells(cells))) = out.send.first() else {
+            panic!("expected a fresh cell window: {:?}", out.send);
+        };
+        assert_eq!(cells.salt, rateless_salt(&id));
+        assert_eq!(cells.start_index, 16);
+        assert_eq!(cells.cells.len(), 8);
     }
 }

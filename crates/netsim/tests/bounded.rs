@@ -23,6 +23,7 @@ fn tight_limits() -> ResourceLimits {
         max_queue_frames: 5,
         max_queue_bytes: 4096,
         max_encode_cache_bytes: 4096,
+        max_rateless_state_bytes: 4096,
         proc_delay_per_frame: SimTime::ZERO,
         proc_delay_per_kb: SimTime::ZERO,
     }

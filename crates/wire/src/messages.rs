@@ -262,6 +262,35 @@ pub struct GetGrapheneRetryMsg {
     pub attempt: u32,
 }
 
+/// Rateless-IBLT rung: one window of the sender's unbounded coded-cell
+/// stream for a block (arXiv 2402.02668 index-mapped hashing). The stream
+/// is a pure function of `(salt, block short IDs)`, so the sender can
+/// regenerate any window statelessly; `start_index` says where this window
+/// sits and the receiver only accepts the window it asked for.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RatelessCellsMsg {
+    /// Which block.
+    pub block_id: Digest,
+    /// Codec salt the cells (and their checksums) are keyed by. Derived
+    /// deterministically from the block ID, so the receiver can verify it.
+    pub salt: u64,
+    /// Stream index of the first cell in this window.
+    pub start_index: u64,
+    /// The coded cells.
+    pub cells: Vec<graphene_iblt::Cell>,
+}
+
+/// Request the next window of rateless coded cells for a block.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct GetMoreCellsMsg {
+    /// Which block.
+    pub block_id: Digest,
+    /// Stream index to resume from (== cells received so far).
+    pub from_index: u64,
+    /// How many cells to send.
+    pub count: u32,
+}
+
 // ---------------------------------------------------------------------------
 // The envelope
 // ---------------------------------------------------------------------------
@@ -297,6 +326,10 @@ pub enum Message {
     GetFullBlock(GetFullBlockMsg),
     /// Inflated-parameter Graphene re-request (recovery ladder).
     GetGrapheneRetry(GetGrapheneRetryMsg),
+    /// Rateless coded-cell window (recovery ladder's rateless rung).
+    RatelessCells(RatelessCellsMsg),
+    /// Request the next rateless coded-cell window.
+    GetMoreCells(GetMoreCellsMsg),
     /// Loose-transaction announcement.
     TxInv(TxInvMsg),
     /// Loose-transaction request.
@@ -322,6 +355,8 @@ impl Message {
             Message::FullBlock(_) => 0x40,
             Message::GetGrapheneTxn(_) => 0x13,
             Message::GetGrapheneRetry(_) => 0x14,
+            Message::RatelessCells(_) => 0x15,
+            Message::GetMoreCells(_) => 0x16,
             Message::GetFullBlock(_) => 0x42,
             Message::TxInv(_) => 0x03,
             Message::GetTxns(_) => 0x04,
@@ -377,6 +412,10 @@ impl Message {
             Message::GetGrapheneRetry(m) => {
                 32 + varint_len(m.mempool_count) + varint_len(m.attempt as u64)
             }
+            Message::RatelessCells(m) => {
+                32 + 8 + 8 + varint_len(m.cells.len() as u64) + 16 * m.cells.len()
+            }
+            Message::GetMoreCells(m) => 32 + 8 + varint_len(m.count as u64),
             Message::TxInv(m) => varint_len(m.txids.len() as u64) + 32 * m.txids.len(),
             Message::GetTxns(m) => varint_len(m.txids.len() as u64) + 32 * m.txids.len(),
             Message::Txns(m) => txns_len(&m.txns),
@@ -494,6 +533,22 @@ impl Encode for Message {
                 encode_digest(buf, &m.block_id);
                 write_varint(buf, m.mempool_count);
                 write_varint(buf, m.attempt as u64);
+            }
+            Message::RatelessCells(m) => {
+                encode_digest(buf, &m.block_id);
+                put_u64_le(buf, m.salt);
+                put_u64_le(buf, m.start_index);
+                write_varint(buf, m.cells.len() as u64);
+                for c in &m.cells {
+                    put_u32_le(buf, c.count as u32);
+                    put_u64_le(buf, c.key_sum);
+                    put_u32_le(buf, c.check_sum);
+                }
+            }
+            Message::GetMoreCells(m) => {
+                encode_digest(buf, &m.block_id);
+                put_u64_le(buf, m.from_index);
+                write_varint(buf, m.count as u64);
             }
             Message::TxInv(m) => {
                 write_varint(buf, m.txids.len() as u64);
@@ -665,6 +720,32 @@ impl Decode for Message {
                     mempool_count,
                     attempt: attempt as u32,
                 })
+            }
+            0x15 => {
+                let block_id = decode_digest(b)?;
+                let salt = get_u64_le(b)?;
+                let start_index = get_u64_le(b)?;
+                let count = read_varint(b)? as usize;
+                if count > 1_000_000 {
+                    return Err(WireError::Invalid("absurd cell count"));
+                }
+                let mut cells = Vec::with_capacity(count.min(4096));
+                for _ in 0..count {
+                    let cell_count = get_u32_le(b)? as i32;
+                    let key_sum = get_u64_le(b)?;
+                    let check_sum = get_u32_le(b)?;
+                    cells.push(graphene_iblt::Cell { count: cell_count, key_sum, check_sum });
+                }
+                Message::RatelessCells(RatelessCellsMsg { block_id, salt, start_index, cells })
+            }
+            0x16 => {
+                let block_id = decode_digest(b)?;
+                let from_index = get_u64_le(b)?;
+                let count = read_varint(b)?;
+                if count > 1_000_000 {
+                    return Err(WireError::Invalid("absurd cell request"));
+                }
+                Message::GetMoreCells(GetMoreCellsMsg { block_id, from_index, count: count as u32 })
             }
             0x03 | 0x04 => {
                 let count = read_varint(b)? as usize;
@@ -873,6 +954,49 @@ mod tests {
             attempt: 1000,
         });
         assert!(Message::decode_exact(&silly.to_vec()).is_err());
+    }
+
+    #[test]
+    fn rateless_cells_roundtrip() {
+        let cells: Vec<graphene_iblt::Cell> = (0..50i32)
+            .map(|i| graphene_iblt::Cell {
+                count: i - 25,
+                key_sum: (i as u64).wrapping_mul(0x9e37_79b9),
+                check_sum: i as u32 * 7,
+            })
+            .collect();
+        let msg = Message::RatelessCells(RatelessCellsMsg {
+            block_id: Digest([5; 32]),
+            salt: 0xfeed_beef,
+            start_index: 64,
+            cells: cells.clone(),
+        });
+        match roundtrip(msg) {
+            Message::RatelessCells(m) => {
+                assert_eq!(m.block_id, Digest([5; 32]));
+                assert_eq!(m.salt, 0xfeed_beef);
+                assert_eq!(m.start_index, 64);
+                assert_eq!(m.cells, cells);
+            }
+            other => panic!("wrong variant: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn get_more_cells_roundtrip() {
+        let msg = Message::GetMoreCells(GetMoreCellsMsg {
+            block_id: Digest([6; 32]),
+            from_index: 128,
+            count: 96,
+        });
+        match roundtrip(msg) {
+            Message::GetMoreCells(m) => {
+                assert_eq!(m.block_id, Digest([6; 32]));
+                assert_eq!(m.from_index, 128);
+                assert_eq!(m.count, 96);
+            }
+            other => panic!("wrong variant: {other:?}"),
+        }
     }
 
     #[test]

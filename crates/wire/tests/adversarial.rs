@@ -10,9 +10,10 @@
 use graphene_blockchain::{Block, OrderingScheme, Transaction};
 use graphene_bloom::BloomFilter;
 use graphene_hashes::{sha256, Digest};
+use graphene_iblt::cell::check_hash;
 use graphene_iblt::Iblt;
 use graphene_wire::filters::WireIblt;
-use graphene_wire::messages::GrapheneBlockMsg;
+use graphene_wire::messages::{GetMoreCellsMsg, GrapheneBlockMsg, RatelessCellsMsg};
 use graphene_wire::{Decode, Encode, Message};
 use proptest::prelude::*;
 
@@ -107,6 +108,132 @@ fn every_single_bit_flip_of_an_iblt_is_handled() {
                 assert_eq!(w.to_vec().len(), w.encoded_len());
             }
         }
+    }
+}
+
+/// A realistic rateless-cells frame: a genuine stream window with live
+/// checksums, as the rateless rung would send it.
+fn rateless_cells_frame() -> Vec<u8> {
+    let salt = 0x524c_0007u64;
+    let cells: Vec<graphene_iblt::Cell> = (0u64..48)
+        .map(|i| {
+            let v = i.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+            graphene_iblt::Cell { count: 1, key_sum: v, check_sum: check_hash(salt, v) }
+        })
+        .collect();
+    Message::RatelessCells(RatelessCellsMsg {
+        block_id: Digest([0x15; 32]),
+        salt,
+        start_index: 32,
+        cells,
+    })
+    .to_vec()
+}
+
+fn get_more_cells_frame() -> Vec<u8> {
+    Message::GetMoreCells(GetMoreCellsMsg {
+        block_id: Digest([0x16; 32]),
+        from_index: 96,
+        count: 64,
+    })
+    .to_vec()
+}
+
+#[test]
+fn every_rateless_cells_truncation_errors() {
+    let frame = rateless_cells_frame();
+    for n in 0..frame.len() {
+        assert!(
+            Message::decode_exact(&frame[..n]).is_err(),
+            "0x15 prefix of {n}/{} bytes decoded",
+            frame.len()
+        );
+    }
+    assert!(Message::decode_exact(&frame).is_ok());
+}
+
+#[test]
+fn every_get_more_cells_truncation_errors() {
+    let frame = get_more_cells_frame();
+    for n in 0..frame.len() {
+        assert!(
+            Message::decode_exact(&frame[..n]).is_err(),
+            "0x16 prefix of {n}/{} bytes decoded",
+            frame.len()
+        );
+    }
+    assert!(Message::decode_exact(&frame).is_ok());
+}
+
+#[test]
+fn every_single_bit_flip_of_rateless_frames_is_handled() {
+    for frame in [rateless_cells_frame(), get_more_cells_frame()] {
+        for byte in 0..frame.len() {
+            for bit in 0..8 {
+                let mut flipped = frame.clone();
+                flipped[byte] ^= 1 << bit;
+                if let Ok(msg) = Message::decode_exact(&flipped) {
+                    assert_eq!(msg.to_vec().len(), msg.wire_size());
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn hostile_rateless_cell_count_rejected() {
+    // A 0x15 frame whose varint claims over a million cells must be
+    // rejected before any allocation is attempted.
+    let mut frame = vec![0x15u8];
+    frame.extend_from_slice(&u32::MAX.to_le_bytes()); // declared body len
+    frame.extend_from_slice(&[0u8; 32]); // block id
+    frame.extend_from_slice(&[0u8; 16]); // salt + start_index
+    let mut n = 5_000_000u64;
+    while n >= 0x80 {
+        frame.push((n as u8 & 0x7f) | 0x80);
+        n >>= 7;
+    }
+    frame.push(n as u8);
+    assert!(Message::decode_exact(&frame).is_err());
+}
+
+proptest! {
+    /// Random multi-byte corruption + truncation of a rateless-cells
+    /// frame: decode never panics, successful decodes stay length-honest.
+    #[test]
+    fn smashed_rateless_cells_never_panics(
+        positions in proptest::collection::vec(any::<u64>(), 1..32),
+        values in proptest::collection::vec(any::<u8>(), 32..33),
+        cut in any::<u64>(),
+    ) {
+        let mut frame = rateless_cells_frame();
+        for (slot, pos) in positions.iter().enumerate() {
+            let i = (*pos as usize) % frame.len();
+            frame[i] = values[slot % values.len()];
+        }
+        let keep = (cut as usize) % (frame.len() + 1);
+        frame.truncate(keep);
+        if let Ok(msg) = Message::decode_exact(&frame) {
+            prop_assert_eq!(msg.to_vec().len(), msg.wire_size());
+        }
+    }
+
+    /// Hostile cell-request counts (0x16) are rejected without allocation.
+    #[test]
+    fn hostile_cell_request_count_rejected(count in 1_000_001u64..u64::MAX / 2) {
+        let mut body = Vec::new();
+        body.extend_from_slice(&[0u8; 32]); // block id
+        body.extend_from_slice(&[0u8; 8]); // from_index
+        let mut n = count;
+        while n >= 0x80 {
+            body.push((n as u8 & 0x7f) | 0x80);
+            n >>= 7;
+        }
+        body.push(n as u8);
+        let mut frame = vec![0x16u8];
+        frame.extend_from_slice(&(body.len() as u32).to_le_bytes());
+        frame.extend_from_slice(&body);
+        prop_assert!(Message::decode_exact(&frame).is_err());
     }
 }
 
