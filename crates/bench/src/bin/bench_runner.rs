@@ -355,6 +355,34 @@ fn bench_netsim_relay(it: &Iters) -> BenchResult {
     result("netsim_relay_8peers_n150", iters, ns, None)
 }
 
+fn bench_netsim_adaptive(it: &Iters) -> BenchResult {
+    // The adaptive failure detector under fire: an 8-peer topology where
+    // one relay tarpits every response for 1.4 s. Each iteration pays the
+    // full detector stack — RTT tracking, RTO timers, hedged fetches and
+    // circuit-breaker bookkeeping — on top of the relay itself.
+    use graphene_netsim::{AdversaryConfig, Behavior};
+    let s = bench_scenario(150, 13);
+    let (warmup, iters) = it.of(20);
+    let ns = time_fn(warmup, iters, || {
+        let mut net = Network::new(8, RelayProtocol::Graphene(GrapheneConfig::default()), 99);
+        net.connect_random(3);
+        for i in 0..8 {
+            net.peer_mut(PeerId(i)).mempool = s.receiver_mempool.clone();
+        }
+        net.peer_mut(PeerId(1)).behavior = Behavior::Adversarial(AdversaryConfig {
+            tarpit: 1.0,
+            tarpit_hold: SimTime::from_millis(1_400),
+            seed: 7,
+            ..Default::default()
+        });
+        net.enable_adaptive();
+        let r = net.propagate(PeerId(0), s.block.clone(), SimTime::from_millis(120_000));
+        assert_eq!(r.peers_reached, 8, "relay incomplete: {r:?}");
+        black_box(r.total_bytes);
+    });
+    result("netsim_adaptive_tarpit_8peers_n150", iters, ns, None)
+}
+
 fn main() {
     let mut quick = false;
     let mut out: Option<String> = None;
@@ -400,6 +428,7 @@ fn main() {
         bench_rateless_encode(&it),
         bench_rateless_decode(&it),
         bench_netsim_relay(&it),
+        bench_netsim_adaptive(&it),
     ];
     for b in &benches {
         let speedup = match b.speedup_vs_reference {

@@ -71,6 +71,7 @@ fn adversary_at(rate: f64, seed: u64) -> AdversaryConfig {
         count_skew: rate * 0.5,
         oversized_filter: rate * 0.5,
         seed,
+        ..Default::default()
     }
 }
 

@@ -1,0 +1,76 @@
+//! Latency sweep: fixed 2 s retry timers vs the adaptive failure
+//! detector (RTT-estimated timeouts, hedged fetches, circuit breakers)
+//! on heterogeneous latency-class links, with and without a tarpit relay
+//! that answers correctly but holds every response just under the fixed
+//! timer's jitter floor.
+//!
+//! The run *asserts* the acceptance claims at every sweep point:
+//! delivery is 100% in every arm, no peer is ever banned (a tarpit is
+//! honest bytes on a hostile schedule), the fixed arm never hedges, and
+//! in the tarpit pair the adaptive arm strictly improves mean p99
+//! block-arrival time. Output bytes are identical for every `--threads`
+//! value (CI diffs the CSV across thread counts).
+
+use graphene_experiments::latency::{run_sweep, PEERS, TARPIT_HOLD_MS};
+use graphene_experiments::{RunOpts, Table, TableWriter};
+
+fn main() {
+    let opts = RunOpts::from_args(40);
+    let engine = opts.engine();
+    let mut table = Table::new(
+        "Latency sweep — 12 peers (ring + chords), latency-class links \
+         (metro…intercontinental), fixed vs adaptive failure detector, \
+         with and without a tarpit relay",
+        &[
+            "tarpit",
+            "arm",
+            "delivered_%",
+            "p50_ms",
+            "p99_ms",
+            "hedges",
+            "hedge_won",
+            "hedge_wasted",
+            "breaker_trips",
+        ],
+    );
+    let points = run_sweep(&engine, opts.trials);
+    for p in &points {
+        assert!((p.delivery - 1.0).abs() < 1e-12, "delivery must stay total: {p:?}");
+        assert_eq!(p.bans, 0.0, "hedges, probes and tarpits must never look provable: {p:?}");
+        if !p.adaptive {
+            assert_eq!(p.hedges_issued, 0.0, "the fixed arm must never hedge: {p:?}");
+        }
+        table.row(&[
+            (if p.tarpit { "on" } else { "off" }).to_string(),
+            (if p.adaptive { "adaptive" } else { "fixed" }).to_string(),
+            format!("{:.1}", p.delivery * 100.0),
+            format!("{:.1}", p.p50_ms),
+            format!("{:.1}", p.p99_ms),
+            format!("{:.2}", p.hedges_issued),
+            format!("{:.2}", p.hedges_won),
+            format!("{:.2}", p.hedges_wasted),
+            format!("{:.2}", p.breaker_trips),
+        ]);
+    }
+    let fixed_tarpit = points.iter().find(|p| p.tarpit && !p.adaptive).expect("grid point");
+    let adaptive_tarpit = points.iter().find(|p| p.tarpit && p.adaptive).expect("grid point");
+    assert!(
+        adaptive_tarpit.p99_ms < fixed_tarpit.p99_ms,
+        "adaptive p99 {:.0} ms must strictly beat fixed {:.0} ms under the tarpit",
+        adaptive_tarpit.p99_ms,
+        fixed_tarpit.p99_ms
+    );
+    assert!(adaptive_tarpit.hedges_won > 0.0, "no hedge ever won a race: {adaptive_tarpit:?}");
+    TableWriter::new().emit("latency_sweep", &table);
+    println!(
+        "All {PEERS} peers received the block at every point (asserted), with\n\
+         zero bans (asserted — a tarpit answers correctly, just {TARPIT_HOLD_MS} ms\n\
+         late, so no provable-misbehavior score may move). Under the tarpit the\n\
+         fixed 2 s timer never fires and every captured session pays the full\n\
+         hold ({:.0} ms mean p99); the adaptive arm's 1 s initial RTO fires\n\
+         first, hedges the request to the best alternate announcer, and the\n\
+         hedge wins the race ({:.0} ms mean p99). Off the tarpit the detector\n\
+         is free: a healthy network answers inside the initial RTO.",
+        fixed_tarpit.p99_ms, adaptive_tarpit.p99_ms
+    );
+}

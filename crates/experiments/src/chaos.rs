@@ -95,9 +95,12 @@ struct Trial {
 
 /// One trial: a 12-peer ring-with-chords Graphene network relays one
 /// 150-txn block from peer 0 while the chaos schedule churns, crashes and
-/// partitions everyone else.
+/// partitions everyone else. With `adaptive` the peers run the RTT-driven
+/// failure detector (hedged fetches + circuit breakers) instead of the
+/// fixed 2 s timer.
 fn run_once(
     rateless: bool,
+    adaptive: bool,
     churn_rate: f64,
     partition_ms: u64,
     crash_rate: f64,
@@ -120,6 +123,9 @@ fn run_once(
     }
     if rateless {
         net.enable_rateless();
+    }
+    if adaptive {
+        net.enable_adaptive();
     }
     // Lossy, duplicating, reordering links at every sweep point — chaos
     // rides on top of an already-imperfect network.
@@ -177,6 +183,7 @@ pub fn sweep_point(
     engine: &Engine,
     trials: usize,
     rateless: bool,
+    adaptive: bool,
     churn_rate: f64,
     partition_ms: u64,
     crash_rate: f64,
@@ -191,7 +198,8 @@ pub fn sweep_point(
     );
     let (delivered, completion, bytes, hwm, shed, stale, outages) =
         engine.run(&label, trials, |_, rng: &mut StdRng, acc: &mut Acc| {
-            let t = run_once(rateless, churn_rate, partition_ms, crash_rate, rng.random());
+            let t =
+                run_once(rateless, adaptive, churn_rate, partition_ms, crash_rate, rng.random());
             for i in 0..PEERS {
                 acc.0.push(i < t.with_block);
             }
@@ -218,14 +226,16 @@ pub fn sweep_point(
 }
 
 /// Sweep the full churn × partition × crash grid, in both ladder arms
-/// (inflated retries, then the rateless coded-cell rung).
+/// (inflated retries, then the rateless coded-cell rung). The fixed-timer
+/// failure detector is used throughout — the adaptive arm has its own
+/// sweep (`latency`), and keeping it off here keeps this CSV stable.
 pub fn run_sweep(engine: &Engine, trials: usize) -> Vec<SweepPoint> {
     let mut points = Vec::new();
     for &rateless in &[false, true] {
         for &churn in CHURN_RATES {
             for &part in PARTITION_MS {
                 for &crash in CRASH_RATES {
-                    points.push(sweep_point(engine, trials, rateless, churn, part, crash));
+                    points.push(sweep_point(engine, trials, rateless, false, churn, part, crash));
                 }
             }
         }
@@ -245,7 +255,7 @@ mod tests {
         let ceiling = sweep_limits().accounted_ceiling() as f64;
         for rateless in [false, true] {
             for seed in [0x0c4a05u64, 0x0c4a06] {
-                let t = run_once(rateless, 0.02, 30_000, 0.01, seed);
+                let t = run_once(rateless, false, 0.02, 30_000, 0.01, seed);
                 assert_eq!(
                     t.with_block, PEERS,
                     "a peer missed the block (seed {seed:#x}, rateless={rateless})"
@@ -256,10 +266,23 @@ mod tests {
         }
     }
 
+    /// The adaptive failure detector (hedges + breakers) under full chaos:
+    /// delivery must stay total and memory bounded — the breaker reorders
+    /// server preference but never blocks a path, so nothing can regress.
+    #[test]
+    fn combined_chaos_with_adaptive_detector_still_delivers() {
+        let ceiling = sweep_limits().accounted_ceiling() as f64;
+        for seed in [0x0c4a05u64, 0x0c4a06] {
+            let t = run_once(false, true, 0.02, 30_000, 0.01, seed);
+            assert_eq!(t.with_block, PEERS, "a peer missed the block (seed {seed:#x}, adaptive)");
+            assert!(t.hwm_bytes <= ceiling, "hwm {} over ceiling {ceiling}", t.hwm_bytes);
+        }
+    }
+
     /// The all-zero sweep point injects nothing and completes quickly.
     #[test]
     fn quiet_point_is_chaos_free() {
-        let t = run_once(false, 0.0, 0, 0.0, 0xbead);
+        let t = run_once(false, false, 0.0, 0, 0.0, 0xbead);
         assert_eq!(t.with_block, PEERS);
         // No outages — though stale timers still occur: completed sessions
         // leave their (cancelled) timers to be dropped on pop.
@@ -275,8 +298,8 @@ mod tests {
         let run = |threads| {
             let engine = Engine::new(threads, 0x51);
             [
-                sweep_point(&engine, trials, false, 0.0, 0, 0.0),
-                sweep_point(&engine, trials, true, 0.02, 30_000, 0.01),
+                sweep_point(&engine, trials, false, false, 0.0, 0, 0.0),
+                sweep_point(&engine, trials, true, false, 0.02, 30_000, 0.01),
             ]
         };
         let (a, b, c) = (run(1), run(2), run(8));

@@ -21,6 +21,7 @@ pub mod adversary;
 pub mod chaos;
 pub mod fanout;
 pub mod fastsim;
+pub mod latency;
 pub mod mc;
 pub mod output;
 pub mod rateless;

@@ -44,6 +44,15 @@ pub struct AdversaryConfig {
     pub stall: f64,
     /// Answer repair requests with well-formed but useless transactions.
     pub garbage: f64,
+    /// Answer correctly but late: hold each response back by
+    /// [`tarpit_hold`](Self::tarpit_hold). The payload is honest, so the
+    /// attack is never provable — it only works by soaking up sessions,
+    /// which is exactly what the adaptive failure detector punishes.
+    pub tarpit: f64,
+    /// Extra delay a tarpitted response is held for. Tuned (in sweeps) to
+    /// sit *under* the fixed 2 s timer's jitter floor but *over* the
+    /// adaptive arm's 1 s initial RTO, so only the adaptive arm reacts.
+    pub tarpit_hold: crate::time::SimTime,
     /// Decision-stream seed.
     pub seed: u64,
 }
@@ -186,6 +195,18 @@ impl AdversaryConfig {
             other => other,
         })
     }
+
+    /// How long the tarpit holds `msg` back, if it does. Only responses
+    /// are tarpitted (same scope as stalling — delaying our own requests
+    /// would punish nobody but ourselves), and the decision draws its own
+    /// channel of the per-nonce stream so it composes with every other
+    /// attack without disturbing their rolls.
+    pub fn tarpit_delay(&self, nonce: u64, msg: &Message) -> Option<crate::time::SimTime> {
+        if self.tarpit > 0.0 && roll(self.seed, nonce, 0x7a12) < self.tarpit && stallable(msg) {
+            return Some(self.tarpit_hold);
+        }
+        None
+    }
 }
 
 /// Only *responses* stall — suppressing our own requests or inv relays
@@ -294,6 +315,41 @@ mod tests {
             start += cells.len() as u64;
         }
         panic!("garbage cells never provoked the double-decode: {outcome:?}");
+    }
+
+    #[test]
+    fn tarpit_holds_responses_but_not_invs() {
+        use crate::time::SimTime;
+        let cfg = AdversaryConfig {
+            tarpit: 1.0,
+            tarpit_hold: SimTime::from_millis(1_300),
+            ..Default::default()
+        };
+        let msg = full_block_msg();
+        assert_eq!(cfg.tarpit_delay(1, &msg), Some(SimTime::from_millis(1_300)));
+        let inv = Message::Inv(InvMsg { block_id: graphene_hashes::Digest::ZERO });
+        assert_eq!(cfg.tarpit_delay(1, &inv), None, "announcements are never tarpitted");
+    }
+
+    #[test]
+    fn tarpit_rolls_its_own_channel() {
+        // A half-probability tarpit must not perturb the stall channel:
+        // the same nonces stall with and without tarpit configured.
+        let plain = AdversaryConfig { stall: 0.5, seed: 11, ..Default::default() };
+        let mixed = AdversaryConfig {
+            stall: 0.5,
+            tarpit: 0.5,
+            tarpit_hold: crate::time::SimTime::from_millis(500),
+            seed: 11,
+            ..Default::default()
+        };
+        for nonce in 0..64 {
+            assert_eq!(
+                plain.mangle(nonce, full_block_msg()).is_none(),
+                mixed.mangle(nonce, full_block_msg()).is_none(),
+                "tarpit channel leaked into the stall stream at nonce {nonce}"
+            );
+        }
     }
 
     #[test]

@@ -8,6 +8,11 @@
 //! come from a shared RNG: it is a pure function of `(peer, block,
 //! attempt)`, so the schedule is reproducible no matter which worker
 //! thread runs the trial.
+//!
+//! Adaptive peers (see `rtt.rs`) replace the fixed [`BASE`] with a
+//! per-server RTO via [`delay_from_base`]; the exponential ladder, the
+//! cap and the jitter formula are identical, so the fixed-timer arm
+//! (`delay`) remains byte-for-byte the seed behavior.
 
 #![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
@@ -34,7 +39,18 @@ fn mix64(mut x: u64) -> u64 {
 /// capped at [`CAP`], plus a ±25% jitter derived deterministically from
 /// `(peer, block, attempt)`.
 pub fn delay(peer: PeerId, block_id: Digest, attempt: u32) -> SimTime {
-    let nominal = BASE.0.saturating_mul(1u64 << attempt.min(6)).min(CAP.0);
+    delay_from_base(peer, block_id, attempt, BASE)
+}
+
+/// [`delay`] with a caller-supplied first-attempt timeout, used by
+/// adaptive peers to arm RTO-derived timers. `base` is clamped to
+/// `[1, CAP]`; the nominal delay is `base · 2^attempt` capped at [`CAP`],
+/// and the jitter is the same pure function of `(peer, block, attempt)`
+/// as the fixed path — `delay_from_base(p, b, a, BASE) == delay(p, b, a)`
+/// bit for bit.
+pub fn delay_from_base(peer: PeerId, block_id: Digest, attempt: u32, base: SimTime) -> SimTime {
+    let base = base.0.clamp(1, CAP.0);
+    let nominal = base.saturating_mul(1u64 << attempt.min(6)).min(CAP.0);
     let h = mix64(
         (peer.0 as u64)
             .wrapping_mul(0x9e37_79b9_7f4a_7c15)
@@ -50,6 +66,7 @@ pub fn delay(peer: PeerId, block_id: Digest, attempt: u32) -> SimTime {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use proptest::prelude::*;
 
     #[test]
     fn grows_and_caps() {
@@ -82,6 +99,93 @@ mod tests {
     fn never_zero() {
         for attempt in 0..12 {
             assert!(delay(PeerId(0), Digest::ZERO, attempt).0 >= 1);
+        }
+    }
+
+    #[test]
+    fn base_variant_with_default_base_is_identical() {
+        for attempt in 0..10 {
+            for p in 0..8 {
+                let id = graphene_hashes::sha256(&[p as u8, attempt as u8]);
+                assert_eq!(
+                    delay(PeerId(p), id, attempt),
+                    delay_from_base(PeerId(p), id, attempt, BASE),
+                    "adaptive path with BASE must reproduce the fixed path"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn smaller_base_fires_sooner() {
+        let id = graphene_hashes::sha256(b"rto");
+        let fast = delay_from_base(PeerId(2), id, 0, SimTime::from_millis(300));
+        // An RTO-derived 300 ms base fires well inside the fixed 2 s
+        // timer's −25% jitter floor.
+        assert!(fast.0 < BASE.0 * 3 / 4, "{fast:?}");
+    }
+
+    /// The nominal (jitter-free) delay for an attempt.
+    fn nominal(base: u64, attempt: u32) -> u64 {
+        base.clamp(1, CAP.0).saturating_mul(1u64 << attempt.min(6)).min(CAP.0)
+    }
+
+    proptest! {
+        /// Delay stays within ±25% of the nominal for ALL attempts and
+        /// bases (the +1 absorbs integer truncation of odd nominals).
+        #[test]
+        fn prop_within_quarter_of_nominal(
+            peer in 0usize..256,
+            blk in any::<[u8; 8]>(),
+            attempt in 0u32..40,
+            base_us in 1u64..60_000_000,
+        ) {
+            let id = graphene_hashes::sha256(&blk);
+            let d = delay_from_base(PeerId(peer), id, attempt, SimTime(base_us)).0;
+            let nom = nominal(base_us, attempt);
+            prop_assert!(d >= nom - nom / 4, "delay {d} below -25% of nominal {nom}");
+            prop_assert!(d <= nom + nom / 4 + 1, "delay {d} above +25% of nominal {nom}");
+        }
+
+        /// Averaged over many blocks, delay is monotone in attempt up to
+        /// the cap: strictly increasing while the nominal still doubles,
+        /// statistically flat once the nominal has hit CAP.
+        #[test]
+        fn prop_monotone_on_average_up_to_cap(peer in 0usize..256, salt in any::<u8>()) {
+            let blocks: Vec<_> = (0u16..128)
+                .map(|i| graphene_hashes::sha256(&[salt, i as u8, (i >> 8) as u8]))
+                .collect();
+            let avg = |attempt: u32| -> f64 {
+                blocks.iter().map(|&b| delay(PeerId(peer), b, attempt).0 as f64).sum::<f64>()
+                    / blocks.len() as f64
+            };
+            for attempt in 0..8 {
+                let (lo, hi) = (avg(attempt), avg(attempt + 1));
+                if nominal(BASE.0, attempt + 1) > nominal(BASE.0, attempt) {
+                    prop_assert!(hi > lo, "attempt {attempt}: avg {hi} !> {lo}");
+                } else {
+                    // Past the cap only the jitter differs: both averages
+                    // must sit inside the capped nominal's ±25% envelope
+                    // (a deterministic bound — per-sample, so also on the
+                    // mean — immune to small-sample noise).
+                    let nom = nominal(BASE.0, attempt) as f64;
+                    for avg in [lo, hi] {
+                        prop_assert!(avg >= nom * 0.75 && avg <= nom * 1.25 + 1.0);
+                    }
+                }
+            }
+        }
+
+        /// Delay is never zero, for any inputs.
+        #[test]
+        fn prop_never_zero(
+            peer in 0usize..1024,
+            blk in any::<[u8; 8]>(),
+            attempt in 0u32..64,
+            base_us in 0u64..100_000_000,
+        ) {
+            let id = graphene_hashes::sha256(&blk);
+            prop_assert!(delay_from_base(PeerId(peer), id, attempt, SimTime(base_us)).0 >= 1);
         }
     }
 }

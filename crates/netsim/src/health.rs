@@ -1,0 +1,267 @@
+//! Per-peer circuit breaker over *non-attributable* failures.
+//!
+//! The misbehavior scorer in `peer.rs` bans only on **provable** offences
+//! (malformed sketches, cap violations, double-decode) because a timeout
+//! or an undecodable response can be the network's fault: a dropped
+//! frame, a corrupted payload, a slow link. Those non-attributable
+//! failures must never ban — but ignoring them entirely lets a tarpit or
+//! a flaky peer soak up session after session.
+//!
+//! This tracker sits between the two: it scores consecutive
+//! non-attributable failures per server and, past a threshold, *opens a
+//! circuit* — the peer stops being preferred for failover targets and
+//! hedged fetches. After a deterministic cool-down the circuit goes
+//! **half-open**: the next time server selection would consider the peer
+//! it is allowed through once as a *probe*; a success closes the circuit,
+//! another failure re-opens it with a doubled cool-down. The breaker
+//! never blocks a peer outright (an open-circuit peer is still used when
+//! it is the only candidate), so delivery cannot regress — it only
+//! reorders preference.
+//!
+//! State is capped and charged to the accounted-memory ceiling, evicted
+//! deterministically, and cleared on crash/restart (volatile, like the
+//! misbehavior table). All transitions happen in deterministic event
+//! order: sweeps stay byte-identical for any `--threads` value.
+
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
+use std::collections::HashMap;
+
+use crate::peer::PeerId;
+use crate::time::SimTime;
+
+/// Consecutive non-attributable failures that trip the breaker open.
+pub const TRIP_THRESHOLD: u32 = 3;
+
+/// Cool-down after the first trip (10 s); doubles per re-trip.
+pub const OPEN_BASE: SimTime = SimTime(10_000_000);
+
+/// Cap on the cool-down doubling exponent (10s · 2^5 = 320 s).
+pub const MAX_REOPEN_EXP: u32 = 5;
+
+/// Default cap on tracked peers.
+pub const MAX_HEALTH_ENTRIES: usize = 64;
+
+/// Breaker state for one peer, as seen at a given instant.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BreakerState {
+    /// Healthy (or unknown): preferred for selection.
+    Closed,
+    /// Tripped and cooling down: avoided while any alternative exists.
+    Open,
+    /// Cool-down expired: one probe may go through.
+    HalfOpen,
+}
+
+#[derive(Clone, Copy, Debug)]
+struct Entry {
+    /// Consecutive non-attributable failures since the last success.
+    failures: u32,
+    /// When `Some`, the circuit is open until this instant (half-open after).
+    open_until: Option<SimTime>,
+    /// How many times the circuit has (re-)opened — drives the cool-down.
+    reopens: u32,
+    /// LRU stamp for deterministic eviction.
+    used: u64,
+}
+
+/// Capped per-peer breaker table plus lifetime trip/probe counters.
+#[derive(Clone, Debug, Default)]
+pub struct HealthTracker {
+    entries: HashMap<PeerId, Entry>,
+    tick: u64,
+    cap: usize,
+    trips: u64,
+    probes: u64,
+}
+
+impl HealthTracker {
+    /// An empty tracker holding at most `cap` peers.
+    pub fn new(cap: usize) -> HealthTracker {
+        HealthTracker { cap: cap.max(1), ..HealthTracker::default() }
+    }
+
+    /// Record a non-attributable failure (timeout, undecodable response)
+    /// against `peer` at `now`. Returns `true` when this failure tripped
+    /// the circuit open (closed→open or a failed half-open probe).
+    pub fn note_failure(&mut self, peer: PeerId, now: SimTime) -> bool {
+        self.tick += 1;
+        let tick = self.tick;
+        if self.entries.len() >= self.cap && !self.entries.contains_key(&peer) {
+            self.evict_one();
+        }
+        let e = self.entries.entry(peer).or_insert(Entry {
+            failures: 0,
+            open_until: None,
+            reopens: 0,
+            used: 0,
+        });
+        e.used = tick;
+        e.failures += 1;
+        let was_open = match e.open_until {
+            Some(until) => now < until, // still open (not yet half-open)
+            None => false,
+        };
+        let half_open_probe_failed = e.open_until.is_some() && !was_open;
+        if half_open_probe_failed || (e.open_until.is_none() && e.failures >= TRIP_THRESHOLD) {
+            let exp = e.reopens.min(MAX_REOPEN_EXP);
+            e.open_until = Some(now + SimTime(OPEN_BASE.0 << exp));
+            e.reopens += 1;
+            self.trips += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Record a successful exchange with `peer`: the circuit closes and
+    /// the failure streak resets (the entry is dropped to keep the table
+    /// small — absent means healthy).
+    pub fn note_success(&mut self, peer: PeerId) {
+        self.entries.remove(&peer);
+    }
+
+    /// The breaker state of `peer` at `now`.
+    pub fn state(&self, peer: PeerId, now: SimTime) -> BreakerState {
+        match self.entries.get(&peer).and_then(|e| e.open_until) {
+            Some(until) if now < until => BreakerState::Open,
+            Some(_) => BreakerState::HalfOpen,
+            None => BreakerState::Closed,
+        }
+    }
+
+    /// Count a half-open probe: server selection let `peer` through once
+    /// to test the circuit.
+    pub fn note_probe(&mut self, _peer: PeerId) {
+        self.probes += 1;
+    }
+
+    /// Lifetime number of circuit trips (closed→open + failed probes).
+    pub fn trips(&self) -> u64 {
+        self.trips
+    }
+
+    /// Lifetime number of half-open probes issued.
+    pub fn probes(&self) -> u64 {
+        self.probes
+    }
+
+    /// Tracked peers (for accounted-memory charging).
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the tracker holds no state.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Drop all breaker state (crash/restart: health knowledge is
+    /// volatile). Lifetime trip/probe counters survive — they are
+    /// metrics, not state.
+    pub fn clear(&mut self) {
+        self.entries.clear();
+        self.tick = 0;
+    }
+
+    /// Deterministic eviction: least-recently-touched entry, ties broken
+    /// by smallest peer id.
+    fn evict_one(&mut self) {
+        if let Some(victim) =
+            self.entries.iter().map(|(&p, e)| (e.used, p.0, p)).min().map(|(_, _, p)| p)
+        {
+            self.entries.remove(&victim);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const T0: SimTime = SimTime(0);
+
+    #[test]
+    fn unknown_peer_is_closed() {
+        let h = HealthTracker::new(8);
+        assert_eq!(h.state(PeerId(1), T0), BreakerState::Closed);
+    }
+
+    #[test]
+    fn trips_after_threshold_consecutive_failures() {
+        let mut h = HealthTracker::new(8);
+        for i in 0..TRIP_THRESHOLD - 1 {
+            assert!(!h.note_failure(PeerId(1), T0), "tripped early at {i}");
+            assert_eq!(h.state(PeerId(1), T0), BreakerState::Closed);
+        }
+        assert!(h.note_failure(PeerId(1), T0), "threshold failure must trip");
+        assert_eq!(h.state(PeerId(1), T0), BreakerState::Open);
+        assert_eq!(h.trips(), 1);
+    }
+
+    #[test]
+    fn success_resets_the_streak() {
+        let mut h = HealthTracker::new(8);
+        h.note_failure(PeerId(1), T0);
+        h.note_failure(PeerId(1), T0);
+        h.note_success(PeerId(1));
+        for _ in 0..TRIP_THRESHOLD - 1 {
+            assert!(!h.note_failure(PeerId(1), T0));
+        }
+        assert_eq!(h.state(PeerId(1), T0), BreakerState::Closed);
+    }
+
+    #[test]
+    fn open_becomes_half_open_after_cooldown() {
+        let mut h = HealthTracker::new(8);
+        for _ in 0..TRIP_THRESHOLD {
+            h.note_failure(PeerId(1), T0);
+        }
+        assert_eq!(h.state(PeerId(1), T0), BreakerState::Open);
+        let later = T0 + OPEN_BASE;
+        assert_eq!(h.state(PeerId(1), later), BreakerState::HalfOpen);
+    }
+
+    #[test]
+    fn probe_success_closes_probe_failure_doubles_cooldown() {
+        let mut h = HealthTracker::new(8);
+        for _ in 0..TRIP_THRESHOLD {
+            h.note_failure(PeerId(1), T0);
+        }
+        let probe_at = T0 + OPEN_BASE;
+        assert_eq!(h.state(PeerId(1), probe_at), BreakerState::HalfOpen);
+        // Failed probe: re-opens with a doubled cool-down.
+        assert!(h.note_failure(PeerId(1), probe_at));
+        assert_eq!(h.state(PeerId(1), probe_at), BreakerState::Open);
+        assert_eq!(h.state(PeerId(1), probe_at + OPEN_BASE), BreakerState::Open);
+        assert_eq!(h.state(PeerId(1), probe_at + SimTime(OPEN_BASE.0 * 2)), BreakerState::HalfOpen);
+        // Successful probe closes outright.
+        h.note_success(PeerId(1));
+        assert_eq!(h.state(PeerId(1), probe_at), BreakerState::Closed);
+        assert_eq!(h.trips(), 2);
+    }
+
+    #[test]
+    fn eviction_is_capped_and_deterministic() {
+        let mut h = HealthTracker::new(2);
+        h.note_failure(PeerId(1), T0);
+        h.note_failure(PeerId(2), T0);
+        h.note_failure(PeerId(2), T0); // refresh 2
+        h.note_failure(PeerId(3), T0); // evicts 1 (LRU)
+        assert_eq!(h.len(), 2);
+        assert_eq!(h.state(PeerId(1), T0), BreakerState::Closed); // forgotten
+    }
+
+    #[test]
+    fn clear_keeps_lifetime_counters() {
+        let mut h = HealthTracker::new(8);
+        for _ in 0..TRIP_THRESHOLD {
+            h.note_failure(PeerId(1), T0);
+        }
+        h.note_probe(PeerId(1));
+        h.clear();
+        assert!(h.is_empty());
+        assert_eq!(h.trips(), 1);
+        assert_eq!(h.probes(), 1);
+    }
+}

@@ -13,6 +13,11 @@
 //!   the failure-recovery ladder), Compact Blocks, XThin and full blocks,
 //!   plus misbehavior scoring / banning and server failover;
 //! * [`backoff`] — deterministic jittered exponential retry backoff;
+//! * [`rtt`] — RFC 6298-style per-server RTT estimation feeding
+//!   RTO-derived adaptive timers;
+//! * [`health`] — per-peer circuit breaker over non-attributable
+//!   failures (timeouts, undecodables), with closed/open/half-open
+//!   states and deterministic half-open probes;
 //! * [`caps`] — §6.2 resource caps on inbound messages;
 //! * [`adversary`] — hostile-peer fault injection (§6.1 malformed IBLTs,
 //!   oversized filters, stalls, garbage responses);
@@ -37,18 +42,22 @@ pub mod backoff;
 pub mod caps;
 pub mod chaos;
 pub mod event;
+pub mod health;
 pub mod link;
 pub mod metrics;
 pub mod network;
 pub mod peer;
+pub mod rtt;
 pub mod time;
 
 pub use adversary::{AdversaryConfig, Behavior};
 pub use caps::MessageCaps;
 pub use chaos::{ChaosConfig, ChaosEvent, OutageKind};
 pub use graphene::encode_cache::{CacheStats, EncodeCache};
-pub use link::LinkParams;
+pub use health::{BreakerState, HealthTracker};
+pub use link::{LatencyClass, LinkParams};
 pub use metrics::Metrics;
 pub use network::{Network, PropagationResult};
 pub use peer::{PeerId, RelayProtocol, ResourceAccounting, ResourceLimits, Rung};
+pub use rtt::{RttEstimate, RttTable};
 pub use time::SimTime;

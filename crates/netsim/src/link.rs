@@ -40,6 +40,64 @@ impl Default for LinkParams {
     }
 }
 
+/// Coarse latency classes for heterogeneous topologies. The default
+/// topology gives every pair the same 50 ms WAN link; real deployments
+/// mix data-center neighbors with intercontinental ones, which is
+/// exactly the regime where one fixed retry timer cannot be right for
+/// everybody. Classes only pick the `latency` field — bandwidth and
+/// fault knobs stay at the [`LinkParams`] defaults.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum LatencyClass {
+    /// Same rack / metro area (2 ms).
+    Metro,
+    /// Same region (15 ms).
+    Regional,
+    /// Cross-continent (60 ms).
+    Continental,
+    /// Intercontinental (150 ms).
+    Intercontinental,
+}
+
+impl LatencyClass {
+    /// One-way propagation delay of this class.
+    pub fn latency(self) -> SimTime {
+        match self {
+            LatencyClass::Metro => SimTime::from_millis(2),
+            LatencyClass::Regional => SimTime::from_millis(15),
+            LatencyClass::Continental => SimTime::from_millis(60),
+            LatencyClass::Intercontinental => SimTime::from_millis(150),
+        }
+    }
+
+    /// Default link parameters at this class's latency.
+    pub fn link(self) -> LinkParams {
+        LinkParams { latency: self.latency(), ..LinkParams::default() }
+    }
+
+    /// Deterministically assign a class to the unordered pair `(a, b)`.
+    /// A pure function of `(seed, min, max)` — symmetric, independent of
+    /// call order, and free of any shared RNG, so heterogeneous
+    /// topologies stay byte-identical for any `--threads` value. The
+    /// distribution is a rough pyramid: metro links are rare, regional
+    /// and continental dominate, intercontinental tails off.
+    pub fn assign(seed: u64, a: usize, b: usize) -> LatencyClass {
+        let (lo, hi) = (a.min(b) as u64, a.max(b) as u64);
+        let mut x =
+            seed ^ lo.wrapping_mul(0x9e37_79b9_7f4a_7c15) ^ hi.wrapping_mul(0xc2b2_ae3d_27d4_eb4f);
+        x ^= x >> 30;
+        x = x.wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        x ^= x >> 27;
+        x = x.wrapping_mul(0x94d0_49bb_1331_11eb);
+        x ^= x >> 31;
+        match x % 100 {
+            0..=9 => LatencyClass::Metro,
+            10..=44 => LatencyClass::Regional,
+            45..=79 => LatencyClass::Continental,
+            _ => LatencyClass::Intercontinental,
+        }
+    }
+}
+
 impl LinkParams {
     /// Transit time for a frame of `bytes` bytes.
     pub fn transit_time(&self, bytes: usize) -> SimTime {
@@ -199,6 +257,36 @@ mod tests {
         let out = link.deliveries(&frame, &mut rng);
         assert_eq!(out.len(), 1);
         assert_eq!(out[0].1.as_ptr(), frame.as_ptr(), "expected shared allocation");
+    }
+
+    #[test]
+    fn latency_class_assignment_is_symmetric_and_deterministic() {
+        for seed in [0u64, 7, 0xdead] {
+            for a in 0..12usize {
+                for b in 0..12usize {
+                    assert_eq!(LatencyClass::assign(seed, a, b), LatencyClass::assign(seed, b, a));
+                    assert_eq!(LatencyClass::assign(seed, a, b), LatencyClass::assign(seed, a, b));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn latency_classes_are_actually_heterogeneous() {
+        use std::collections::HashSet;
+        let classes: HashSet<_> = (0..16usize)
+            .flat_map(|a| (a + 1..16usize).map(move |b| LatencyClass::assign(3, a, b)))
+            .map(|c| c.latency())
+            .collect();
+        assert!(classes.len() >= 3, "a 16-peer topology should mix at least 3 classes");
+    }
+
+    #[test]
+    fn latency_class_links_keep_default_faults() {
+        let link = LatencyClass::Intercontinental.link();
+        assert_eq!(link.latency, SimTime::from_millis(150));
+        assert_eq!(link.drop_chance, 0.0);
+        assert_eq!(link.bandwidth_bps, LinkParams::default().bandwidth_bps);
     }
 
     #[test]

@@ -38,6 +38,10 @@ struct Inner {
     /// Network-wide relay-cache counters, *set* (not accumulated) from the
     /// peers' own cumulative stats at the end of each `run_until`.
     cache: CacheStats,
+    /// Hedged-fetch counters (issued, won, wasted), set like `cache`.
+    hedges: (u64, u64, u64),
+    /// Circuit-breaker counters (trips, half-open probes), set like `cache`.
+    breaker: (u64, u64),
 }
 
 impl Metrics {
@@ -141,6 +145,27 @@ impl Metrics {
         self.inner.lock().cache
     }
 
+    /// Overwrite the network-wide hedged-fetch totals (issued, won,
+    /// wasted) — same set-don't-add contract as [`set_cache_totals`](Self::set_cache_totals).
+    pub fn set_hedge_totals(&self, issued: u64, won: u64, wasted: u64) {
+        self.inner.lock().hedges = (issued, won, wasted);
+    }
+
+    /// Overwrite the network-wide circuit-breaker totals (trips, probes).
+    pub fn set_breaker_totals(&self, trips: u64, probes: u64) {
+        self.inner.lock().breaker = (trips, probes);
+    }
+
+    /// Hedged fetches (issued, won, wasted) as of the last `run_until`.
+    pub fn hedge_totals(&self) -> (u64, u64, u64) {
+        self.inner.lock().hedges
+    }
+
+    /// Circuit-breaker (trips, half-open probes) as of the last `run_until`.
+    pub fn breaker_totals(&self) -> (u64, u64) {
+        self.inner.lock().breaker
+    }
+
     /// Record the first time `peer` fully reconstructed the block.
     pub fn record_block_arrival(&self, peer: PeerId, at: SimTime) {
         self.inner.lock().block_arrival.entry(peer).or_insert(at);
@@ -240,6 +265,21 @@ impl Metrics {
     pub fn peers_with_block(&self) -> usize {
         self.inner.lock().block_arrival.len()
     }
+
+    /// The `p`-th percentile (nearest-rank, `p` in [0, 100]) of per-peer
+    /// block-arrival times, or `None` before any arrival. With every peer
+    /// reached this is the session-completion latency distribution — the
+    /// quantity the adaptive failure detector exists to improve.
+    pub fn arrival_percentile(&self, p: f64) -> Option<SimTime> {
+        let g = self.inner.lock();
+        if g.block_arrival.is_empty() {
+            return None;
+        }
+        let mut times: Vec<SimTime> = g.block_arrival.values().copied().collect();
+        times.sort();
+        let rank = ((p.clamp(0.0, 100.0) / 100.0) * times.len() as f64).ceil() as usize;
+        Some(times[rank.saturating_sub(1).min(times.len() - 1)])
+    }
 }
 
 #[cfg(test)]
@@ -288,5 +328,29 @@ mod tests {
         m.record_block_arrival(PeerId(1), SimTime::from_millis(9));
         assert_eq!(m.arrival(PeerId(1)), Some(SimTime::from_millis(5)));
         assert_eq!(m.peers_with_block(), 1);
+    }
+
+    #[test]
+    fn detector_totals_set_not_add() {
+        let m = Metrics::new();
+        m.set_hedge_totals(5, 2, 1);
+        m.set_hedge_totals(5, 2, 1); // repeated fold must not double
+        m.set_breaker_totals(3, 4);
+        m.set_breaker_totals(3, 4);
+        assert_eq!(m.hedge_totals(), (5, 2, 1));
+        assert_eq!(m.breaker_totals(), (3, 4));
+    }
+
+    #[test]
+    fn arrival_percentiles_nearest_rank() {
+        let m = Metrics::new();
+        assert_eq!(m.arrival_percentile(99.0), None);
+        for i in 0..10usize {
+            m.record_block_arrival(PeerId(i), SimTime::from_millis((i as u64 + 1) * 10));
+        }
+        assert_eq!(m.arrival_percentile(50.0), Some(SimTime::from_millis(50)));
+        assert_eq!(m.arrival_percentile(99.0), Some(SimTime::from_millis(100)));
+        assert_eq!(m.arrival_percentile(0.0), Some(SimTime::from_millis(10)));
+        assert_eq!(m.arrival_percentile(100.0), Some(SimTime::from_millis(100)));
     }
 }

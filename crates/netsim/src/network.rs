@@ -101,6 +101,15 @@ impl Network {
         }
     }
 
+    /// Switch every peer to adaptive failure detection: RTO-derived retry
+    /// timers, hedged fetches and circuit-breaker server selection. Off by
+    /// default (the seed's fixed 2 s timer); latency sweeps opt in.
+    pub fn enable_adaptive(&mut self) {
+        for p in &mut self.peers {
+            p.enable_adaptive();
+        }
+    }
+
     /// Schedule a single chaos action at an explicit time — for
     /// deterministic failure-scenario tests that need a crash at a precise
     /// instant rather than a seeded schedule.
@@ -208,6 +217,19 @@ impl Network {
     }
 
     fn deliver_frame(&mut self, from: PeerId, to: PeerId, type_byte: u8, frame: Bytes) {
+        self.deliver_frame_held(from, to, type_byte, frame, SimTime::ZERO);
+    }
+
+    /// [`deliver_frame`](Self::deliver_frame) with an extra sender-side
+    /// hold (the tarpit adversary's delayed responses).
+    fn deliver_frame_held(
+        &mut self,
+        from: PeerId,
+        to: PeerId,
+        type_byte: u8,
+        frame: Bytes,
+        hold: SimTime,
+    ) {
         self.metrics.record_frame(type_byte, frame.len());
         let link = self.link(from, to);
         let transit = link.transit_time(frame.len());
@@ -220,7 +242,7 @@ impl Network {
             self.metrics.record_duplicate();
         }
         for (extra, frame) in copies {
-            let at = self.queue.now() + transit + extra;
+            let at = self.queue.now() + hold + transit + extra;
             self.schedule(at, Event::Deliver { to, from, frame });
         }
     }
@@ -235,8 +257,15 @@ impl Network {
             // Deterministic jittered exponential backoff: retries spread
             // out instead of firing in lock-step every 2 s. Announcement
             // timers carry a flag bit that must not inflate the delay.
-            let at =
-                self.queue.now() + backoff::delay(peer, block_id, attempt & !crate::peer::ANN_FLAG);
+            // Adaptive peers replace the fixed 2 s base with the current
+            // server's RTO for session timers (announcement re-inv timers
+            // keep the fixed pace — they guard gossip, not a server).
+            let is_session = attempt & crate::peer::ANN_FLAG == 0;
+            let delay = match self.peers[peer.0].rto_hint(&block_id).filter(|_| is_session) {
+                Some(rto) => backoff::delay_from_base(peer, block_id, attempt, rto),
+                None => backoff::delay(peer, block_id, attempt & !crate::peer::ANN_FLAG),
+            };
+            let at = self.queue.now() + delay;
             let gen = self.gen[peer.0];
             self.schedule(at, Event::Timeout { peer, block_id, attempt, gen });
         }
@@ -247,6 +276,13 @@ impl Network {
         self.metrics.record_escalations(out.escalations);
         self.dispatch(peer, out.send);
         self.dispatch_frames(peer, out.send_frames);
+        // Tarpitted responses: honest bytes, hostile schedule. The hold is
+        // the sender's doing, so it rides on top of the link transit time.
+        for (to, msg, hold) in out.send_delayed {
+            msg.encode_into(&mut self.encode_buf);
+            let frame = Bytes::from(&self.encode_buf[..]);
+            self.deliver_frame_held(peer, to, msg.type_byte(), frame, hold);
+        }
     }
 
     /// Inject freshly authored transactions at `origin` and let them gossip
@@ -335,6 +371,9 @@ impl Network {
                         continue; // frame was shed after this drain was armed
                     };
                     self.busy_until[peer.0] = at + self.peers[peer.0].limits.proc_time(bytes);
+                    // The peer reads the clock for RTT samples and breaker
+                    // cool-downs; set it to this frame's processing instant.
+                    self.peers[peer.0].set_clock(at);
                     // Disjoint-field borrow: no per-frame adjacency clone.
                     let out = self.peers[peer.0].handle(from, msg, &self.adjacency[peer.0]);
                     self.apply_output(peer, out);
@@ -352,6 +391,7 @@ impl Network {
                         self.metrics.record_stale_timer();
                         continue;
                     }
+                    self.peers[peer.0].set_clock(at);
                     let out = self.peers[peer.0].handle_timeout(block_id, attempt);
                     self.apply_output(peer, out);
                 }
@@ -375,6 +415,21 @@ impl Network {
             }
         }
         self.metrics.set_cache_totals(totals);
+        // Same set-the-totals pattern for the failure-detector counters:
+        // per-peer stats are cumulative across `run_until` calls.
+        let (mut issued, mut won, mut wasted) = (0u64, 0u64, 0u64);
+        let (mut trips, mut probes) = (0u64, 0u64);
+        for p in &self.peers {
+            let (i, w, x) = p.hedge_stats();
+            issued += i;
+            won += w;
+            wasted += x;
+            let (t, pr) = p.breaker_stats();
+            trips += t;
+            probes += pr;
+        }
+        self.metrics.set_hedge_totals(issued, won, wasted);
+        self.metrics.set_breaker_totals(trips, probes);
     }
 
     /// Execute one chaos action.
@@ -789,6 +844,153 @@ mod tests {
         assert!(net.metrics.bans() >= 1);
     }
 
+    // --- Adaptive failure detection ----------------------------------------
+
+    /// Diamond where the victim (peer 1) hears of the block from a tarpit
+    /// (peer 0) before the honest helper (peer 3): the origin (peer 2)
+    /// announces to 0 and 3 over 50 ms links, 0 relays to the victim over
+    /// a 40 ms link and 3 over a 60 ms link, so the tarpit's inv wins the
+    /// announcement race (~190 ms vs ~210 ms) and the helper stays a
+    /// failover alternate. The tarpit answers *correctly* but holds every
+    /// response 1.4 s: the victim's reply lands ~1 480 ms after its
+    /// request — under the fixed 2 s timer's −25% jitter floor (1 500 ms),
+    /// over the adaptive arm's 1 s initial RTO ceiling (1 250 ms). The
+    /// hedge round trip to peer 3 (~120 ms) beats the held reply for any
+    /// jitter draw: 1 250 + 120 < 1 480.
+    fn tarpit_triangle(scenario_seed: u64) -> (Network, Block) {
+        let (mut net, block) =
+            build(4, RelayProtocol::Graphene(GrapheneConfig::default()), scenario_seed);
+        net.peer_mut(PeerId(0)).behavior = Behavior::Adversarial(AdversaryConfig {
+            tarpit: 1.0,
+            tarpit_hold: SimTime::from_millis(1_400),
+            seed: 7,
+            ..Default::default()
+        });
+        net.connect(PeerId(2), PeerId(0));
+        net.connect(PeerId(2), PeerId(3));
+        net.connect_with(
+            PeerId(0),
+            PeerId(1),
+            LinkParams { latency: SimTime::from_millis(40), ..LinkParams::default() },
+        );
+        net.connect_with(
+            PeerId(3),
+            PeerId(1),
+            LinkParams { latency: SimTime::from_millis(60), ..LinkParams::default() },
+        );
+        (net, block)
+    }
+
+    #[test]
+    fn adaptive_arm_outruns_a_tarpit_the_fixed_timer_tolerates() {
+        // Fixed arm: every tarpitted response beats the 2 s timer, so the
+        // victim patiently completes against the tarpit — slowly.
+        let (mut fixed, block) = tarpit_triangle(50);
+        let rf = fixed.propagate(PeerId(2), block.clone(), SimTime::from_millis(600_000));
+        assert_eq!(rf.peers_reached, 4, "fixed arm must still deliver: {rf:?}");
+        assert_eq!(fixed.metrics.bans(), 0);
+        assert_eq!(fixed.metrics.hedge_totals().0, 0, "fixed arm must never hedge");
+
+        // Adaptive arm: the 1 s initial RTO fires first and the hedge
+        // races the honest helper, which answers well inside the hold.
+        let (mut adaptive, block) = tarpit_triangle(50);
+        adaptive.enable_adaptive();
+        let ra = adaptive.propagate(PeerId(2), block, SimTime::from_millis(600_000));
+        assert_eq!(ra.peers_reached, 4, "adaptive arm must deliver: {ra:?}");
+        assert_eq!(adaptive.metrics.bans(), 0, "tarpitting is never provable");
+        let (issued, won, _) = adaptive.metrics.hedge_totals();
+        assert!(issued > 0, "adaptive timer never fired against the tarpit");
+        assert!(won > 0, "no hedge ever won the race");
+        let slow = rf.completion_time.expect("fixed completes");
+        let fast = ra.completion_time.expect("adaptive completes");
+        assert!(fast < slow, "adaptive arm must finish sooner: {fast:?} vs fixed {slow:?}");
+    }
+
+    #[test]
+    fn breaker_trips_across_repeated_blocks_and_never_bans() {
+        // A stalling server soaks up session after session across three
+        // consecutive blocks. The per-block ladder already fails over; the
+        // breaker's job is the cross-session memory — by the third block
+        // the stalling peer's circuit is open and failover prefers the
+        // honest origin without re-paying the full ladder each time.
+        let params = ScenarioParams {
+            block_size: 60,
+            extra_mempool_multiple: 1.0,
+            block_fraction_in_mempool: 1.0,
+            ..Default::default()
+        };
+        let mut rng = StdRng::seed_from_u64(51);
+        let mut net = Network::new(3, RelayProtocol::Graphene(GrapheneConfig::default()), 99);
+        net.enable_adaptive();
+        net.peer_mut(PeerId(0)).behavior =
+            Behavior::Adversarial(AdversaryConfig { stall: 1.0, seed: 13, ..Default::default() });
+        net.connect(PeerId(2), PeerId(0));
+        net.connect(PeerId(0), PeerId(1));
+        net.connect_with(
+            PeerId(2),
+            PeerId(1),
+            LinkParams { latency: SimTime::from_millis(2_000), ..LinkParams::default() },
+        );
+        for round in 0..3 {
+            let s = Scenario::generate(&params, &mut rng);
+            for i in 0..3 {
+                for tx in s.block.txns() {
+                    net.peer_mut(PeerId(i)).mempool.insert(tx.clone());
+                }
+            }
+            let id = s.block.id();
+            let r = net.propagate(PeerId(2), s.block, SimTime::from_millis(1_200_000));
+            assert_eq!(r.peers_reached, 3, "round {round}: {r:?}");
+            assert!(net.peer(PeerId(1)).has_block(&id), "round {round}: victim missing block");
+        }
+        let (trips, _probes) = net.metrics.breaker_totals();
+        assert!(trips > 0, "three stalled sessions never tripped the breaker");
+        assert_eq!(net.metrics.bans(), 0, "stalling is never provable misbehavior");
+        // The run drains to quiescence, so sim time ends past the open
+        // window and the circuit reads half-open; either way the breaker
+        // must still *remember* the stalling peer — only a success closes
+        // the circuit, and the tarpit never produced one.
+        assert_ne!(
+            net.peer(PeerId(1)).breaker_state(PeerId(0)),
+            crate::health::BreakerState::Closed,
+            "the stalling server's circuit must not have healed"
+        );
+    }
+
+    #[test]
+    fn adaptive_and_heterogeneous_links_survive_combined_chaos() {
+        // The PR 3/4 acceptance scenario re-run with the adaptive detector
+        // on and latency-class links: delivery must stay total and memory
+        // bounded — the breaker only reorders preference, never blocks.
+        use crate::link::LatencyClass;
+        let (mut net, block) = build(12, RelayProtocol::Graphene(GrapheneConfig::default()), 52);
+        ring_with_chords(&mut net, 12);
+        // Re-link every connected pair with its latency class.
+        for i in 0..12usize {
+            for j in (i + 1)..12usize {
+                let (a, b) = (PeerId(i), PeerId(j));
+                net.connect_with(a, b, LatencyClass::assign(9, i, j).link());
+            }
+        }
+        net.enable_adaptive();
+        net.enable_chaos(ChaosConfig {
+            seed: 29,
+            churn_rate: 0.02,
+            crash_rate: 0.01,
+            churn_downtime: SimTime::from_millis(10_000),
+            partition_at: Some(SimTime::from_millis(8_000)),
+            partition_duration: SimTime::from_millis(20_000),
+            active_until: SimTime::from_millis(90_000),
+            exempt: vec![PeerId(0)],
+            ..Default::default()
+        });
+        let r = net.propagate(PeerId(0), block, SimTime::from_millis(3_600_000));
+        assert_eq!(r.peers_reached, 12, "{r:?}");
+        assert_eq!(net.metrics.bans(), 0, "chaos must never look provable");
+        let ceiling = net.peer(PeerId(0)).limits.accounted_ceiling();
+        assert!(net.metrics.resource_hwm_bytes() <= ceiling);
+    }
+
     // --- Chaos substrate -----------------------------------------------------
 
     use crate::chaos::{ChaosConfig, ChaosEvent, OutageKind};
@@ -992,6 +1194,7 @@ mod tests {
                 count_skew: 0.2,
                 oversized_filter: 0.2,
                 seed,
+                ..Default::default()
             });
             for j in 0..4 {
                 net.connect(PeerId(adv), PeerId(j * 2));

@@ -36,11 +36,31 @@
 //! frames are ignored and every session it served fails over immediately.
 //! Non-attributable failures (timeouts, undecodable IBLTs, wrong bodies)
 //! never ban — link loss and corruption can cause all of them.
+//!
+//! # Adaptive failure detection
+//!
+//! Peers that [`Peer::enable_adaptive`] replace the fixed 2 s retry base
+//! with a per-server RTO ([`crate::rtt`]), sampled from request→response
+//! pairs under Karn's rule (a request that timed out never yields a
+//! sample, so a tarpit cannot teach us its own slowness). When a session
+//! timer fires but the ladder has not given up, the re-request is
+//! *hedged*: a duplicate goes to the best alternate announcer, the first
+//! response wins ([`RxSession::accept_from`]), and the loser's late reply
+//! is silently discarded — never punished, because an unsolicited-looking
+//! response may simply be the slower half of our own hedge. The same
+//! non-attributable failures feed a per-peer circuit breaker
+//! ([`crate::health`]) that steers failover and hedge selection away from
+//! peers that keep timing out, with deterministic half-open probes.
+//! Everything stays off (`adaptive = false`) by default, so the fixed-arm
+//! simulations reproduce the seed byte for byte.
 
 #![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
 use crate::adversary::Behavior;
 use crate::caps::MessageCaps;
+use crate::health::{BreakerState, HealthTracker, MAX_HEALTH_ENTRIES};
+use crate::rtt::{RttEstimate, RttTable, MAX_RTT_ENTRIES, TRACKER_ENTRY_BYTES};
+use crate::time::SimTime;
 use bytes::Bytes;
 use graphene::config::GrapheneConfig;
 use graphene::encode_cache::{CacheKey, CacheStats, EncodeCache};
@@ -164,6 +184,12 @@ impl ResourceLimits {
                 * (SESSION_FIXED_BYTES + self.max_body_bytes + self.max_rateless_state_bytes)
             + self.max_pending_announcements as u64 * PENDING_FIXED_BYTES
             + self.max_encode_cache_bytes
+            // Adaptive failure-detection state: the RTT table, the breaker
+            // table, and at most two in-flight request stamps (primary +
+            // hedge) per session. All three are capped, so the ceiling
+            // holds whether or not adaptive detection is enabled.
+            + (MAX_RTT_ENTRIES + MAX_HEALTH_ENTRIES + 2 * self.max_sessions) as u64
+                * TRACKER_ENTRY_BYTES
     }
 
     /// Simulated time to process one inbound frame of `bytes` bytes.
@@ -194,6 +220,9 @@ pub struct ResourceAccounting {
     /// In-flight rateless decode state across all sessions (volatile,
     /// like the sessions that own it).
     pub rateless_state_bytes: u64,
+    /// Adaptive failure-detection state: RTT estimates, breaker entries
+    /// and in-flight request stamps (zero when adaptive is off).
+    pub tracker_bytes: u64,
     /// Highest accounted-byte total ever observed at this peer.
     pub hwm_bytes: u64,
     /// Inbound frames shed by the load-shedding policy (lifetime).
@@ -209,6 +238,7 @@ impl ResourceAccounting {
             + self.pending_announcements as u64 * PENDING_FIXED_BYTES
             + self.encode_cache_bytes
             + self.rateless_state_bytes
+            + self.tracker_bytes
     }
 }
 
@@ -263,11 +293,26 @@ pub enum Rung {
     FullBlock,
 }
 
+/// What [`RxSession::accept_from`] decided about a response's sender.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum HedgeOutcome {
+    /// The current server answered; no hedge was outstanding.
+    Normal,
+    /// The current server answered first; the outstanding hedge was wasted.
+    PrimaryWon,
+    /// The hedge target answered first and is promoted to server.
+    HedgeWon,
+}
+
 /// Receiver-side session state for one block.
 struct RxSession {
     server: PeerId,
     /// Other peers that announced this block; failover candidates.
     alternates: Vec<PeerId>,
+    /// Outstanding hedged-fetch target: a second server the current rung's
+    /// request was duplicated to. First response wins; the loser's late
+    /// reply is discarded without punishment.
+    hedge: Option<PeerId>,
     /// Timer epoch: bumped whenever the session advances, so stale timers
     /// are recognised and ignored.
     attempt: u32,
@@ -290,6 +335,7 @@ impl RxSession {
         RxSession {
             server,
             alternates: Vec::new(),
+            hedge: None,
             attempt: 0,
             rung: Rung::Graphene,
             retries: 0,
@@ -313,6 +359,40 @@ impl RxSession {
         }
         self.body_bytes += sz;
         self.bodies.insert(*tx.id(), tx.clone());
+    }
+
+    /// Advance the timer epoch, clamped below [`ANN_FLAG`]: a session
+    /// epoch must never reach the announcement-flag bit, or its timer
+    /// would be misrouted to `announce_timeout` when it fires.
+    fn bump_epoch(&mut self) {
+        self.attempt = (self.attempt + 1) & (ANN_FLAG - 1);
+    }
+
+    /// First-response-wins arbitration for a block-payload message from
+    /// `from`. `None` means the response is neither from the current
+    /// server nor the outstanding hedge — unsolicited, or the losing half
+    /// of a resolved hedge — and must be silently discarded (never
+    /// punished: it can be our own late hedge reply).
+    fn accept_from(&mut self, from: PeerId) -> Option<HedgeOutcome> {
+        if from == self.server {
+            return Some(if self.hedge.take().is_some() {
+                HedgeOutcome::PrimaryWon
+            } else {
+                HedgeOutcome::Normal
+            });
+        }
+        if self.hedge == Some(from) {
+            // Promote the hedge: it answered first. The old server stays
+            // available as a failover candidate.
+            let old = self.server;
+            self.server = from;
+            self.hedge = None;
+            if !self.alternates.contains(&old) {
+                self.alternates.push(old);
+            }
+            return Some(HedgeOutcome::HedgeWon);
+        }
+        None
     }
 }
 
@@ -376,6 +456,24 @@ pub struct Peer {
     /// Whether this peer's recovery ladder streams rateless cells instead
     /// of inflated Graphene retries (off = the seed ladder).
     rateless: bool,
+    /// Adaptive failure detection: RTO-derived timers, hedged fetches and
+    /// the per-peer circuit breaker (off = the seed's fixed 2 s timer).
+    adaptive: bool,
+    /// Simulated now, set by the network before each handle call (only
+    /// consumed by the adaptive machinery; zero otherwise).
+    now: SimTime,
+    /// Per-server smoothed RTT estimates (adaptive only; volatile).
+    rtt: RttTable,
+    /// Circuit breaker over non-attributable failures (adaptive only;
+    /// entries volatile, lifetime counters kept for metrics).
+    health: HealthTracker,
+    /// In-flight request stamps: (block, server) → send time. Karn's
+    /// rule: a stamp consumed by a timeout never yields an RTT sample.
+    req_sent: HashMap<(Digest, PeerId), SimTime>,
+    /// Lifetime hedged-fetch counters (issued / won / wasted).
+    hedges_issued: u64,
+    hedges_won: u64,
+    hedges_wasted: u64,
     /// Bounded inbound frame queue: (sender, decoded message, frame bytes).
     inbox: VecDeque<(PeerId, Message, usize)>,
     /// Bytes currently queued in `inbox`.
@@ -395,6 +493,10 @@ pub struct Output {
     /// wire frame (refcounted, shared with the cache), byte-identical to
     /// what encoding the equivalent [`Message`] would produce.
     pub send_frames: Vec<(PeerId, Bytes)>,
+    /// (destination, message, extra delay) triples a tarpit adversary
+    /// holds back before transmission: the network dispatches them like
+    /// `send` but adds the delay to the scheduled delivery time.
+    pub send_delayed: Vec<(PeerId, Message, SimTime)>,
     /// Retry timers to arm: (block, timer epoch).
     pub timers: Vec<(Digest, u32)>,
     /// Set when this peer just completed a block (for metrics).
@@ -412,6 +514,7 @@ impl Output {
         Output {
             send: Vec::new(),
             send_frames: Vec::new(),
+            send_delayed: Vec::new(),
             timers: Vec::new(),
             completed_block: None,
             banned: Vec::new(),
@@ -423,6 +526,7 @@ impl Output {
     fn absorb(&mut self, other: Output) {
         self.send.extend(other.send);
         self.send_frames.extend(other.send_frames);
+        self.send_delayed.extend(other.send_delayed);
         self.timers.extend(other.timers);
         self.completed_block = self.completed_block.or(other.completed_block);
         self.banned.extend(other.banned);
@@ -451,6 +555,14 @@ impl Peer {
             adv_nonce: 0,
             cache: None,
             rateless: false,
+            adaptive: false,
+            now: SimTime::ZERO,
+            rtt: RttTable::new(MAX_RTT_ENTRIES),
+            health: HealthTracker::new(MAX_HEALTH_ENTRIES),
+            req_sent: HashMap::new(),
+            hedges_issued: 0,
+            hedges_won: 0,
+            hedges_wasted: 0,
             inbox: VecDeque::new(),
             inbox_bytes: 0,
             shed_frames: 0,
@@ -523,6 +635,57 @@ impl Peer {
         self.rateless
     }
 
+    /// Turn on adaptive failure detection: RTO-derived retry timers from
+    /// per-server RTT estimates, hedged fetches when the timer fires with
+    /// an alternate announcer available, and circuit-breaker-steered
+    /// server selection. Off by default (the seed's fixed 2 s timer);
+    /// latency sweeps opt in.
+    pub fn enable_adaptive(&mut self) {
+        self.adaptive = true;
+    }
+
+    /// Whether adaptive failure detection is enabled.
+    pub fn adaptive_enabled(&self) -> bool {
+        self.adaptive
+    }
+
+    /// Advance this peer's view of simulated time. The network calls this
+    /// before dispatching each message or timeout so RTT samples and
+    /// breaker cool-downs read a consistent clock.
+    pub fn set_clock(&mut self, now: SimTime) {
+        self.now = now;
+    }
+
+    /// The RTO-derived first-attempt timeout for `block_id`'s current
+    /// server, or `None` when adaptive detection is off (or no session is
+    /// open) — the network then falls back to the fixed [`crate::backoff::BASE`].
+    pub fn rto_hint(&self, block_id: &Digest) -> Option<SimTime> {
+        if !self.adaptive {
+            return None;
+        }
+        self.sessions.get(block_id).map(|s| self.rtt.rto(s.server))
+    }
+
+    /// The RTT estimate held against `server`, if any (test/metrics hook).
+    pub fn rtt_estimate(&self, server: PeerId) -> Option<RttEstimate> {
+        self.rtt.estimate(server)
+    }
+
+    /// The breaker state of `server` at this peer's current clock.
+    pub fn breaker_state(&self, server: PeerId) -> BreakerState {
+        self.health.state(server, self.now)
+    }
+
+    /// Lifetime hedged-fetch counters: (issued, won, wasted).
+    pub fn hedge_stats(&self) -> (u64, u64, u64) {
+        (self.hedges_issued, self.hedges_won, self.hedges_wasted)
+    }
+
+    /// Lifetime circuit-breaker counters: (trips, half-open probes).
+    pub fn breaker_stats(&self) -> (u64, u64) {
+        (self.health.trips(), self.health.probes())
+    }
+
     /// Effectiveness counters of the relay cache, if enabled.
     pub fn cache_stats(&self) -> Option<CacheStats> {
         self.cache.as_ref().map(EncodeCache::stats)
@@ -550,6 +713,8 @@ impl Peer {
                     _ => 0,
                 })
                 .sum(),
+            tracker_bytes: (self.rtt.len() + self.health.len() + self.req_sent.len()) as u64
+                * TRACKER_ENTRY_BYTES,
             hwm_bytes: self.hwm_bytes,
             shed_frames: self.shed_frames,
         }
@@ -674,6 +839,11 @@ impl Peer {
         self.banned.clear();
         self.inbox.clear();
         self.inbox_bytes = 0;
+        // Failure-detector state is volatile too: a restarted node
+        // re-learns RTTs and peer health from scratch.
+        self.req_sent.clear();
+        self.rtt.clear();
+        self.health.clear();
         // The relay cache is process memory, deliberately outside
         // `NodeSnapshot`: a restarted node re-encodes on demand rather
         // than trusting frames from before the crash.
@@ -793,6 +963,7 @@ impl Peer {
             // checks keep corruption from forging one.
             return self.punish(from, MALFORMED_SCORE);
         }
+        self.observe_response(from, &msg);
         let out = match msg {
             Message::Inv(m) => self.on_inv(from, m),
             Message::GetData(m) => self.on_getdata(from, m),
@@ -814,23 +985,124 @@ impl Peer {
             Message::GetTxns(m) => self.on_get_txns(from, m),
             Message::Txns(m) => self.on_txns(m, neighbors),
         };
+        self.note_requests(&out);
         let out = self.mangle_output(out);
         self.note_usage();
         out
     }
 
-    /// Apply adversarial mangling to outgoing frames, if configured.
+    // --- Adaptive failure detection ---------------------------------------
+    // (block-id classifiers for the request/response pairing live at the
+    // bottom of this file: `request_block_id` / `response_block_id`.)
+
+    /// If `msg` answers a stamped in-flight request, fold the measured
+    /// round trip into the RTT table and close `from`'s breaker circuit.
+    /// Karn's rule makes this safe: [`escalate`](Self::escalate) removes
+    /// the stamp on timeout, so a reply that arrives *after* its timer
+    /// fired matches nothing — it neither pollutes the RTT estimate with
+    /// a retransmission-ambiguous sample nor resets the failure streak.
+    fn observe_response(&mut self, from: PeerId, msg: &Message) {
+        if !self.adaptive {
+            return;
+        }
+        let Some(block_id) = response_block_id(msg) else {
+            return;
+        };
+        if let Some(t0) = self.req_sent.remove(&(block_id, from)) {
+            self.rtt.observe(from, self.now - t0);
+            self.health.note_success(from);
+        }
+    }
+
+    /// Stamp every outgoing block request in `out` with the current clock
+    /// so the matching response yields an RTT sample. Stamps for sessions
+    /// that no longer exist are swept, and the table is capped at twice
+    /// the session limit with deterministic oldest-first eviction.
+    fn note_requests(&mut self, out: &Output) {
+        if !self.adaptive {
+            return;
+        }
+        let sessions = &self.sessions;
+        self.req_sent.retain(|(block_id, _), _| sessions.contains_key(block_id));
+        for (to, msg) in &out.send {
+            if let Some(block_id) = request_block_id(msg) {
+                if self.sessions.contains_key(&block_id) {
+                    let cap = 2 * self.limits.max_sessions;
+                    if self.req_sent.len() >= cap && !self.req_sent.contains_key(&(block_id, *to)) {
+                        if let Some(victim) = self
+                            .req_sent
+                            .iter()
+                            .map(|(&(d, p), &t)| (t, d, p.0, (d, p)))
+                            .min()
+                            .map(|(_, _, _, k)| k)
+                        {
+                            self.req_sent.remove(&victim);
+                        }
+                    }
+                    self.req_sent.insert((block_id, *to), self.now);
+                }
+            }
+        }
+    }
+
+    /// Pick the best hedge target for `block_id`'s session: the alternate
+    /// announcer with the healthiest breaker state (closed < half-open <
+    /// open, ties broken by announcement order), skipping banned peers and
+    /// the current server. Marks the session hedged and counts a probe
+    /// when the pick was half-open.
+    fn pick_hedge(&mut self, block_id: &Digest) -> Option<PeerId> {
+        let (server, alternates) = {
+            let s = self.sessions.get(block_id)?;
+            if s.hedge.is_some() {
+                return None; // one hedge in flight is enough
+            }
+            (s.server, s.alternates.clone())
+        };
+        let mut best: Option<(u8, usize, PeerId)> = None;
+        for (idx, &cand) in alternates.iter().enumerate() {
+            if cand == server || self.banned.contains(&cand) {
+                continue;
+            }
+            let rank = match self.health.state(cand, self.now) {
+                BreakerState::Closed => 0u8,
+                BreakerState::HalfOpen => 1,
+                BreakerState::Open => 2,
+            };
+            if best.is_none_or(|(r, i, _)| (rank, idx) < (r, i)) {
+                best = Some((rank, idx, cand));
+            }
+        }
+        let (rank, _, pick) = best?;
+        if rank == 1 {
+            self.health.note_probe(pick);
+        }
+        if let Some(s) = self.sessions.get_mut(block_id) {
+            s.hedge = Some(pick);
+        }
+        Some(pick)
+    }
+
+    /// Apply adversarial mangling to outgoing frames, if configured. A
+    /// tarpit adversary reroutes surviving responses through
+    /// `send_delayed`, holding each back just long enough to look slow
+    /// without ever provably misbehaving.
     fn mangle_output(&mut self, mut out: Output) -> Output {
         if let Behavior::Adversarial(cfg) = &self.behavior {
             let mut kept = Vec::with_capacity(out.send.len());
+            let mut delayed = Vec::new();
             for (to, msg) in out.send {
                 let nonce = self.adv_nonce;
                 self.adv_nonce += 1;
                 if let Some(m) = cfg.mangle(nonce, msg) {
-                    kept.push((to, m));
+                    if let Some(extra) = cfg.tarpit_delay(nonce, &m) {
+                        delayed.push((to, m, extra));
+                    } else {
+                        kept.push((to, m));
+                    }
                 }
             }
             out.send = kept;
+            out.send_delayed.extend(delayed);
         }
         out
     }
@@ -949,6 +1221,16 @@ impl Peer {
     /// Climb one rung of the recovery ladder (or retry within the current
     /// rung while its budget lasts). Exhausting the ladder fails over.
     fn escalate(&mut self, block_id: Digest) -> Output {
+        if self.adaptive {
+            // The timer fired: charge a non-attributable failure to the
+            // current server and drop its in-flight stamp (Karn's rule —
+            // a reply arriving after this point must not become an RTT
+            // sample or reset the failure streak).
+            if let Some(server) = self.sessions.get(&block_id).map(|s| s.server) {
+                self.health.note_failure(server, self.now);
+                self.req_sent.remove(&(block_id, server));
+            }
+        }
         let is_graphene = matches!(self.protocol, RelayProtocol::Graphene(_));
         let rateless_on = self.rateless;
         let mut escalated = false;
@@ -959,7 +1241,7 @@ impl Peer {
             let Some(s) = self.sessions.get_mut(&block_id) else {
                 return Output::none();
             };
-            s.attempt += 1;
+            s.bump_epoch();
             match s.rung {
                 Rung::Graphene => {
                     let has_candidates = matches!(s.phase, RxPhase::GrapheneP2 { .. });
@@ -1068,6 +1350,16 @@ impl Peer {
         };
         let mut out = Output::none();
         out.escalations = escalated as u32;
+        // Hedged fetch: the timer said `server` is slow, but the session
+        // has not failed over yet. Race a duplicate request against the
+        // healthiest alternate announcer — first response wins, the
+        // loser's late reply is discarded without punishment.
+        if self.adaptive {
+            if let Some(h) = self.pick_hedge(&block_id) {
+                self.hedges_issued += 1;
+                out.send.push((h, msg.clone()));
+            }
+        }
         out.send.push((server, msg));
         out.timers.push((block_id, epoch));
         out
@@ -1075,22 +1367,63 @@ impl Peer {
 
     /// Restart the session at rung 1 against the next non-banned alternate
     /// announcer (or, lacking one, re-request from the current server).
+    /// Adaptive peers prefer the alternate whose breaker circuit is
+    /// healthiest (closed < half-open < open, ties by announcement order);
+    /// the fixed arm keeps the seed's first-non-banned pick.
     fn failover(&mut self, block_id: Digest) -> Output {
+        // Pick the replacement server before borrowing the session
+        // mutably: the breaker ranking reads `self.health`.
+        let pick: Option<usize> = {
+            let Some(s) = self.sessions.get(&block_id) else {
+                return Output::none();
+            };
+            if self.adaptive {
+                let mut best: Option<(u8, usize)> = None;
+                for (idx, &cand) in s.alternates.iter().enumerate() {
+                    if self.banned.contains(&cand) {
+                        continue;
+                    }
+                    let rank = match self.health.state(cand, self.now) {
+                        BreakerState::Closed => 0u8,
+                        BreakerState::HalfOpen => 1,
+                        BreakerState::Open => 2,
+                    };
+                    if best.is_none_or(|b| (rank, idx) < b) {
+                        best = Some((rank, idx));
+                    }
+                }
+                if let Some((rank, idx)) = best {
+                    if rank == 1 {
+                        let probed = s.alternates[idx];
+                        self.health.note_probe(probed);
+                    }
+                    Some(idx)
+                } else {
+                    None
+                }
+            } else {
+                // Seed behavior: first non-banned alternate in
+                // announcement order. (Equivalent to the original
+                // consuming scan — bans strip `alternates` eagerly, so
+                // skipped-over banned entries cannot exist.)
+                s.alternates.iter().position(|p| !self.banned.contains(p))
+            }
+        };
         let (server, epoch, switched) = {
             let Some(s) = self.sessions.get_mut(&block_id) else {
                 return Output::none();
             };
-            s.attempt += 1;
+            s.bump_epoch();
             s.cycles += 1;
-            let mut switched = false;
-            while !s.alternates.is_empty() {
-                let cand = s.alternates.remove(0);
-                if !self.banned.contains(&cand) {
+            s.hedge = None;
+            let switched = match pick {
+                Some(idx) => {
+                    let cand = s.alternates.remove(idx);
                     s.server = cand;
-                    switched = true;
-                    break;
+                    true
                 }
-            }
+                None => false,
+            };
             if !switched && s.cycles >= MAX_LADDER_CYCLES {
                 // Nobody else ever announced this block and the full ladder
                 // failed twice against the only known server: give up. (A
@@ -1283,8 +1616,13 @@ impl Peer {
             let Some(session) = self.sessions.get_mut(&block_id) else {
                 return Output::none();
             };
-            if from != session.server {
-                return Output::none(); // unsolicited
+            let Some(outcome) = session.accept_from(from) else {
+                return Output::none(); // unsolicited, or a hedge loser's late reply
+            };
+            match outcome {
+                HedgeOutcome::Normal => {}
+                HedgeOutcome::PrimaryWon => self.hedges_wasted += 1,
+                HedgeOutcome::HedgeWon => self.hedges_won += 1,
             }
             for tx in &m.prefilled {
                 session.add_body(&self.limits, tx);
@@ -1307,7 +1645,7 @@ impl Peer {
                 let Some(session) = self.sessions.get_mut(&block_id) else {
                     return Output::none();
                 };
-                session.attempt += 1;
+                session.bump_epoch();
                 session.phase = RxPhase::GrapheneP2 {
                     state: Box::new(state),
                     header: m.header,
@@ -1396,8 +1734,13 @@ impl Peer {
         let Some(session) = self.sessions.get_mut(&block_id) else {
             return Output::none();
         };
-        if from != session.server {
-            return Output::none();
+        let Some(outcome) = session.accept_from(from) else {
+            return Output::none(); // unsolicited, or a hedge loser's late reply
+        };
+        match outcome {
+            HedgeOutcome::Normal => {}
+            HedgeOutcome::PrimaryWon => self.hedges_wasted += 1,
+            HedgeOutcome::HedgeWon => self.hedges_won += 1,
         }
         let RelayProtocol::Graphene(cfg) = self.protocol.clone() else {
             return Output::none();
@@ -1418,7 +1761,7 @@ impl Peer {
                     };
                     self.complete_block(block_id, header, ids, neighbors)
                 } else {
-                    session.attempt += 1;
+                    session.bump_epoch();
                     let attempt = session.attempt;
                     let needs = ok.needs_fetch.clone();
                     session.phase =
@@ -1529,8 +1872,13 @@ impl Peer {
             let Some(session) = self.sessions.get_mut(&block_id) else {
                 return Output::none();
             };
-            if from != session.server {
-                return Output::none();
+            let Some(outcome) = session.accept_from(from) else {
+                return Output::none(); // unsolicited, or a hedge loser's late reply
+            };
+            match outcome {
+                HedgeOutcome::Normal => {}
+                HedgeOutcome::PrimaryWon => self.hedges_wasted += 1,
+                HedgeOutcome::HedgeWon => self.hedges_won += 1,
             }
             let state_limit = self.limits.max_rateless_state_bytes;
             let RxPhase::Rateless { by_short, decoder, header, order_bytes } = &mut session.phase
@@ -1556,7 +1904,9 @@ impl Peer {
                             Step::FallThrough
                         } else {
                             session.retries += 1;
-                            session.attempt += 1;
+                            // Inline epoch bump (`bump_epoch` would
+                            // conflict with the live decoder borrow).
+                            session.attempt = (session.attempt + 1) & (ANN_FLAG - 1);
                             Step::Request {
                                 from_index: decoder.received(),
                                 count: n.min(MAX_CELLS_PER_BATCH) as u32,
@@ -1593,7 +1943,7 @@ impl Peer {
                                 }
                             }
                         } else {
-                            session.attempt += 1;
+                            session.bump_epoch();
                             let epoch = session.attempt;
                             let needs = diff.only_remote.clone();
                             session.phase =
@@ -1637,8 +1987,13 @@ impl Peer {
         let Some(session) = self.sessions.get_mut(&block_id) else {
             return Output::none();
         };
-        if from != session.server {
-            return Output::none();
+        let Some(outcome) = session.accept_from(from) else {
+            return Output::none(); // unsolicited, or a hedge loser's late reply
+        };
+        match outcome {
+            HedgeOutcome::Normal => {}
+            HedgeOutcome::PrimaryWon => self.hedges_wasted += 1,
+            HedgeOutcome::HedgeWon => self.hedges_won += 1,
         }
         let key = cmpct_key(&m.header, m.nonce);
         let mut by_short: HashMap<u64, Option<TxId>> = HashMap::new();
@@ -1676,7 +2031,7 @@ impl Peer {
             }
             return Output::none();
         }
-        session.attempt += 1;
+        session.bump_epoch();
         let attempt = session.attempt;
         session.phase = RxPhase::CompactWait { header: m.header, slots, missing: missing.clone() };
         let mut out = Output::none();
@@ -1701,8 +2056,13 @@ impl Peer {
         let Some(session) = self.sessions.get_mut(&block_id) else {
             return Output::none();
         };
-        if from != session.server {
-            return Output::none();
+        let Some(outcome) = session.accept_from(from) else {
+            return Output::none(); // unsolicited, or a hedge loser's late reply
+        };
+        match outcome {
+            HedgeOutcome::Normal => {}
+            HedgeOutcome::PrimaryWon => self.hedges_wasted += 1,
+            HedgeOutcome::HedgeWon => self.hedges_won += 1,
         }
         for tx in &m.txns {
             session.add_body(&self.limits, tx);
@@ -1792,8 +2152,13 @@ impl Peer {
         let Some(session) = self.sessions.get_mut(&block_id) else {
             return Output::none();
         };
-        if from != session.server {
-            return Output::none();
+        let Some(outcome) = session.accept_from(from) else {
+            return Output::none(); // unsolicited, or a hedge loser's late reply
+        };
+        match outcome {
+            HedgeOutcome::Normal => {}
+            HedgeOutcome::PrimaryWon => self.hedges_wasted += 1,
+            HedgeOutcome::HedgeWon => self.hedges_won += 1,
         }
         for tx in &m.missing {
             session.add_body(&self.limits, tx);
@@ -1821,7 +2186,7 @@ impl Peer {
         if unresolved.is_empty() {
             return self.complete_block(block_id, m.header, ids, neighbors);
         }
-        session.attempt += 1;
+        session.bump_epoch();
         let attempt = session.attempt;
         session.phase =
             RxPhase::XthinWait { header: m.header, ids, unresolved: unresolved.clone() };
@@ -1843,13 +2208,21 @@ impl Peer {
         out
     }
 
-    fn on_full_block(&mut self, _from: PeerId, m: FullBlockMsg, neighbors: &[PeerId]) -> Output {
+    fn on_full_block(&mut self, from: PeerId, m: FullBlockMsg, neighbors: &[PeerId]) -> Output {
         let block_id = graphene_hashes::sha256d(&m.header.to_bytes());
         if self.blocks.contains_key(&block_id) {
             return Output::none();
         }
-        if !self.sessions.contains_key(&block_id) {
+        let Some(session) = self.sessions.get_mut(&block_id) else {
             return Output::none(); // unsolicited
+        };
+        // Full blocks self-validate (merkle root below), so any sender is
+        // acceptable — but a hedged session still settles its race here
+        // for the win/waste counters and late-reply dedup.
+        match session.accept_from(from) {
+            Some(HedgeOutcome::PrimaryWon) => self.hedges_wasted += 1,
+            Some(HedgeOutcome::HedgeWon) => self.hedges_won += 1,
+            _ => {}
         }
         // Accept a valid full block from any peer (a failed-over session's
         // old server may still answer); `from_parts` revalidates the merkle
@@ -1915,6 +2288,38 @@ pub fn build_cmpctblock(block: &Block) -> CmpctBlockMsg {
     let short_ids: Vec<u64> =
         block.txns().iter().skip(1).map(|tx| short_id_6(key, tx.id())).collect();
     CmpctBlockMsg { header: *block.header(), nonce, short_ids, prefilled }
+}
+
+/// The block a *request*-class message asks about, if any. Used to stamp
+/// outgoing requests for RTT measurement; announcements and transaction
+/// gossip are not request/response paired and return `None`.
+fn request_block_id(msg: &Message) -> Option<Digest> {
+    match msg {
+        Message::GetData(m) => Some(m.block_id),
+        Message::GrapheneRequest(m) => Some(m.block_id),
+        Message::GetGrapheneTxn(m) => Some(m.block_id),
+        Message::GetGrapheneRetry(m) => Some(m.block_id),
+        Message::GetBlockTxn(m) => Some(m.block_id),
+        Message::XthinGetData(m) => Some(m.block_id),
+        Message::GetFullBlock(m) => Some(m.block_id),
+        Message::GetMoreCells(m) => Some(m.block_id),
+        _ => None,
+    }
+}
+
+/// The block a *response*-class message answers about, if any — the
+/// counterpart of [`request_block_id`] for closing the RTT measurement.
+fn response_block_id(msg: &Message) -> Option<Digest> {
+    match msg {
+        Message::GrapheneBlock(m) => Some(graphene_hashes::sha256d(&m.header.to_bytes())),
+        Message::CmpctBlock(m) => Some(graphene_hashes::sha256d(&m.header.to_bytes())),
+        Message::XthinBlock(m) => Some(graphene_hashes::sha256d(&m.header.to_bytes())),
+        Message::FullBlock(m) => Some(graphene_hashes::sha256d(&m.header.to_bytes())),
+        Message::GrapheneRecovery(m) => Some(m.block_id),
+        Message::RatelessCells(m) => Some(m.block_id),
+        Message::BlockTxn(m) => Some(m.block_id),
+        _ => None,
+    }
 }
 
 /// BIP152 short-ID key derivation: SHA-256 of header ‖ nonce.
@@ -2368,5 +2773,189 @@ mod tests {
         assert_eq!(cells.salt, rateless_salt(&id));
         assert_eq!(cells.start_index, 16);
         assert_eq!(cells.cells.len(), 8);
+    }
+
+    // --- Adaptive failure detection ----------------------------------------
+
+    /// A victim holding the whole block in its mempool, plus a server peer
+    /// that originated `block` and can answer requests for it.
+    fn victim_and_server(block: &Block, victim_id: usize, server_id: usize) -> (Peer, Peer) {
+        let mut victim = graphene_peer(victim_id);
+        for tx in block.txns() {
+            victim.mempool.insert(tx.clone());
+        }
+        let mut server = graphene_peer(server_id);
+        server.originate(block.clone(), &[]);
+        (victim, server)
+    }
+
+    #[test]
+    fn session_epoch_clamps_below_ann_flag() {
+        // Regression: a long-lived session whose epoch reached ANN_FLAG
+        // via += 1 would have its next timer routed to announce_timeout
+        // (the flag bit is how the two timer families share one event).
+        let mut p = graphene_peer(1);
+        let id = block_of(2, 7).id();
+        p.handle(PeerId(2), Message::Inv(InvMsg { block_id: id }), &[]);
+        // Age the session to the last epoch below the flag bit.
+        p.sessions.get_mut(&id).expect("session open").attempt = ANN_FLAG - 1;
+        assert!(p.timer_current(&id, ANN_FLAG - 1));
+        let out = p.handle_timeout(id, ANN_FLAG - 1);
+        assert!(!out.send.is_empty(), "misrouted to announce_timeout: no request went out");
+        let (_, epoch) = out.timers[0];
+        assert_eq!(epoch & ANN_FLAG, 0, "session epoch collided with the announcement flag");
+        assert_eq!(p.sessions[&id].attempt, 0, "epoch must wrap below ANN_FLAG");
+    }
+
+    #[test]
+    fn hedged_fetch_first_response_wins_and_late_reply_is_not_punished() {
+        let block = block_of(40, 11);
+        let id = block.id();
+        let (mut victim, mut server) = victim_and_server(&block, 1, 2);
+        victim.enable_adaptive();
+        // Session opens against peer 2; peer 3 announces late → alternate.
+        let out = victim.handle(PeerId(2), Message::Inv(InvMsg { block_id: id }), &[]);
+        let Some((_, Message::GetData(getdata))) = out.send.first().cloned() else {
+            panic!("expected a GetData: {:?}", out.send);
+        };
+        victim.handle(PeerId(3), Message::Inv(InvMsg { block_id: id }), &[]);
+        // The timer fires: the rung climbs and a hedge races peer 3.
+        let out = victim.handle_timeout(id, 0);
+        assert_eq!(victim.hedge_stats().0, 1, "no hedge issued");
+        assert!(
+            out.send.iter().any(|(to, _)| *to == PeerId(3)),
+            "hedge request never sent to the alternate: {:?}",
+            out.send
+        );
+        // Craft the block response once, then deliver it from the hedge
+        // peer first — it must win the race and complete the session.
+        let resp = server.handle(PeerId(1), Message::GetData(getdata), &[]);
+        let (_, block_msg) = resp.send.first().cloned().expect("server answered");
+        let out = victim.handle(PeerId(3), block_msg.clone(), &[]);
+        assert!(out.completed_block.is_some(), "hedge response should complete the session");
+        assert_eq!(victim.hedge_stats(), (1, 1, 0), "hedge must be counted as won");
+        // The primary's late reply hits a closed session: silently
+        // discarded, never punished — hedging must not create bans.
+        let out = victim.handle(PeerId(2), block_msg, &[]);
+        assert!(out.banned.is_empty());
+        assert!(!victim.is_banned(PeerId(2)));
+        assert_eq!(victim.misbehavior_entries(), 0, "late reply must not score misbehavior");
+    }
+
+    #[test]
+    fn primary_win_counts_the_hedge_as_wasted() {
+        let block = block_of(40, 12);
+        let id = block.id();
+        let (mut victim, mut server) = victim_and_server(&block, 1, 2);
+        victim.enable_adaptive();
+        let out = victim.handle(PeerId(2), Message::Inv(InvMsg { block_id: id }), &[]);
+        let Some((_, Message::GetData(getdata))) = out.send.first().cloned() else {
+            panic!("expected a GetData: {:?}", out.send);
+        };
+        victim.handle(PeerId(3), Message::Inv(InvMsg { block_id: id }), &[]);
+        victim.handle_timeout(id, 0);
+        assert_eq!(victim.hedge_stats().0, 1);
+        let resp = server.handle(PeerId(1), Message::GetData(getdata), &[]);
+        let (_, block_msg) = resp.send.first().cloned().expect("server answered");
+        // The original server answers first: hedge wasted, not won.
+        let out = victim.handle(PeerId(2), block_msg, &[]);
+        assert!(out.completed_block.is_some());
+        assert_eq!(victim.hedge_stats(), (1, 0, 1));
+    }
+
+    #[test]
+    fn failover_prefers_a_closed_circuit_alternate() {
+        let mut p = graphene_peer(1);
+        p.enable_adaptive();
+        let id = block_of(2, 13).id();
+        // Session against 2; alternates announce in order [5, 6].
+        p.handle(PeerId(2), Message::Inv(InvMsg { block_id: id }), &[]);
+        p.handle(PeerId(5), Message::Inv(InvMsg { block_id: id }), &[]);
+        p.handle(PeerId(6), Message::Inv(InvMsg { block_id: id }), &[]);
+        // Trip peer 5's breaker open.
+        for _ in 0..crate::health::TRIP_THRESHOLD {
+            p.health.note_failure(PeerId(5), p.now);
+        }
+        assert_eq!(p.breaker_state(PeerId(5)), BreakerState::Open);
+        // Exhaust the ladder so the next timeout fails over.
+        p.sessions.get_mut(&id).expect("session open").rung = Rung::FullBlock;
+        let out = p.failover(id);
+        assert_eq!(out.failovers, 1);
+        assert_eq!(
+            p.sessions[&id].server,
+            PeerId(6),
+            "failover must skip the open-circuit alternate"
+        );
+        // The skipped peer stays available (still an alternate, never
+        // banned): the breaker only reorders preference.
+        assert!(p.sessions[&id].alternates.contains(&PeerId(5)));
+        assert!(!p.is_banned(PeerId(5)));
+    }
+
+    #[test]
+    fn rtt_samples_come_from_request_response_pairs() {
+        let block = block_of(40, 14);
+        let id = block.id();
+        let (mut victim, mut server) = victim_and_server(&block, 1, 2);
+        victim.enable_adaptive();
+        victim.set_clock(SimTime::from_millis(1_000));
+        let out = victim.handle(PeerId(2), Message::Inv(InvMsg { block_id: id }), &[]);
+        let Some((_, Message::GetData(getdata))) = out.send.first().cloned() else {
+            panic!("expected a GetData: {:?}", out.send);
+        };
+        let resp = server.handle(PeerId(1), Message::GetData(getdata), &[]);
+        let (_, block_msg) = resp.send.first().cloned().expect("server answered");
+        // The response lands 120 ms later.
+        victim.set_clock(SimTime::from_millis(1_120));
+        victim.handle(PeerId(2), block_msg, &[]);
+        let est = victim.rtt_estimate(PeerId(2)).expect("round trip must be sampled");
+        assert_eq!(est.srtt, 120_000, "srtt must equal the measured 120 ms");
+        assert_eq!(est.samples, 1);
+    }
+
+    #[test]
+    fn karn_rule_no_sample_and_no_reset_after_timeout() {
+        let block = block_of(40, 15);
+        let id = block.id();
+        let (mut victim, mut server) = victim_and_server(&block, 1, 2);
+        victim.enable_adaptive();
+        victim.set_clock(SimTime::from_millis(1_000));
+        let out = victim.handle(PeerId(2), Message::Inv(InvMsg { block_id: id }), &[]);
+        let Some((_, Message::GetData(getdata))) = out.send.first().cloned() else {
+            panic!("expected a GetData: {:?}", out.send);
+        };
+        // The timer fires before any reply: Karn's rule drops the stamp
+        // and the breaker charges a failure.
+        victim.set_clock(SimTime::from_millis(2_200));
+        victim.handle_timeout(id, 0);
+        assert!(!victim.health.is_empty(), "timeout must charge a breaker failure");
+        // The tarpitted reply finally limps in. It is processed (honest
+        // bytes), but the ambiguous exchange yields no RTT sample and the
+        // failure streak survives.
+        let resp = server.handle(PeerId(1), Message::GetData(getdata), &[]);
+        let (_, block_msg) = resp.send.first().cloned().expect("server answered");
+        victim.set_clock(SimTime::from_millis(2_400));
+        victim.handle(PeerId(2), block_msg, &[]);
+        assert!(victim.rtt_estimate(PeerId(2)).is_none(), "late reply must not feed the RTT");
+        assert!(!victim.health.is_empty(), "late reply must not reset the failure streak");
+    }
+
+    #[test]
+    fn tracker_state_is_volatile_and_charged_to_the_ceiling() {
+        let block = block_of(40, 16);
+        let id = block.id();
+        let (mut victim, _server) = victim_and_server(&block, 1, 2);
+        victim.enable_adaptive();
+        victim.set_clock(SimTime::from_millis(500));
+        victim.handle(PeerId(2), Message::Inv(InvMsg { block_id: id }), &[]);
+        assert!(victim.accounting().tracker_bytes > 0, "in-flight stamp must be charged");
+        victim.handle_timeout(id, 0);
+        let acct = victim.accounting();
+        assert!(acct.tracker_bytes > 0);
+        assert!(acct.accounted_bytes() <= victim.limits.accounted_ceiling());
+        let snap = victim.snapshot();
+        victim.restore(snap);
+        assert_eq!(victim.accounting().tracker_bytes, 0, "trackers must not survive a crash");
+        assert!(victim.rtt.is_empty() && victim.health.is_empty() && victim.req_sent.is_empty());
     }
 }

@@ -1,0 +1,222 @@
+//! Per-server round-trip-time estimation in RFC 6298 style.
+//!
+//! The seed's failure detector was a single constant: every retry timer
+//! waited [`crate::backoff::BASE`] (2 s) regardless of how fast the server
+//! actually answers. Against the 50 ms default link that is a 40×
+//! overshoot — a dropped frame stalls a session for seconds — while a
+//! *tarpit* adversary that answers in 1.9 s looks perfectly healthy.
+//!
+//! This module keeps a smoothed RTT (`SRTT`) and RTT variance (`RTTVAR`)
+//! per server peer, updated from request→response pairs observed in
+//! `peer.rs`, and derives a retransmission timeout
+//! `RTO = SRTT + 4·RTTVAR` clamped to `[RTO_FLOOR, RTO_CAP]`. Servers we
+//! have never exchanged a round trip with get [`INITIAL_RTO`] (1 s, per
+//! RFC 6298 §2.1 spirit scaled to simulator latencies) — deliberately
+//! *below* the tarpit's response delay, so the very first exchange with a
+//! tarpit already trips the adaptive timer and triggers a hedged fetch.
+//!
+//! Everything is integer arithmetic over microsecond [`SimTime`] ticks
+//! and updates happen in deterministic event order, so sweeps stay
+//! byte-identical for any `--threads` value.
+
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
+use std::collections::HashMap;
+
+use crate::peer::PeerId;
+use crate::time::SimTime;
+
+/// RTO for a server with no RTT samples yet (1 s).
+pub const INITIAL_RTO: SimTime = SimTime(1_000_000);
+
+/// Lower clamp on any derived RTO (200 ms): even a LAN-fast server gets a
+/// timer wide enough to absorb queueing delay without spurious hedges.
+pub const RTO_FLOOR: SimTime = SimTime(200_000);
+
+/// Upper clamp on any derived RTO (30 s), matching [`crate::backoff::CAP`].
+pub const RTO_CAP: SimTime = SimTime(30_000_000);
+
+/// Bytes charged to the accounted-memory ceiling per tracked entry
+/// (shared by the RTT table, the health tracker and the in-flight
+/// request stamps — a keyed record of a few machine words each).
+pub const TRACKER_ENTRY_BYTES: u64 = 64;
+
+/// Default cap on tracked servers per peer.
+pub const MAX_RTT_ENTRIES: usize = 64;
+
+/// Smoothed RTT state for one server, RFC 6298 integer arithmetic.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RttEstimate {
+    /// Smoothed round-trip time (µs).
+    pub srtt: u64,
+    /// Round-trip time variance (µs).
+    pub rttvar: u64,
+    /// Number of samples folded in.
+    pub samples: u64,
+}
+
+impl RttEstimate {
+    /// First sample: `SRTT = R`, `RTTVAR = R/2` (RFC 6298 §2.2).
+    fn first(sample: u64) -> RttEstimate {
+        RttEstimate { srtt: sample, rttvar: sample / 2, samples: 1 }
+    }
+
+    /// Subsequent samples (RFC 6298 §2.3):
+    /// `RTTVAR = 3/4·RTTVAR + 1/4·|SRTT − R|`, `SRTT = 7/8·SRTT + 1/8·R`.
+    fn update(&mut self, sample: u64) {
+        self.rttvar = (3 * self.rttvar + self.srtt.abs_diff(sample)) / 4;
+        self.srtt = (7 * self.srtt + sample) / 8;
+        self.samples += 1;
+    }
+
+    /// Retransmission timeout: `SRTT + 4·RTTVAR`, clamped.
+    pub fn rto(&self) -> SimTime {
+        let raw = self.srtt.saturating_add(4 * self.rttvar);
+        SimTime(raw.clamp(RTO_FLOOR.0, RTO_CAP.0))
+    }
+}
+
+/// Capped per-server RTT table.
+///
+/// Eviction is deterministic: when full, the least-recently-observed
+/// entry goes (ties broken by smallest peer id), so the table contents —
+/// and therefore every timer derived from them — are a pure function of
+/// the observation sequence.
+#[derive(Clone, Debug, Default)]
+pub struct RttTable {
+    entries: HashMap<PeerId, (RttEstimate, u64)>,
+    tick: u64,
+    cap: usize,
+}
+
+impl RttTable {
+    /// An empty table holding at most `cap` servers.
+    pub fn new(cap: usize) -> RttTable {
+        RttTable { entries: HashMap::new(), tick: 0, cap: cap.max(1) }
+    }
+
+    /// Fold in one measured round trip against `server`.
+    pub fn observe(&mut self, server: PeerId, sample: SimTime) {
+        self.tick += 1;
+        let tick = self.tick;
+        if let Some((est, used)) = self.entries.get_mut(&server) {
+            est.update(sample.0);
+            *used = tick;
+            return;
+        }
+        if self.entries.len() >= self.cap {
+            if let Some(victim) =
+                self.entries.iter().map(|(&p, &(_, used))| (used, p.0, p)).min().map(|(_, _, p)| p)
+            {
+                self.entries.remove(&victim);
+            }
+        }
+        self.entries.insert(server, (RttEstimate::first(sample.0), tick));
+    }
+
+    /// The current estimate for `server`, if any samples exist.
+    pub fn estimate(&self, server: PeerId) -> Option<RttEstimate> {
+        self.entries.get(&server).map(|&(est, _)| est)
+    }
+
+    /// The RTO to arm against `server`: the estimate's RTO, or
+    /// [`INITIAL_RTO`] when the server has never been measured.
+    pub fn rto(&self, server: PeerId) -> SimTime {
+        self.estimate(server).map_or(INITIAL_RTO, |est| est.rto())
+    }
+
+    /// Tracked servers (for accounted-memory charging).
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether no server has been measured yet.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Drop all state (crash/restart: RTT knowledge is volatile).
+    pub fn clear(&mut self) {
+        self.entries.clear();
+        self.tick = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unseen_server_gets_initial_rto() {
+        let t = RttTable::new(8);
+        assert_eq!(t.rto(PeerId(3)), INITIAL_RTO);
+        assert!(t.estimate(PeerId(3)).is_none());
+    }
+
+    #[test]
+    fn first_sample_follows_rfc_6298() {
+        let mut t = RttTable::new(8);
+        t.observe(PeerId(1), SimTime::from_millis(100));
+        let est = t.estimate(PeerId(1)).unwrap();
+        assert_eq!(est.srtt, 100_000);
+        assert_eq!(est.rttvar, 50_000);
+        // RTO = 100ms + 4·50ms = 300ms.
+        assert_eq!(t.rto(PeerId(1)), SimTime::from_millis(300));
+    }
+
+    #[test]
+    fn steady_samples_converge_and_tighten() {
+        let mut t = RttTable::new(8);
+        for _ in 0..50 {
+            t.observe(PeerId(1), SimTime::from_millis(80));
+        }
+        let est = t.estimate(PeerId(1)).unwrap();
+        // SRTT converges to the sample; variance decays toward zero, so
+        // the RTO clamps up to the floor rather than going spuriously low.
+        assert!(est.srtt.abs_diff(80_000) < 2_000, "srtt {}", est.srtt);
+        assert!(est.rttvar < 10_000, "rttvar {}", est.rttvar);
+        assert_eq!(t.rto(PeerId(1)), RTO_FLOOR);
+    }
+
+    #[test]
+    fn a_latency_spike_widens_the_rto() {
+        let mut t = RttTable::new(8);
+        for _ in 0..20 {
+            t.observe(PeerId(1), SimTime::from_millis(50));
+        }
+        let quiet = t.rto(PeerId(1));
+        t.observe(PeerId(1), SimTime::from_millis(500));
+        assert!(t.rto(PeerId(1)) > quiet, "spike must widen the timer");
+    }
+
+    #[test]
+    fn rto_respects_floor_and_cap() {
+        let mut t = RttTable::new(8);
+        t.observe(PeerId(1), SimTime::from_micros(10));
+        assert_eq!(t.rto(PeerId(1)), RTO_FLOOR);
+        t.observe(PeerId(2), SimTime(u64::MAX / 2));
+        assert_eq!(t.rto(PeerId(2)), RTO_CAP);
+    }
+
+    #[test]
+    fn eviction_is_capped_and_deterministic() {
+        let mut t = RttTable::new(2);
+        t.observe(PeerId(1), SimTime::from_millis(10));
+        t.observe(PeerId(2), SimTime::from_millis(20));
+        t.observe(PeerId(2), SimTime::from_millis(20)); // refresh 2
+        t.observe(PeerId(3), SimTime::from_millis(30)); // evicts 1 (LRU)
+        assert_eq!(t.len(), 2);
+        assert!(t.estimate(PeerId(1)).is_none());
+        assert!(t.estimate(PeerId(2)).is_some());
+        assert!(t.estimate(PeerId(3)).is_some());
+    }
+
+    #[test]
+    fn clear_resets_to_initial() {
+        let mut t = RttTable::new(4);
+        t.observe(PeerId(1), SimTime::from_millis(10));
+        t.clear();
+        assert!(t.is_empty());
+        assert_eq!(t.rto(PeerId(1)), INITIAL_RTO);
+    }
+}
