@@ -383,6 +383,68 @@ fn bench_netsim_adaptive(it: &Iters) -> BenchResult {
     result("netsim_adaptive_tarpit_8peers_n150", iters, ns, None)
 }
 
+fn bench_event_queue(it: &Iters) -> BenchResult {
+    // The timing wheel against the retained heap reference at 100k
+    // pending events. The schedule mixes every routing tier — sub-slot,
+    // near wheel, overflow wheel, far list — like a propagation run does;
+    // each iteration pushes all 100k then drains to empty.
+    use graphene_netsim::event::{Event, EventQueue, ReferenceQueue};
+    const N: u64 = 100_000;
+    let mix = |i: u64| -> u64 {
+        // splitmix-style spread over ~130 s of simulated time (µs).
+        let mut x = i.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+        x ^= x >> 31;
+        x % 130_000_000
+    };
+    let (warmup, iters) = it.of(20);
+    let ns = time_fn(warmup, iters, || {
+        let mut q = EventQueue::new();
+        for i in 0..N {
+            q.schedule(SimTime(mix(i)), Event::Drain { peer: PeerId((i % 1000) as usize) });
+        }
+        let mut last = SimTime::ZERO;
+        while let Some((at, _)) = q.pop() {
+            last = at;
+        }
+        black_box(last);
+    });
+    let ref_ns = time_fn(warmup, iters, || {
+        let mut q = ReferenceQueue::new();
+        for i in 0..N {
+            q.schedule(SimTime(mix(i)), Event::Drain { peer: PeerId((i % 1000) as usize) });
+        }
+        let mut last = SimTime::ZERO;
+        while let Some((at, _)) = q.pop() {
+            last = at;
+        }
+        black_box(last);
+    });
+    result("event_queue_push_pop_100k", iters, ns, Some(ref_ns))
+}
+
+fn bench_netsim_propagation(it: &Iters) -> BenchResult {
+    // The internet-scale configuration at bench size: 1000 peers on a
+    // Barabási–Albert overlay with geographic latency classes and
+    // adaptive gossip fan-out, relaying one 30-txn Graphene block.
+    use graphene_netsim::{barabasi_albert, FanoutPolicy};
+    let s = bench_scenario(30, 17);
+    let edges = barabasi_albert(1000, 4, 23);
+    let (warmup, iters) = it.of(5);
+    let ns = time_fn(warmup, iters, || {
+        let mut net = Network::new(1000, RelayProtocol::Graphene(GrapheneConfig::default()), 99);
+        for i in 0..1000 {
+            net.peer_mut(PeerId(i)).mempool = s.receiver_mempool.clone();
+        }
+        net.enable_geographic_links(7);
+        net.set_fanout(FanoutPolicy::Adaptive { initial: 4 });
+        net.connect_edges(&edges);
+        let r = net.propagate(PeerId(0), s.block.clone(), SimTime::from_millis(600_000));
+        assert_eq!(r.peers_reached, 1000, "relay incomplete: {r:?}");
+        black_box(r.total_bytes);
+    });
+    result("netsim_propagation_1k_peers", iters, ns, None)
+}
+
 fn main() {
     let mut quick = false;
     let mut out: Option<String> = None;
@@ -429,6 +491,8 @@ fn main() {
         bench_rateless_decode(&it),
         bench_netsim_relay(&it),
         bench_netsim_adaptive(&it),
+        bench_event_queue(&it),
+        bench_netsim_propagation(&it),
     ];
     for b in &benches {
         let speedup = match b.speedup_vs_reference {

@@ -1,0 +1,83 @@
+//! Internet-scale propagation sweep: p50/p99 block-propagation latency
+//! versus network size on Barabási–Albert scale-free overlays with
+//! geographic link latencies and adaptive gossip fan-out, up to 100 000
+//! peers.
+//!
+//! The run *asserts* the scale claims at every point: 100% delivery,
+//! per-peer accounted memory under the §6.2 ceiling, and a non-trivial
+//! event-queue high-water mark (proof the timing wheel was actually
+//! loaded). Output bytes are identical for every `--threads` value (CI
+//! diffs the CSV across thread counts). `--quick` swaps the full size
+//! ladder (500 → 100 000 peers) for a 2 000-peer smoke ladder.
+
+use graphene_experiments::propagation::{run_sweep, trials_for, BA_M, FANOUT};
+use graphene_experiments::{RunOpts, Table, TableWriter};
+
+/// Full ladder: two decades of scale ending at the 100k-peer headline.
+const SIZES: &[usize] = &[500, 2_000, 10_000, 30_000, 100_000];
+/// `--quick` ladder: small enough for CI smoke runs.
+const QUICK_SIZES: &[usize] = &[500, 2_000];
+
+fn main() {
+    let opts = RunOpts::from_args(10);
+    let quick = std::env::args().any(|a| a == "--quick");
+    let sizes = if quick { QUICK_SIZES } else { SIZES };
+    let engine = opts.engine();
+    let mut table = Table::new(
+        "Propagation sweep — Barabási–Albert scale-free overlay (m = 4), \
+         geographic latency-class links, adaptive gossip fan-out \
+         (4 → 8 → all), one Graphene block from peer 0",
+        &[
+            "peers",
+            "trials",
+            "delivered_%",
+            "p50_ms",
+            "p99_ms",
+            "event_queue_hwm",
+            "wheel_slot_hwm",
+            "resource_hwm_b",
+            "ceiling_b",
+        ],
+    );
+    let points = run_sweep(&engine, opts.trials, sizes);
+    for p in &points {
+        assert!((p.delivery - 1.0).abs() < 1e-12, "delivery must stay total at every scale: {p:?}");
+        assert!(
+            p.resource_hwm_bytes <= p.ceiling_bytes,
+            "accounted per-peer memory escaped the ceiling: {p:?}"
+        );
+        assert!(p.event_queue_hwm > 0, "the scheduler gauge never moved: {p:?}");
+        assert!(p.p99_ms >= p.p50_ms, "{p:?}");
+        table.row(&[
+            p.peers.to_string(),
+            p.trials.to_string(),
+            format!("{:.1}", p.delivery * 100.0),
+            format!("{:.1}", p.p50_ms),
+            format!("{:.1}", p.p99_ms),
+            p.event_queue_hwm.to_string(),
+            p.wheel_slot_hwm.to_string(),
+            p.resource_hwm_bytes.to_string(),
+            p.ceiling_bytes.to_string(),
+        ]);
+    }
+    TableWriter::new().emit("propagation_sweep", &table);
+    let first = points.first().expect("at least one size");
+    let last = points.last().expect("at least one size");
+    println!(
+        "Every peer received the block at every size (asserted), with per-peer\n\
+         accounted memory under the ceiling (asserted) — the network grew\n\
+         {}x while each peer's budget stayed fixed. Scale-free diameters grow\n\
+         ~log n, and the adaptive fan-out (first wave {FANOUT}, doubling on\n\
+         retry) keeps hub burst sizes bounded, so p99 rose only {:.1}x\n\
+         ({:.0} ms at {} peers -> {:.0} ms at {} peers; {} trials at the\n\
+         smallest point, {} at the largest). BA attachment degree m = {BA_M}.",
+        last.peers / first.peers,
+        last.p99_ms / first.p99_ms,
+        first.p99_ms,
+        first.peers,
+        last.p99_ms,
+        last.peers,
+        trials_for(opts.trials, first.peers),
+        trials_for(opts.trials, last.peers),
+    );
+}

@@ -24,6 +24,7 @@ pub mod fastsim;
 pub mod latency;
 pub mod mc;
 pub mod output;
+pub mod propagation;
 pub mod rateless;
 pub mod stats;
 

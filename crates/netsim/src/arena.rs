@@ -1,0 +1,194 @@
+//! SoA arena for per-peer simulation state.
+//!
+//! The dispatch loop touches a handful of per-peer fields on *every*
+//! event — is the peer online, which restart generation is current, when
+//! is it free to drain its inbox, does the inbox hold anything at all —
+//! while the rest of a [`Peer`] (sessions, mempool, misbehavior tables)
+//! is only needed when a frame is actually processed. At 100k peers the
+//! old layout interleaved those hot fields with several hundred bytes of
+//! cold state per peer, so the event loop's checks walked pointer-distant
+//! allocations. [`PeerArena`] splits them structure-of-arrays style:
+//!
+//! * **hot** — [`online`](PeerArena::online),
+//!   [`gen`](PeerArena::gen), [`busy_until`](PeerArena::busy_until) and
+//!   [`inbox_depth`](PeerArena::inbox_depth) are parallel `Vec`s the
+//!   loop indexes contiguously. A spurious `Drain` (its frame was shed
+//!   after the event was armed) is rejected by a contiguous `u32` read
+//!   without ever loading the `Peer`.
+//! * **cold** — the full [`Peer`] state machines and the crash
+//!   [`NodeSnapshot`]s sit behind the same index, touched only when a
+//!   message or timer actually dispatches to them.
+//!
+//! The arena is pure layout: it adds no behavior, and every invariant
+//! (generation staleness, backpressure, snapshot/restore) is exactly the
+//! seed's.
+
+use crate::peer::{Peer, PeerId};
+use crate::time::SimTime;
+use graphene::NodeSnapshot;
+
+/// Structure-of-arrays peer storage (see module docs).
+pub struct PeerArena {
+    /// Cold per-peer state machines.
+    peers: Vec<Peer>,
+    /// Is each peer currently reachable?
+    online: Vec<bool>,
+    /// Restart generation per peer; timers armed before a crash carry
+    /// the old generation and are dropped as stale on pop.
+    gen: Vec<u32>,
+    /// When each peer finishes processing its current frame
+    /// (backpressure).
+    busy_until: Vec<SimTime>,
+    /// Frames queued in each peer's bounded inbox, mirrored on
+    /// enqueue/dequeue so the dispatch loop can skip spurious drains.
+    inbox_depth: Vec<u32>,
+    /// Durable snapshot taken when a peer went down.
+    snapshots: Vec<Option<NodeSnapshot>>,
+}
+
+impl PeerArena {
+    /// Build an arena from constructed peers, everything online at
+    /// generation zero.
+    pub fn new(peers: Vec<Peer>) -> PeerArena {
+        let n = peers.len();
+        PeerArena {
+            peers,
+            online: vec![true; n],
+            gen: vec![0; n],
+            busy_until: vec![SimTime::ZERO; n],
+            inbox_depth: vec![0; n],
+            snapshots: (0..n).map(|_| None).collect(),
+        }
+    }
+
+    /// Number of peers.
+    pub fn len(&self) -> usize {
+        self.peers.len()
+    }
+
+    /// True when the arena holds no peers.
+    pub fn is_empty(&self) -> bool {
+        self.peers.is_empty()
+    }
+
+    /// Shared access to a peer's cold state.
+    pub fn peer(&self, id: PeerId) -> &Peer {
+        &self.peers[id.0]
+    }
+
+    /// Mutable access to a peer's cold state.
+    pub fn peer_mut(&mut self, id: PeerId) -> &mut Peer {
+        &mut self.peers[id.0]
+    }
+
+    /// Iterate the cold peer states.
+    pub fn iter(&self) -> impl Iterator<Item = &Peer> {
+        self.peers.iter()
+    }
+
+    /// Iterate the cold peer states mutably.
+    pub fn iter_mut(&mut self) -> impl Iterator<Item = &mut Peer> {
+        self.peers.iter_mut()
+    }
+
+    /// Is `id` currently online?
+    pub fn online(&self, id: PeerId) -> bool {
+        self.online[id.0]
+    }
+
+    /// Mark `id` online/offline.
+    pub fn set_online(&mut self, id: PeerId, up: bool) {
+        self.online[id.0] = up;
+    }
+
+    /// Current restart generation of `id`.
+    pub fn gen(&self, id: PeerId) -> u32 {
+        self.gen[id.0]
+    }
+
+    /// Advance `id`'s restart generation (wrapping), staling every timer
+    /// armed before the crash.
+    pub fn bump_gen(&mut self, id: PeerId) {
+        self.gen[id.0] = self.gen[id.0].wrapping_add(1);
+    }
+
+    /// When `id` finishes its current frame.
+    pub fn busy_until(&self, id: PeerId) -> SimTime {
+        self.busy_until[id.0]
+    }
+
+    /// Set `id`'s backpressure horizon.
+    pub fn set_busy_until(&mut self, id: PeerId, at: SimTime) {
+        self.busy_until[id.0] = at;
+    }
+
+    /// Mirrored inbox depth of `id` (hot-path drain check).
+    pub fn inbox_depth(&self, id: PeerId) -> u32 {
+        self.inbox_depth[id.0]
+    }
+
+    /// Refresh `id`'s mirrored inbox depth from its cold state; call
+    /// after any enqueue/dequeue/restore that changes the real queue.
+    pub fn sync_inbox_depth(&mut self, id: PeerId) {
+        self.inbox_depth[id.0] = self.peers[id.0].inbox_len() as u32;
+    }
+
+    /// Stash the durable snapshot taken as `id` goes down.
+    pub fn store_snapshot(&mut self, id: PeerId, snapshot: NodeSnapshot) {
+        self.snapshots[id.0] = Some(snapshot);
+    }
+
+    /// Take `id`'s stored snapshot, if one exists.
+    pub fn take_snapshot(&mut self, id: PeerId) -> Option<NodeSnapshot> {
+        self.snapshots[id.0].take()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::peer::RelayProtocol;
+    use graphene_blockchain::Mempool;
+
+    fn arena(n: usize) -> PeerArena {
+        PeerArena::new(
+            (0..n)
+                .map(|i| Peer::new(PeerId(i), RelayProtocol::FullBlocks, Mempool::new()))
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn hot_fields_start_cold() {
+        let a = arena(3);
+        assert_eq!(a.len(), 3);
+        for i in 0..3 {
+            let id = PeerId(i);
+            assert!(a.online(id));
+            assert_eq!(a.gen(id), 0);
+            assert_eq!(a.busy_until(id), SimTime::ZERO);
+            assert_eq!(a.inbox_depth(id), 0);
+        }
+    }
+
+    #[test]
+    fn gen_bumps_and_wraps() {
+        let mut a = arena(1);
+        a.bump_gen(PeerId(0));
+        assert_eq!(a.gen(PeerId(0)), 1);
+    }
+
+    #[test]
+    fn inbox_depth_mirrors_cold_state() {
+        use graphene_wire::messages::{InvMsg, Message};
+        let mut a = arena(2);
+        let msg = Message::Inv(InvMsg { block_id: graphene_hashes::Digest::ZERO });
+        a.peer_mut(PeerId(1)).enqueue(PeerId(0), msg, 10);
+        assert_eq!(a.inbox_depth(PeerId(1)), 0, "mirror lags until synced");
+        a.sync_inbox_depth(PeerId(1));
+        assert_eq!(a.inbox_depth(PeerId(1)), 1);
+        a.peer_mut(PeerId(1)).dequeue();
+        a.sync_inbox_depth(PeerId(1));
+        assert_eq!(a.inbox_depth(PeerId(1)), 0);
+    }
+}

@@ -7,8 +7,14 @@
 //! smoltcp guide's `--drop-chance` / `--corrupt-chance` idiom), so a relay
 //! here exercises exactly the bytes and state transitions a socket would.
 //!
-//! * [`time`] / [`event`] — simulated clock and event queue;
+//! * [`time`] / [`event`] — simulated clock and the hierarchical
+//!   timing-wheel event queue (with a retained heap reference
+//!   implementation for equivalence testing);
 //! * [`link`] — link parameters and the fault injector;
+//! * [`arena`] — structure-of-arrays peer storage splitting the event
+//!   loop's hot per-peer fields from cold protocol state;
+//! * [`topology`] — Barabási–Albert scale-free graph generation for
+//!   internet-scale sweeps;
 //! * [`peer`] — per-peer state machines for Graphene (Protocols 1+2 with
 //!   the failure-recovery ladder), Compact Blocks, XThin and full blocks,
 //!   plus misbehavior scoring / banning and server failover;
@@ -38,6 +44,7 @@
 #![warn(missing_docs)]
 
 pub mod adversary;
+pub mod arena;
 pub mod backoff;
 pub mod caps;
 pub mod chaos;
@@ -49,8 +56,10 @@ pub mod network;
 pub mod peer;
 pub mod rtt;
 pub mod time;
+pub mod topology;
 
 pub use adversary::{AdversaryConfig, Behavior};
+pub use arena::PeerArena;
 pub use caps::MessageCaps;
 pub use chaos::{ChaosConfig, ChaosEvent, OutageKind};
 pub use graphene::encode_cache::{CacheStats, EncodeCache};
@@ -58,6 +67,7 @@ pub use health::{BreakerState, HealthTracker};
 pub use link::{LatencyClass, LinkParams};
 pub use metrics::Metrics;
 pub use network::{Network, PropagationResult};
-pub use peer::{PeerId, RelayProtocol, ResourceAccounting, ResourceLimits, Rung};
+pub use peer::{FanoutPolicy, PeerId, RelayProtocol, ResourceAccounting, ResourceLimits, Rung};
 pub use rtt::{RttEstimate, RttTable};
 pub use time::SimTime;
+pub use topology::barabasi_albert;

@@ -35,6 +35,8 @@ struct Inner {
     crashes: u64,
     shed_frames: u64,
     resource_hwm_bytes: u64,
+    event_queue_hwm: u64,
+    wheel_slot_hwm: u64,
     /// Network-wide relay-cache counters, *set* (not accumulated) from the
     /// peers' own cumulative stats at the end of each `run_until`.
     cache: CacheStats,
@@ -94,6 +96,15 @@ impl Metrics {
         self.inner.lock().clamped_events += 1;
     }
 
+    /// Overwrite the clamp total with the event queue's own cumulative
+    /// count. The queue counts every past-time clamp internally, so no
+    /// scheduling call site can drop one; this *sets* rather than adds
+    /// because the queue's counter is cumulative across `run_until`
+    /// calls.
+    pub fn set_clamped_events(&self, total: u64) {
+        self.inner.lock().clamped_events = total;
+    }
+
     /// Record a frame lost because its endpoint was offline.
     pub fn record_offline_drop(&self) {
         self.inner.lock().offline_drops += 1;
@@ -129,6 +140,15 @@ impl Metrics {
     pub fn record_resource_hwm(&self, bytes: u64) {
         let mut g = self.inner.lock();
         g.resource_hwm_bytes = g.resource_hwm_bytes.max(bytes);
+    }
+
+    /// Fold the event queue's high-water marks (peak pending events,
+    /// peak single-slot occupancy) into the simulation-wide maxima —
+    /// the scheduler-side mirror of [`record_resource_hwm`](Self::record_resource_hwm).
+    pub fn record_event_queue_hwm(&self, pending: u64, slot: u64) {
+        let mut g = self.inner.lock();
+        g.event_queue_hwm = g.event_queue_hwm.max(pending);
+        g.wheel_slot_hwm = g.wheel_slot_hwm.max(slot);
     }
 
     /// Overwrite the network-wide relay-cache totals. Peers keep their own
@@ -256,6 +276,16 @@ impl Metrics {
         self.inner.lock().resource_hwm_bytes
     }
 
+    /// Peak number of simultaneously pending events in the scheduler.
+    pub fn event_queue_hwm(&self) -> u64 {
+        self.inner.lock().event_queue_hwm
+    }
+
+    /// Peak occupancy of any single timing-wheel slot.
+    pub fn wheel_slot_hwm(&self) -> u64 {
+        self.inner.lock().wheel_slot_hwm
+    }
+
     /// When `peer` first held the block, if ever.
     pub fn arrival(&self, peer: PeerId) -> Option<SimTime> {
         self.inner.lock().block_arrival.get(&peer).copied()
@@ -319,6 +349,15 @@ mod tests {
         assert_eq!(m.crashes(), 1);
         assert_eq!(m.shed_frames(), 3);
         assert_eq!(m.resource_hwm_bytes(), 500);
+    }
+
+    #[test]
+    fn event_queue_hwm_folds_as_max() {
+        let m = Metrics::new();
+        m.record_event_queue_hwm(100, 7);
+        m.record_event_queue_hwm(40, 12); // later, smaller queue / hotter slot
+        assert_eq!(m.event_queue_hwm(), 100);
+        assert_eq!(m.wheel_slot_hwm(), 12);
     }
 
     #[test]

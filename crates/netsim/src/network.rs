@@ -2,15 +2,16 @@
 
 #![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
+use crate::arena::PeerArena;
 use crate::backoff;
 use crate::chaos::{ChaosConfig, ChaosEvent, OutageKind};
 use crate::event::{Event, EventQueue};
-use crate::link::LinkParams;
+use crate::link::{LatencyClass, LinkParams};
 use crate::metrics::Metrics;
-use crate::peer::{Output, Peer, PeerId, RelayProtocol};
+use crate::peer::{FanoutPolicy, Output, Peer, PeerId, RelayProtocol};
 use crate::time::SimTime;
+use crate::topology;
 use bytes::Bytes;
-use graphene::NodeSnapshot;
 use graphene_blockchain::{Block, Mempool};
 use graphene_wire::{Decode, Encode, Message};
 use rand::{rngs::StdRng, RngExt, SeedableRng};
@@ -18,25 +19,23 @@ use std::collections::HashMap;
 
 /// A simulated peer-to-peer network.
 pub struct Network {
-    peers: Vec<Peer>,
+    /// SoA peer storage: hot dispatch fields (online, generation,
+    /// backpressure, inbox depth) in contiguous arrays, cold state
+    /// machines behind the same index.
+    arena: PeerArena,
     adjacency: Vec<Vec<PeerId>>,
     links: HashMap<(PeerId, PeerId), LinkParams>,
     default_link: LinkParams,
+    /// When set, links without an explicit entry resolve through the
+    /// geographic [`LatencyClass`] pyramid — a pure `(seed, a, b)` hash,
+    /// so a 100k-peer mesh costs no per-pair storage.
+    geo_seed: Option<u64>,
     queue: EventQueue,
     /// Shared byte/latency accounting.
     pub metrics: Metrics,
     rng: StdRng,
     /// Chaos schedule, if enabled.
     chaos: Option<ChaosConfig>,
-    /// Is each peer currently reachable?
-    online: Vec<bool>,
-    /// Durable snapshot taken when a peer went down.
-    snapshots: Vec<Option<NodeSnapshot>>,
-    /// Restart generation per peer; timers armed before a crash carry the
-    /// old generation and are dropped as stale on pop.
-    gen: Vec<u32>,
-    /// When each peer finishes processing its current frame (backpressure).
-    busy_until: Vec<SimTime>,
     /// Is a partition currently splitting the topology?
     partition_active: bool,
     /// Reusable frame-encoding buffer for the dispatcher.
@@ -62,18 +61,15 @@ impl Network {
         let peers =
             (0..n).map(|i| Peer::new(PeerId(i), protocol.clone(), Mempool::new())).collect();
         Network {
-            peers,
+            arena: PeerArena::new(peers),
             adjacency: vec![Vec::new(); n],
             links: HashMap::new(),
             default_link: LinkParams::default(),
+            geo_seed: None,
             queue: EventQueue::new(),
             metrics: Metrics::new(),
             rng: StdRng::seed_from_u64(seed),
             chaos: None,
-            online: vec![true; n],
-            snapshots: (0..n).map(|_| None).collect(),
-            gen: vec![0; n],
-            busy_until: vec![SimTime::ZERO; n],
             partition_active: false,
             encode_buf: Vec::new(),
         }
@@ -82,7 +78,7 @@ impl Network {
     /// Arm a chaos schedule: every churn/crash/partition event in `cfg`'s
     /// horizon is materialised now and replayed through the event queue.
     pub fn enable_chaos(&mut self, cfg: ChaosConfig) {
-        for (at, ev) in cfg.schedule(self.peers.len()) {
+        for (at, ev) in cfg.schedule(self.arena.len()) {
             self.schedule(at, Event::Chaos(ev));
         }
         self.chaos = Some(cfg);
@@ -90,13 +86,13 @@ impl Network {
 
     /// Is `peer` currently online?
     pub fn is_online(&self, peer: PeerId) -> bool {
-        self.online[peer.0]
+        self.arena.online(peer)
     }
 
     /// Switch every peer's recovery ladder to the rateless rung (coded-cell
     /// streaming instead of inflated sketch retries).
     pub fn enable_rateless(&mut self) {
-        for p in &mut self.peers {
+        for p in self.arena.iter_mut() {
             p.enable_rateless();
         }
     }
@@ -105,9 +101,28 @@ impl Network {
     /// timers, hedged fetches and circuit-breaker server selection. Off by
     /// default (the seed's fixed 2 s timer); latency sweeps opt in.
     pub fn enable_adaptive(&mut self) {
-        for p in &mut self.peers {
+        for p in self.arena.iter_mut() {
             p.enable_adaptive();
         }
+    }
+
+    /// Set every peer's block-announcement fan-out policy. The default
+    /// ([`FanoutPolicy::Flood`]) is the seed behavior; internet-scale
+    /// sweeps opt into escalating adaptive fan-out.
+    pub fn set_fanout(&mut self, policy: FanoutPolicy) {
+        for p in self.arena.iter_mut() {
+            p.set_fanout(policy);
+        }
+    }
+
+    /// Resolve link parameters without explicit per-pair entries: any
+    /// pair not in the explicit map draws its latency from the
+    /// geographic [`LatencyClass`] pyramid keyed by `seed` — symmetric,
+    /// deterministic, and storage-free, which is what lets a 100k-peer
+    /// topology exist at all (an explicit map would hold ~2·n·degree
+    /// entries).
+    pub fn enable_geographic_links(&mut self, seed: u64) {
+        self.geo_seed = Some(seed);
     }
 
     /// Schedule a single chaos action at an explicit time — for
@@ -122,12 +137,12 @@ impl Network {
         self.queue.len()
     }
 
-    /// Schedule with clamp accounting (satellite: clock anomalies are
-    /// counted, not silent).
+    /// Schedule an event. Clamp anomalies need no handling here: the
+    /// queue counts every past-time clamp itself and `run_until` folds
+    /// [`EventQueue::clamped`] into the metrics, so a call site that
+    /// drops the returned `bool` can no longer silently lose one.
     fn schedule(&mut self, at: SimTime, event: Event) {
-        if self.queue.schedule(at, event) {
-            self.metrics.record_clamped_event();
-        }
+        let _ = self.queue.schedule(at, event);
     }
 
     /// Can a frame currently flow from `a` to `b`? False while a partition
@@ -165,10 +180,44 @@ impl Network {
         self.links.insert((b, a), link);
     }
 
+    /// Record the edge in the adjacency lists only; the link parameters
+    /// resolve at send time (explicit map → geographic model → default).
+    /// This is the storage-free path internet-scale topologies use —
+    /// `connect_with` would insert two `HashMap` entries per edge.
+    pub fn connect_sparse(&mut self, a: PeerId, b: PeerId) {
+        if a == b {
+            return;
+        }
+        if !self.adjacency[a.0].contains(&b) {
+            self.adjacency[a.0].push(b);
+            self.adjacency[b.0].push(a);
+        }
+    }
+
+    /// Wire a pre-generated edge list (endpoints must be `< n`, edges
+    /// unique — what [`topology::barabasi_albert`] produces). Edges are
+    /// pushed without the duplicate scan `connect_sparse` does, so hubs
+    /// with thousands of neighbors wire in linear time.
+    pub fn connect_edges(&mut self, edges: &[(u32, u32)]) {
+        for &(a, b) in edges {
+            self.adjacency[a as usize].push(PeerId(b as usize));
+            self.adjacency[b as usize].push(PeerId(a as usize));
+        }
+    }
+
+    /// Wire the peers into a Barabási–Albert scale-free topology with
+    /// attachment degree `m` (mean degree ≈ 2m, heavy-tailed hubs), from
+    /// the network's own seed stream.
+    pub fn connect_scale_free(&mut self, m: usize) {
+        let seed: u64 = self.rng.random();
+        let edges = topology::barabasi_albert(self.arena.len(), m, seed);
+        self.connect_edges(&edges);
+    }
+
     /// Wire the peers into a random `degree`-regular-ish topology
     /// (each peer connects to `degree` uniformly chosen others).
     pub fn connect_random(&mut self, degree: usize) {
-        let n = self.peers.len();
+        let n = self.arena.len();
         for i in 0..n {
             while self.adjacency[i].len() < degree {
                 let j = self.rng.random_range(0..n);
@@ -181,16 +230,24 @@ impl Network {
 
     /// Access a peer.
     pub fn peer(&self, id: PeerId) -> &Peer {
-        &self.peers[id.0]
+        self.arena.peer(id)
     }
 
     /// Mutable access (e.g., to seed mempools).
     pub fn peer_mut(&mut self, id: PeerId) -> &mut Peer {
-        &mut self.peers[id.0]
+        self.arena.peer_mut(id)
     }
 
     fn link(&self, from: PeerId, to: PeerId) -> LinkParams {
-        self.links.get(&(from, to)).copied().unwrap_or(self.default_link)
+        if !self.links.is_empty() {
+            if let Some(l) = self.links.get(&(from, to)) {
+                return *l;
+            }
+        }
+        match self.geo_seed {
+            Some(seed) => LatencyClass::assign(seed, from.0, to.0).link(),
+            None => self.default_link,
+        }
     }
 
     fn dispatch(&mut self, from: PeerId, sends: Vec<(PeerId, Message)>) {
@@ -261,12 +318,12 @@ impl Network {
             // server's RTO for session timers (announcement re-inv timers
             // keep the fixed pace — they guard gossip, not a server).
             let is_session = attempt & crate::peer::ANN_FLAG == 0;
-            let delay = match self.peers[peer.0].rto_hint(&block_id).filter(|_| is_session) {
+            let delay = match self.arena.peer(peer).rto_hint(&block_id).filter(|_| is_session) {
                 Some(rto) => backoff::delay_from_base(peer, block_id, attempt, rto),
                 None => backoff::delay(peer, block_id, attempt & !crate::peer::ANN_FLAG),
             };
             let at = self.queue.now() + delay;
-            let gen = self.gen[peer.0];
+            let gen = self.arena.gen(peer);
             self.schedule(at, Event::Timeout { peer, block_id, attempt, gen });
         }
         for _ in &out.banned {
@@ -289,7 +346,7 @@ impl Network {
     /// (inv/getdata/tx relay, §2.2). Call [`Network::run_until`] afterwards
     /// (or rely on a subsequent [`Network::propagate`]) to drain the queue.
     pub fn inject_txns(&mut self, origin: PeerId, txns: Vec<graphene_blockchain::Transaction>) {
-        let out = self.peers[origin.0].originate_txns(txns, &self.adjacency[origin.0]);
+        let out = self.arena.peer_mut(origin).originate_txns(txns, &self.adjacency[origin.0]);
         self.apply_output(origin, out);
     }
 
@@ -301,14 +358,14 @@ impl Network {
         block: Block,
         max_time: SimTime,
     ) -> PropagationResult {
-        let out = self.peers[origin.0].originate(block, &self.adjacency[origin.0]);
+        let out = self.arena.peer_mut(origin).originate(block, &self.adjacency[origin.0]);
         self.metrics.record_block_arrival(origin, SimTime::ZERO);
         self.apply_output(origin, out);
         self.run_until(max_time);
 
         let peers_reached = self.metrics.peers_with_block();
-        let completion_time = if peers_reached == self.peers.len() {
-            (0..self.peers.len()).filter_map(|i| self.metrics.arrival(PeerId(i))).max()
+        let completion_time = if peers_reached == self.arena.len() {
+            (0..self.arena.len()).filter_map(|i| self.metrics.arrival(PeerId(i))).max()
         } else {
             None
         };
@@ -328,7 +385,7 @@ impl Network {
             }
             match event {
                 Event::Deliver { to, from, frame } => {
-                    if !self.online[to.0] {
+                    if !self.arena.online(to) {
                         self.metrics.record_offline_drop();
                         continue;
                     }
@@ -348,64 +405,80 @@ impl Network {
                     // inbound queue (possibly shedding under load) and is
                     // processed by a Drain event once the peer is free.
                     let bytes = frame.len();
-                    let shed = self.peers[to.0].enqueue(from, msg, bytes);
+                    let shed = self.arena.peer_mut(to).enqueue(from, msg, bytes);
+                    self.arena.sync_inbox_depth(to);
                     if shed > 0 {
                         self.metrics.record_shed(shed);
                     }
-                    let ready = at.max(self.busy_until[to.0]);
+                    let ready = at.max(self.arena.busy_until(to));
                     self.schedule(ready, Event::Drain { peer: to });
                 }
                 Event::Drain { peer } => {
-                    if !self.online[peer.0] {
+                    if !self.arena.online(peer) {
                         continue; // queue was wiped with the crash
                     }
-                    if at < self.busy_until[peer.0] {
+                    if self.arena.inbox_depth(peer) == 0 {
+                        continue; // frame was shed after this drain was armed
+                    }
+                    if at < self.arena.busy_until(peer) {
                         // Still chewing on an earlier frame; come back when
                         // free. (Happens when processing delays are nonzero
                         // and arrivals cluster.)
-                        let ready = self.busy_until[peer.0];
+                        let ready = self.arena.busy_until(peer);
                         self.schedule(ready, Event::Drain { peer });
                         continue;
                     }
-                    let Some((from, msg, bytes)) = self.peers[peer.0].dequeue() else {
-                        continue; // frame was shed after this drain was armed
+                    let Some((from, msg, bytes)) = self.arena.peer_mut(peer).dequeue() else {
+                        continue; // mirror said non-empty, trust the source
                     };
-                    self.busy_until[peer.0] = at + self.peers[peer.0].limits.proc_time(bytes);
+                    self.arena.sync_inbox_depth(peer);
+                    let busy = at + self.arena.peer(peer).limits.proc_time(bytes);
+                    self.arena.set_busy_until(peer, busy);
                     // The peer reads the clock for RTT samples and breaker
                     // cool-downs; set it to this frame's processing instant.
-                    self.peers[peer.0].set_clock(at);
+                    self.arena.peer_mut(peer).set_clock(at);
                     // Disjoint-field borrow: no per-frame adjacency clone.
-                    let out = self.peers[peer.0].handle(from, msg, &self.adjacency[peer.0]);
+                    let out = self.arena.peer_mut(peer).handle(from, msg, &self.adjacency[peer.0]);
                     self.apply_output(peer, out);
                 }
                 Event::Timeout { peer, block_id, attempt, gen } => {
-                    if !self.online[peer.0] || gen != self.gen[peer.0] {
+                    if !self.arena.online(peer) || gen != self.arena.gen(peer) {
                         // Armed before a crash/outage: the state it guarded
                         // no longer exists.
                         self.metrics.record_stale_timer();
                         continue;
                     }
-                    if !self.peers[peer.0].timer_current(&block_id, attempt) {
+                    if !self.arena.peer(peer).timer_current(&block_id, attempt) {
                         // Session completed or advanced past this epoch;
                         // drop on pop instead of dispatching a no-op.
                         self.metrics.record_stale_timer();
                         continue;
                     }
-                    self.peers[peer.0].set_clock(at);
-                    let out = self.peers[peer.0].handle_timeout(block_id, attempt);
+                    self.arena.peer_mut(peer).set_clock(at);
+                    let out = self.arena.peer_mut(peer).handle_timeout(block_id, attempt);
                     self.apply_output(peer, out);
                 }
                 Event::Chaos(ev) => self.apply_chaos(at, ev),
             }
         }
-        for i in 0..self.peers.len() {
-            self.metrics.record_resource_hwm(self.peers[i].accounting().hwm_bytes);
+        for p in self.arena.iter() {
+            self.metrics.record_resource_hwm(p.accounting().hwm_bytes);
         }
+        // Scheduler accounting: fold the queue's own counters — the
+        // pending-event and wheel-slot high-water marks, and every
+        // past-time clamp (counted inside the queue, so no call site can
+        // drop one). Set-not-add via max/overwrite semantics keeps
+        // repeated `run_until` calls from double-counting.
+        self.metrics.record_event_queue_hwm(
+            self.queue.high_water() as u64,
+            self.queue.slot_high_water() as u64,
+        );
+        self.metrics.set_clamped_events(self.queue.clamped());
         // Fold per-peer relay-cache counters into the shared metrics. The
         // peers' stats are cumulative, so this *sets* the totals rather
         // than adding — repeated `run_until` calls must not double-count.
         let mut totals = graphene::encode_cache::CacheStats::default();
-        for p in &self.peers {
+        for p in self.arena.iter() {
             if let Some(s) = p.cache_stats() {
                 totals.hits += s.hits;
                 totals.misses += s.misses;
@@ -419,7 +492,7 @@ impl Network {
         // per-peer stats are cumulative across `run_until` calls.
         let (mut issued, mut won, mut wasted) = (0u64, 0u64, 0u64);
         let (mut trips, mut probes) = (0u64, 0u64);
-        for p in &self.peers {
+        for p in self.arena.iter() {
             let (i, w, x) = p.hedge_stats();
             issued += i;
             won += w;
@@ -436,7 +509,7 @@ impl Network {
     fn apply_chaos(&mut self, _at: SimTime, ev: ChaosEvent) {
         match ev {
             ChaosEvent::Down { peer, kind } => {
-                if !self.online[peer.0] {
+                if !self.arena.online(peer) {
                     return;
                 }
                 match kind {
@@ -445,15 +518,16 @@ impl Network {
                 }
                 // The accounted high-water mark survives the crash even
                 // though the peer's state does not.
-                self.metrics.record_resource_hwm(self.peers[peer.0].accounting().hwm_bytes);
-                self.snapshots[peer.0] = Some(self.peers[peer.0].snapshot());
-                self.online[peer.0] = false;
+                self.metrics.record_resource_hwm(self.arena.peer(peer).accounting().hwm_bytes);
+                let snapshot = self.arena.peer(peer).snapshot();
+                self.arena.store_snapshot(peer, snapshot);
+                self.arena.set_online(peer, false);
             }
             ChaosEvent::Up { peer, kind } => {
-                if self.online[peer.0] {
+                if self.arena.online(peer) {
                     return;
                 }
-                let Some(mut snapshot) = self.snapshots[peer.0].take() else {
+                let Some(mut snapshot) = self.arena.take_snapshot(peer) else {
                     return;
                 };
                 if kind == OutageKind::Churn {
@@ -463,21 +537,22 @@ impl Network {
                         snapshot.retain_mempool(|id| cfg.survives(peer, id));
                     }
                 }
-                self.peers[peer.0].restore(snapshot);
-                self.online[peer.0] = true;
-                self.gen[peer.0] = self.gen[peer.0].wrapping_add(1);
-                self.busy_until[peer.0] = self.queue.now();
+                self.arena.peer_mut(peer).restore(snapshot);
+                self.arena.sync_inbox_depth(peer);
+                self.arena.set_online(peer, true);
+                self.arena.bump_gen(peer);
+                self.arena.set_busy_until(peer, self.queue.now());
                 // Reconnect handshake with every reachable online neighbor,
                 // in both directions: the rejoined peer re-announces what it
                 // holds and re-learns what it missed.
                 let neighbors = self.adjacency[peer.0].clone();
                 for n in neighbors {
-                    if !self.online[n.0] || !self.reachable(peer, n) {
+                    if !self.arena.online(n) || !self.reachable(peer, n) {
                         continue;
                     }
-                    let out = self.peers[peer.0].handshake(n);
+                    let out = self.arena.peer_mut(peer).handshake(n);
                     self.apply_output(peer, out);
-                    let out = self.peers[n.0].handshake(peer);
+                    let out = self.arena.peer_mut(n).handshake(peer);
                     self.apply_output(n, out);
                 }
             }
@@ -491,18 +566,18 @@ impl Network {
                 let Some(cfg) = self.chaos.clone() else {
                     return;
                 };
-                for a in 0..self.peers.len() {
+                for a in 0..self.arena.len() {
                     let neighbors = self.adjacency[a].clone();
                     for b in neighbors {
                         if a >= b.0 || cfg.side(PeerId(a)) == cfg.side(b) {
                             continue;
                         }
-                        if !self.online[a] || !self.online[b.0] {
+                        if !self.arena.online(PeerId(a)) || !self.arena.online(b) {
                             continue;
                         }
-                        let out = self.peers[a].handshake(b);
+                        let out = self.arena.peer_mut(PeerId(a)).handshake(b);
                         self.apply_output(PeerId(a), out);
-                        let out = self.peers[b.0].handshake(PeerId(a));
+                        let out = self.arena.peer_mut(b).handshake(PeerId(a));
                         self.apply_output(b, out);
                     }
                 }
@@ -1207,5 +1282,68 @@ mod tests {
                 "honest peer {i} never got the block: {r:?}"
             );
         }
+    }
+
+    #[test]
+    fn past_time_schedules_are_counted_not_lost() {
+        // Regression: `Network::schedule` discards the queue's clamp
+        // bool. The queue self-counts, and `run_until` must fold that
+        // total into the metrics — an event injected behind the clock
+        // may never vanish silently.
+        let (mut net, block) = build(3, RelayProtocol::Graphene(GrapheneConfig::default()), 51);
+        line_topology(&mut net, 3);
+        let r = net.propagate(PeerId(0), block, SimTime::from_millis(60_000));
+        assert_eq!(r.peers_reached, 3, "{r:?}");
+        assert_eq!(net.metrics.clamped_events(), 0, "clean run clamped nothing");
+        // The clock now sits at the horizon; injecting behind it clamps.
+        net.inject_chaos(SimTime::from_millis(1), ChaosEvent::PartitionStart);
+        net.run_until(SimTime::from_millis(120_000));
+        assert!(
+            net.metrics.clamped_events() >= 1,
+            "past-time schedule was dropped from the clamp count"
+        );
+    }
+
+    #[test]
+    fn event_queue_high_water_reaches_metrics() {
+        let (mut net, block) = build(5, RelayProtocol::Graphene(GrapheneConfig::default()), 52);
+        line_topology(&mut net, 5);
+        net.propagate(PeerId(0), block, SimTime::from_millis(60_000));
+        assert!(net.metrics.event_queue_hwm() > 0, "no pending-event peak recorded");
+        assert!(net.metrics.wheel_slot_hwm() > 0, "no wheel-slot peak recorded");
+    }
+
+    #[test]
+    fn adaptive_fanout_delivers_on_scale_free_geo_topology() {
+        // The internet-scale configuration in miniature: a BA scale-free
+        // overlay, geographically assigned link latencies, and the
+        // escalating gossip fan-out instead of full flooding.
+        let n = 60;
+        let (mut net, block) = build(n, RelayProtocol::Graphene(GrapheneConfig::default()), 53);
+        net.enable_geographic_links(7);
+        net.set_fanout(FanoutPolicy::Adaptive { initial: 3 });
+        let edges = crate::topology::barabasi_albert(n, 3, 77);
+        net.connect_edges(&edges);
+        let r = net.propagate(PeerId(0), block, SimTime::from_millis(600_000));
+        assert_eq!(r.peers_reached, n, "{r:?}");
+        // Fan-out must actually have throttled the first wave: the origin
+        // has ≥3 neighbors in a BA graph but announced to only 3 at once.
+        assert!(r.completion_time.is_some());
+    }
+
+    #[test]
+    fn flood_fanout_matches_seed_byte_for_byte() {
+        // FanoutPolicy::Flood is the default and must reproduce the exact
+        // bytes/latency of the pre-arena seed path.
+        let run = |fanout: Option<FanoutPolicy>| {
+            let (mut net, block) = build(6, RelayProtocol::Graphene(GrapheneConfig::default()), 54);
+            if let Some(f) = fanout {
+                net.set_fanout(f);
+            }
+            line_topology(&mut net, 6);
+            let r = net.propagate(PeerId(0), block, SimTime::from_millis(60_000));
+            (r.peers_reached, r.total_bytes, r.completion_time)
+        };
+        assert_eq!(run(None), run(Some(FanoutPolicy::Flood)));
     }
 }

@@ -422,6 +422,61 @@ enum RxPhase {
     XthinWait { header: Header, ids: Vec<TxId>, unresolved: Vec<u64> },
 }
 
+/// Gossip fan-out policy for block announcements.
+///
+/// [`FanoutPolicy::Flood`] is the seed behavior: every completed block is
+/// announced to every neighbor at once, and un-acknowledged neighbors are
+/// all re-inv'd on each retry. At internet scale that is wasteful — a
+/// Barabási–Albert hub with a thousand neighbors floods a thousand `Inv`s
+/// for a block most neighbors are about to hear of anyway.
+/// [`FanoutPolicy::Adaptive`] announces to a small deterministic first
+/// wave and *escalates aggression on stall* (the polkadot
+/// approval-distribution idiom): each re-announcement timer that fires
+/// with neighbors still unacknowledged doubles the wave, and the final
+/// retry before the give-up bound covers every remaining neighbor, so
+/// the bounded-retry delivery guarantee is unchanged.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FanoutPolicy {
+    /// Announce to all neighbors immediately (the seed behavior).
+    Flood,
+    /// Announce to `initial` neighbors, doubling the wave on each stalled
+    /// retry and covering everyone by the last one.
+    Adaptive {
+        /// First-wave size (clamped to at least 1).
+        initial: usize,
+    },
+}
+
+impl FanoutPolicy {
+    /// Wave size for retry round `retry` (0 = the initial announcement).
+    /// `Flood` always covers everything; `Adaptive` doubles per round and
+    /// goes all-in on the final round before [`MAX_ANN_RETRIES`] ends the
+    /// chain.
+    fn wave(&self, retry: u32, remaining: usize) -> usize {
+        match *self {
+            FanoutPolicy::Flood => remaining,
+            FanoutPolicy::Adaptive { initial } => {
+                if retry + 1 >= MAX_ANN_RETRIES {
+                    remaining
+                } else {
+                    initial.max(1).saturating_mul(1 << retry.min(16)).min(remaining)
+                }
+            }
+        }
+    }
+}
+
+/// SplitMix64 finalizer used to rotate adaptive fan-out waves — a pure
+/// function of `(peer, block)`, never a shared RNG, so wave selection
+/// cannot perturb thread-count determinism.
+fn fanout_mix(mut x: u64) -> u64 {
+    x ^= x >> 30;
+    x = x.wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x ^= x >> 27;
+    x = x.wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
 /// A simulated peer.
 pub struct Peer {
     /// This peer's ID.
@@ -474,6 +529,8 @@ pub struct Peer {
     hedges_issued: u64,
     hedges_won: u64,
     hedges_wasted: u64,
+    /// Block-announcement fan-out policy (flood = the seed behavior).
+    fanout: FanoutPolicy,
     /// Bounded inbound frame queue: (sender, decoded message, frame bytes).
     inbox: VecDeque<(PeerId, Message, usize)>,
     /// Bytes currently queued in `inbox`.
@@ -563,6 +620,7 @@ impl Peer {
             hedges_issued: 0,
             hedges_won: 0,
             hedges_wasted: 0,
+            fanout: FanoutPolicy::Flood,
             inbox: VecDeque::new(),
             inbox_bytes: 0,
             shed_frames: 0,
@@ -633,6 +691,20 @@ impl Peer {
     /// Whether the rateless rung is enabled.
     pub fn rateless_enabled(&self) -> bool {
         self.rateless
+    }
+
+    /// Set the block-announcement fan-out policy. The default
+    /// ([`FanoutPolicy::Flood`]) is the seed behavior; internet-scale
+    /// sweeps opt into [`FanoutPolicy::Adaptive`].
+    pub fn set_fanout(&mut self, policy: FanoutPolicy) {
+        self.fanout = policy;
+    }
+
+    /// Frames currently queued in the bounded inbox (mirrored by the
+    /// network's SoA arena so the dispatch loop can skip spurious drains
+    /// without touching this struct).
+    pub fn inbox_len(&self) -> usize {
+        self.inbox.len()
     }
 
     /// Turn on adaptive failure detection: RTO-derived retry timers from
@@ -899,23 +971,58 @@ impl Peer {
     /// neighbor must not double-track it) and capped: past
     /// [`ResourceLimits::max_pending_announcements`] the `Inv`s still go
     /// out but un-acknowledged neighbors are not re-inv'd.
+    ///
+    /// Under [`FanoutPolicy::Flood`] (the default) every neighbor gets an
+    /// `Inv` now. Under [`FanoutPolicy::Adaptive`] only a first wave
+    /// does — rotated deterministically by `(peer, block)` so different
+    /// blocks from the same hub fan toward different neighbors — and
+    /// [`announce_timeout`](Self::announce_timeout) escalates from there.
     fn announce(&mut self, block_id: Digest, neighbors: &[PeerId], out: &mut Output) {
         if neighbors.is_empty() {
             return;
         }
-        for &n in neighbors {
-            out.send.push((n, Message::Inv(InvMsg { block_id })));
+        if self.fanout == FanoutPolicy::Flood {
+            for &n in neighbors {
+                out.send.push((n, Message::Inv(InvMsg { block_id })));
+            }
+            if let Some(pending) = self.pending_announcements.get_mut(&block_id) {
+                // Timer chain already armed; just merge the targets.
+                for &n in neighbors {
+                    if !pending.contains(&n) {
+                        pending.push(n);
+                    }
+                }
+                return;
+            }
+            if self.pending_announcements.len() >= self.limits.max_pending_announcements {
+                return;
+            }
+            let mut targets: Vec<PeerId> = Vec::with_capacity(neighbors.len());
+            for &n in neighbors {
+                if !targets.contains(&n) {
+                    targets.push(n);
+                }
+            }
+            self.pending_announcements.insert(block_id, targets);
+            out.timers.push((block_id, ANN_FLAG));
+            return;
         }
+        // Adaptive fan-out: track every neighbor as pending (an un-inv'd
+        // neighbor is "stalled by construction" and picked up by a later
+        // wave), but only inv the first wave now. The rotation is a pure
+        // function of (peer, block) — no shared RNG, so runs stay
+        // byte-identical at any thread count.
         if let Some(pending) = self.pending_announcements.get_mut(&block_id) {
-            // Timer chain already armed; just merge the targets.
+            let merge_from = pending.len();
             for &n in neighbors {
                 if !pending.contains(&n) {
                     pending.push(n);
                 }
             }
-            return;
-        }
-        if self.pending_announcements.len() >= self.limits.max_pending_announcements {
+            let wave = self.fanout.wave(0, pending.len() - merge_from);
+            for &n in pending[merge_from..].iter().take(wave) {
+                out.send.push((n, Message::Inv(InvMsg { block_id })));
+            }
             return;
         }
         let mut targets: Vec<PeerId> = Vec::with_capacity(neighbors.len());
@@ -923,6 +1030,20 @@ impl Peer {
             if !targets.contains(&n) {
                 targets.push(n);
             }
+        }
+        if self.pending_announcements.len() >= self.limits.max_pending_announcements {
+            // No tracking slot means no escalation timer: flood now so
+            // nobody is left permanently un-announced.
+            for &n in &targets {
+                out.send.push((n, Message::Inv(InvMsg { block_id })));
+            }
+            return;
+        }
+        let rot = (fanout_mix(self.id.0 as u64 ^ block_id.low_u64()) as usize) % targets.len();
+        targets.rotate_left(rot);
+        let wave = self.fanout.wave(0, targets.len());
+        for &n in targets.iter().take(wave) {
+            out.send.push((n, Message::Inv(InvMsg { block_id })));
         }
         self.pending_announcements.insert(block_id, targets);
         out.timers.push((block_id, ANN_FLAG));
@@ -1200,6 +1321,11 @@ impl Peer {
     /// Re-announce to neighbors that never reacted to our `Inv`. Bounded:
     /// a neighbor that got the block elsewhere never answers, so after
     /// [`MAX_ANN_RETRIES`] rounds the remainder is assumed served.
+    ///
+    /// Under [`FanoutPolicy::Adaptive`] each stalled round doubles the
+    /// wave ([`FanoutPolicy::wave`]) and the final round re-invs every
+    /// remaining neighbor, so delivery never depends on the small first
+    /// wave having been lucky.
     fn announce_timeout(&mut self, block_id: Digest, retry: u32) -> Output {
         let banned = &self.banned;
         let Some(pending) = self.pending_announcements.get_mut(&block_id) else {
@@ -1211,7 +1337,8 @@ impl Peer {
             return Output::none();
         }
         let mut out = Output::none();
-        for &n in pending.iter() {
+        let wave = self.fanout.wave(retry + 1, pending.len());
+        for &n in pending.iter().take(wave) {
             out.send.push((n, Message::Inv(InvMsg { block_id })));
         }
         out.timers.push((block_id, (retry + 1) | ANN_FLAG));

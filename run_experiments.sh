@@ -6,7 +6,7 @@
 set -u
 cd "$(dirname "$0")"
 mkdir -p results
-BINS="ablations fig07 fig10 fig11 fig12 fig13 fig14 fig15 fig16 fig17 fig18 fig19 fig20 thm4 sec61 sec62 multipeer diffdigest backends organic cpisync"
+BINS="ablations fig07 fig10 fig11 fig12 fig13 fig14 fig15 fig16 fig17 fig18 fig19 fig20 thm4 sec61 sec62 multipeer diffdigest backends organic cpisync propagation"
 for b in $BINS; do
   echo "=== $b ==="
   ./target/release/$b "$@" > results/$b.log 2>&1
