@@ -46,19 +46,22 @@ pub fn xthin_relay(block: &Block, mempool: &Mempool, acct: &XthinAccounting) -> 
         acct.mempool_filter_fpr,
         block.id().low_u64() ^ 0x7874,
     );
-    for tx in mempool.iter() {
-        filter.insert(tx.id());
-    }
+    let pool_ids: Vec<TxId> = mempool.iter().map(|tx| *tx.id()).collect();
+    filter.insert_batch(&pool_ids);
     let getdata = XthinGetDataMsg { block_id: block.id(), mempool_filter: filter };
     report.receiver_filter_bytes = getdata.mempool_filter.serialized_size();
     report.total += Message::XthinGetData(getdata.clone()).wire_size();
 
-    // Sender: 8-byte IDs for everything; full bodies for filter misses.
+    // Sender: 8-byte IDs for everything; full bodies for filter misses
+    // (one batch membership sweep over the block).
+    let block_ids: Vec<TxId> = block.txns().iter().map(|tx| *tx.id()).collect();
+    let hits = getdata.mempool_filter.contains_batch(&block_ids);
     let missing: Vec<_> = block
         .txns()
         .iter()
-        .filter(|tx| !getdata.mempool_filter.contains(tx.id()))
-        .cloned()
+        .enumerate()
+        .filter(|(j, _)| !hits.get(*j))
+        .map(|(_, tx)| tx.clone())
         .collect();
     let short_ids: Vec<u64> = block.txns().iter().map(|tx| short_id_8(tx.id())).collect();
     let msg = XthinBlockMsg { header: *block.header(), short_ids, missing };

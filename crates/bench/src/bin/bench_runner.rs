@@ -19,10 +19,12 @@ use graphene::protocol1;
 use graphene::session::{relay_block, relay_block_cached};
 use graphene::EncodeCache;
 use graphene_bench::bench_scenario;
-use graphene_bench::reference::{ref_subtract_peel, RefBloom, RefGcs};
+use graphene_bench::reference::{ref_peel_cells, ref_subtract_peel, RefBloom, RefGcs};
 use graphene_bench::runner::{regressions, result, time_fn, to_json, BenchResult};
-use graphene_bloom::{BloomFilter, GcsBuilder, HashStrategy, Membership};
-use graphene_hashes::{sha256, siphash24, Digest, SipKey};
+use graphene_bloom::{
+    bitvec::BitVec, BloomFilter, GcsBuilder, HashStrategy, Membership, ProbeScratch,
+};
+use graphene_hashes::{sha256, siphash24, siphash24_x4_u64, Digest, SipKey, SIP_LANES};
 use graphene_iblt::{CellStream, DecodeProgress, Iblt, PeelScratch, RatelessDecoder};
 use graphene_iblt_params::hypergraph::Scratch;
 use graphene_iblt_params::{params_for, search_c_with, FailureRate, SearchConfig};
@@ -104,6 +106,61 @@ fn bench_bloom_contains(it: &Iters, strategy: HashStrategy) -> BenchResult {
     )
 }
 
+fn bench_bloom_contains_batch(it: &Iters) -> BenchResult {
+    // The batched membership sweep every receiver filter pass now runs:
+    // 2000 probes against an n=2000 filter through `contains_batch_with`
+    // (interleaved hashing, reused scratch and mask, divide-free index
+    // chains) versus the scalar probe loop those callers used before. The
+    // probe mix is the receiver's: half the mempool is in the block, so
+    // half the probes pay the full k-probe member path.
+    let set = ids(2000, 21);
+    let mut probes = ids(1000, 22);
+    probes.extend_from_slice(&set[..1000]);
+    let mut f = BloomFilter::with_strategy(set.len(), 0.02, 9, HashStrategy::DoubleHashing);
+    f.insert_batch(&set);
+    let (warmup, iters) = it.of(400);
+    let mut scratch = ProbeScratch::default();
+    let mut hits = BitVec::new(probes.len());
+    let ns = time_fn(warmup, iters, || {
+        f.contains_batch_with(&probes, &mut hits, &mut scratch);
+        black_box(hits.get(1063));
+    });
+    let ref_ns = time_fn(warmup, iters, || {
+        let mut n = 0usize;
+        for id in &probes {
+            n += f.contains(id) as usize;
+        }
+        black_box(n);
+    });
+    result("bloom_contains_batch_double_n2000", iters, ns, Some(ref_ns))
+}
+
+fn bench_siphash_x4(it: &Iters) -> BenchResult {
+    // The interleaved SipHash kernel: 4096 single-word messages hashed
+    // four lanes at a time versus the scalar dependency chain.
+    let vals: Vec<u64> = (0..4096u64).map(|i| i.wrapping_mul(0x9e37_79b9_7f4a_7c15)).collect();
+    let keys = [SipKey::new(3, 0x5350_4c49_5431); SIP_LANES];
+    let (warmup, iters) = it.of(2000);
+    let ns = time_fn(warmup, iters, || {
+        let mut acc = 0u64;
+        for chunk in vals.chunks_exact(SIP_LANES) {
+            let mut lanes = [0u64; SIP_LANES];
+            lanes.copy_from_slice(chunk);
+            let h = siphash24_x4_u64(&keys, &lanes);
+            acc ^= h.iter().fold(0, |x, v| x ^ v);
+        }
+        black_box(acc);
+    });
+    let ref_ns = time_fn(warmup, iters, || {
+        let mut acc = 0u64;
+        for v in &vals {
+            acc ^= siphash24(keys[0], &v.to_le_bytes());
+        }
+        black_box(acc);
+    });
+    result("siphash_x4_4096vals", iters, ns, Some(ref_ns))
+}
+
 fn bench_iblt_peel(it: &Iters) -> BenchResult {
     // The receiver decode hot path: a 50-item difference between two
     // 2000-item tables sized by the paper's parameter search.
@@ -129,6 +186,35 @@ fn bench_iblt_peel(it: &Iters) -> BenchResult {
         black_box(ref_subtract_peel(&sender, &local).unwrap().len());
     });
     result("iblt_subtract_peel_j50", iters, ns, Some(ref_ns))
+}
+
+fn bench_iblt_peel_partitioned(it: &Iters) -> BenchResult {
+    // The partitioned peel against the element-at-a-time reference on the
+    // same j=50 difference as `iblt_subtract_peel_j50`. Both sides pay one
+    // `subtract_into` per iteration; the reference additionally copies the
+    // cell array, exactly as the old owned-cells peel did.
+    let p = params_for(50, 240);
+    let mut sender = Iblt::new(p.c, p.k, 5);
+    let mut local = Iblt::new(p.c, p.k, 5);
+    for v in 0..2000u64 {
+        sender.insert(v);
+        if v >= 50 {
+            local.insert(v);
+        }
+    }
+    let (warmup, iters) = it.of(500);
+    let mut diff = Iblt::new(p.c, p.k, 5);
+    let mut scratch = PeelScratch::new();
+    let ns = time_fn(warmup, iters, || {
+        sender.subtract_into(&local, &mut diff).unwrap();
+        black_box(diff.peel_partitioned(&mut scratch).unwrap().len());
+    });
+    let ref_ns = time_fn(warmup, iters, || {
+        sender.subtract_into(&local, &mut diff).unwrap();
+        let cells = diff.cells().to_vec();
+        black_box(ref_peel_cells(cells, diff.hash_count(), diff.salt()).unwrap().len());
+    });
+    result("iblt_peel_partitioned_j50", iters, ns, Some(ref_ns))
 }
 
 /// Strata-estimator assignment, mirroring `graphene-baselines`' Difference
@@ -240,6 +326,22 @@ fn bench_protocol1(it: &Iters) -> BenchResult {
         black_box(protocol1::receiver_decode(&msg, &s.receiver_mempool, &cfg).is_ok());
     });
     result("protocol1_roundtrip_n500", iters, ns, None)
+}
+
+fn bench_protocol1_receiver(it: &Iters) -> BenchResult {
+    // The receiver-side pass in isolation: one pre-encoded Protocol 1
+    // message decoded against a ~2000-txn mempool. The batched Bloom
+    // sweep over the whole pool dominates, so this is the end-to-end view
+    // of `bloom_contains_batch_double_n2000`.
+    let cfg = GrapheneConfig::default();
+    let s = bench_scenario(1000, 19);
+    let m = s.receiver_mempool.len() as u64;
+    let (msg, _) = protocol1::sender_encode(&s.block, m, None, &cfg);
+    let (warmup, iters) = it.of(200);
+    let ns = time_fn(warmup, iters, || {
+        black_box(protocol1::receiver_decode(&msg, &s.receiver_mempool, &cfg).is_ok());
+    });
+    result("protocol1_receiver_pass_m2000", iters, ns, None)
 }
 
 fn bench_relay_block(it: &Iters) -> BenchResult {
@@ -480,11 +582,15 @@ fn main() {
         bench_bloom_insert(&it, HashStrategy::KPiece),
         bench_bloom_contains(&it, HashStrategy::DoubleHashing),
         bench_bloom_contains(&it, HashStrategy::KPiece),
+        bench_bloom_contains_batch(&it),
+        bench_siphash_x4(&it),
         bench_iblt_peel(&it),
+        bench_iblt_peel_partitioned(&it),
         bench_strata_estimate(&it),
         bench_gcs_contains(&it),
         bench_param_search(&it),
         bench_protocol1(&it),
+        bench_protocol1_receiver(&it),
         bench_relay_block(&it),
         bench_relay_fanout(&it),
         bench_rateless_encode(&it),

@@ -95,6 +95,21 @@ impl RefBloom {
         self.indexes(id).into_iter().all(|idx| self.bits.get(idx))
     }
 
+    /// The element-at-a-time "batch" insert: a plain loop over the scalar
+    /// path. The optimized `BloomFilter::insert_batch` must leave the bit
+    /// array byte-identical to this.
+    pub fn insert_batch(&mut self, ids: &[Digest]) {
+        for id in ids {
+            self.insert(id);
+        }
+    }
+
+    /// The element-at-a-time "batch" query: one scalar probe per id, in
+    /// order. The optimized `contains_batch` mask must agree bit for bit.
+    pub fn contains_batch(&self, ids: &[Digest]) -> Vec<bool> {
+        ids.iter().map(|id| self.contains(id)).collect()
+    }
+
     /// The packed bit array, for byte-level comparison with the optimized
     /// filter's `bit_vec().to_bytes()`.
     pub fn bit_bytes(&self) -> Vec<u8> {
@@ -132,6 +147,26 @@ fn ref_check_hash(salt: u64, value: u64) -> u32 {
 /// for bit.
 pub fn ref_peel_cells(
     mut cells: Vec<graphene_iblt::Cell>,
+    k: u32,
+    salt: u64,
+) -> Result<DecodeResult, DecodeError> {
+    ref_peel_cells_in(&mut cells, k, salt)
+}
+
+/// [`ref_peel_cells`], but also returning the partially peeled cell array,
+/// so equivalence tests can compare the optimized peel's *remainder* (the
+/// 2-core left behind by an incomplete decode) cell for cell.
+pub fn ref_peel_cells_with_remainder(
+    mut cells: Vec<graphene_iblt::Cell>,
+    k: u32,
+    salt: u64,
+) -> (Result<DecodeResult, DecodeError>, Vec<graphene_iblt::Cell>) {
+    let result = ref_peel_cells_in(&mut cells, k, salt);
+    (result, cells)
+}
+
+fn ref_peel_cells_in(
+    cells: &mut [graphene_iblt::Cell],
     k: u32,
     salt: u64,
 ) -> Result<DecodeResult, DecodeError> {
@@ -298,6 +333,12 @@ impl RefGcs {
     pub fn contains(&self, id: &Digest) -> bool {
         let target = gcs_hash_to_range(self.salt, id, gcs_range(self.n, self.fpr));
         self.decode().binary_search(&target).is_ok()
+    }
+
+    /// Element-at-a-time "batch" query: one full-stream decode + search per
+    /// id, in order. `Gcs::contains_batch` must return the same answers.
+    pub fn contains_batch(&self, ids: &[Digest]) -> Vec<bool> {
+        ids.iter().map(|id| self.contains(id)).collect()
     }
 
     /// The Golomb–Rice byte stream, for comparison with `Gcs::data()`.

@@ -2,15 +2,24 @@
 
 use crate::tx::{Transaction, TxId};
 use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
 
 /// A pool of unconfirmed transactions.
 ///
 /// Lookup by ID is the hot operation — Graphene receivers pass their whole
 /// mempool through Bloom filter `S` — so the pool is a hash map with a
 /// cached, lazily sorted ID list for deterministic iteration.
+///
+/// The map lives behind an [`Arc`] with copy-on-write semantics: cloning a
+/// pool is a reference-count bump, and the map is only deep-copied when a
+/// clone is first mutated. The propagation sweep hands the same base
+/// mempool to every one of its (up to 100 000) peers, so per-trial setup
+/// is O(peers) pointer copies instead of O(peers · m) map clones — the
+/// ROADMAP item 1 bottleneck. Behavior is indistinguishable from a plain
+/// owned map: no read path observes the sharing.
 #[derive(Clone, Debug, Default)]
 pub struct Mempool {
-    txns: HashMap<TxId, Transaction>,
+    txns: Arc<HashMap<TxId, Transaction>>,
 }
 
 impl Mempool {
@@ -31,12 +40,16 @@ impl Mempool {
 
     /// Insert a transaction; returns false if it was already present.
     pub fn insert(&mut self, tx: Transaction) -> bool {
-        self.txns.insert(*tx.id(), tx).is_none()
+        Arc::make_mut(&mut self.txns).insert(*tx.id(), tx).is_none()
     }
 
     /// Remove by ID (e.g., when a block confirms it).
     pub fn remove(&mut self, id: &TxId) -> Option<Transaction> {
-        self.txns.remove(id)
+        if !self.txns.contains_key(id) {
+            // Don't unshare a copy-on-write clone for a no-op removal.
+            return None;
+        }
+        Arc::make_mut(&mut self.txns).remove(id)
     }
 
     /// Membership test.
@@ -62,10 +75,41 @@ impl Mempool {
     }
 
     /// Remove every transaction confirmed by `block_ids`.
+    ///
+    /// When the map is shared (a copy-on-write clone that was never
+    /// mutated), this rebuilds the retained map directly instead of deep-
+    /// copying first and then removing — strictly less work than the
+    /// clone-then-remove that `Arc::make_mut` would do, and the dominant
+    /// case in the propagation sweep, where every peer confirms the relayed
+    /// block out of the shared base mempool.
     pub fn confirm(&mut self, block_ids: &[TxId]) {
-        for id in block_ids {
-            self.txns.remove(id);
+        if block_ids.is_empty() {
+            return;
         }
+        match Arc::get_mut(&mut self.txns) {
+            Some(map) => {
+                for id in block_ids {
+                    map.remove(id);
+                }
+            }
+            None => {
+                let confirmed: HashSet<&TxId> = block_ids.iter().collect();
+                let retained: HashMap<TxId, Transaction> = self
+                    .txns
+                    .iter()
+                    .filter(|(id, _)| !confirmed.contains(id))
+                    .map(|(id, tx)| (*id, tx.clone()))
+                    .collect();
+                self.txns = Arc::new(retained);
+            }
+        }
+    }
+
+    /// True if `self` and `other` share one underlying map (copy-on-write
+    /// clones that have not diverged). Diagnostic for tests and memory
+    /// accounting; protocol code must never branch on it.
+    pub fn shares_storage_with(&self, other: &Mempool) -> bool {
+        Arc::ptr_eq(&self.txns, &other.txns)
     }
 }
 
@@ -161,6 +205,54 @@ mod tests {
         assert_eq!(pool.len(), 5);
         assert!(!pool.contains(tx(0).id()));
         assert!(pool.contains(tx(7).id()));
+    }
+
+    /// Clones share storage until first mutation; mutation unshares the
+    /// mutated clone only, and reads never perturb the sharing.
+    #[test]
+    fn clone_is_copy_on_write() {
+        let base: Mempool = (0..100).map(tx).collect();
+        let mut a = base.clone();
+        let b = base.clone();
+        assert!(a.shares_storage_with(&base));
+        assert!(b.shares_storage_with(&base));
+
+        // Reads keep the sharing.
+        assert!(a.contains(tx(5).id()));
+        assert_eq!(a.iter().count(), 100);
+        assert!(a.shares_storage_with(&base));
+        // A no-op removal keeps it too.
+        assert!(a.remove(tx(1000).id()).is_none());
+        assert!(a.shares_storage_with(&base));
+
+        // A real mutation unshares only the mutated clone.
+        assert!(a.insert(tx(1000)));
+        assert!(!a.shares_storage_with(&base));
+        assert!(b.shares_storage_with(&base));
+        assert_eq!(a.len(), 101);
+        assert_eq!(base.len(), 100);
+    }
+
+    /// `confirm` on a shared clone rebuilds without touching its siblings,
+    /// and gives exactly the same pool as confirm-on-owned.
+    #[test]
+    fn confirm_on_shared_clone_matches_owned() {
+        let base: Mempool = (0..50).map(tx).collect();
+        let confirmed: Vec<TxId> = (0..20).map(|i| *tx(i).id()).collect();
+
+        let mut shared = base.clone(); // still sharing at confirm time
+        shared.confirm(&confirmed);
+        let mut owned: Mempool = (0..50).map(tx).collect(); // uniquely owned
+        owned.confirm(&confirmed);
+
+        assert_eq!(base.len(), 50, "sibling must be untouched");
+        assert_eq!(shared.len(), owned.len());
+        assert_eq!(shared.sorted_ids(), owned.sorted_ids());
+        assert!(!shared.shares_storage_with(&base));
+        // Empty confirm never unshares.
+        let mut c = base.clone();
+        c.confirm(&[]);
+        assert!(c.shares_storage_with(&base));
     }
 
     #[test]

@@ -21,7 +21,7 @@
 use crate::bitvec::BitVec;
 use crate::params::{bloom_bits, optimal_hash_count, theoretical_fpr};
 use crate::Membership;
-use graphene_hashes::{siphash24, Digest, SipKey};
+use graphene_hashes::{siphash24, siphash24_x4, Digest, SipKey, SIP_LANES};
 
 /// How bit indexes are derived from a 32-byte ID.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -160,6 +160,259 @@ impl BloomFilter {
         self.bits.union_with(&other.bits);
         self.inserted += other.inserted;
     }
+
+    /// Insert a slice of txids, hashing [`SIP_LANES`] of them in interleaved
+    /// flight per loop iteration.
+    ///
+    /// Bit-identical to calling [`BloomFilter::insert`] element by element
+    /// (the same indexes are set; set order is invisible). Duplicate and
+    /// overlapping inputs are fine — re-setting a bit is a no-op, and
+    /// `inserted` counts slice elements exactly like repeated scalar calls
+    /// would.
+    pub fn insert_batch(&mut self, ids: &[Digest]) {
+        self.inserted += ids.len();
+        if self.bits.is_empty() {
+            return; // match-everything filter
+        }
+        let m = self.bits.len() as u64;
+        match self.strategy {
+            HashStrategy::DoubleHashing => {
+                let mut h1 = Vec::new();
+                let mut h2 = Vec::new();
+                double_hashes_batch(self.salt, ids, &mut h1, &mut h2);
+                let mc = ModChain::new(m);
+                for (&a, &b) in h1.iter().zip(&h2) {
+                    let mut h = a;
+                    let mut r = a % m;
+                    let bm = if self.k > 1 { b % m } else { 0 };
+                    for _ in 0..self.k {
+                        self.bits.set(r as usize);
+                        mc.advance(&mut h, &mut r, b, bm);
+                    }
+                }
+            }
+            HashStrategy::KPiece => {
+                for id in ids {
+                    for i in 0..self.k {
+                        self.bits.set(kpiece_index(self.salt, id, i, m));
+                    }
+                }
+            }
+        }
+    }
+
+    /// Batch membership: set `out[j]` iff `self.contains(&ids[j])`.
+    ///
+    /// Allocating convenience over [`BloomFilter::contains_batch_with`].
+    pub fn contains_batch(&self, ids: &[Digest]) -> BitVec {
+        let mut out = BitVec::new(ids.len());
+        self.contains_batch_with(ids, &mut out, &mut ProbeScratch::default());
+        out
+    }
+
+    /// Batch membership into a caller-provided result mask, allocation-free
+    /// after scratch warm-up.
+    ///
+    /// `out` must have exactly `ids.len()` bits; on return `out[j]` equals
+    /// `self.contains(&ids[j])` bit for bit. The kernel hashes
+    /// [`SIP_LANES`] digests per loop iteration (the dominant cost of a
+    /// probe), then tests bits — for filters too big for cache the probe
+    /// offsets are first sorted so the word loads walk the array in
+    /// address order instead of hopping randomly. Probes are pure reads, so
+    /// `ids` may freely contain duplicates or overlap other batches.
+    pub fn contains_batch_with(
+        &self,
+        ids: &[Digest],
+        out: &mut BitVec,
+        scratch: &mut ProbeScratch,
+    ) {
+        assert_eq!(out.len(), ids.len(), "result mask length must equal batch length");
+        assert!(ids.len() < MAX_BATCH, "batch of {} exceeds {MAX_BATCH}", ids.len());
+        // Start from all-ones and knock out misses: the degenerate
+        // match-everything filter then needs no probes at all.
+        out.fill_ones();
+        if self.bits.is_empty() {
+            return;
+        }
+        let m = self.bits.len() as u64;
+        match self.strategy {
+            HashStrategy::DoubleHashing => {
+                double_hashes_batch(self.salt, ids, &mut scratch.h1, &mut scratch.h2);
+                let mc = ModChain::new(m);
+                if self.bits.words().len() >= BATCH_SORT_WORDS {
+                    // Word-parallel path: pack every probe as
+                    // `word_index << 32 | slot << 6 | bit`, sort (word index
+                    // occupies the high bits, so this is address order), and
+                    // clear the slot on each missing bit.
+                    scratch.probes.clear();
+                    scratch.probes.reserve(ids.len() * self.k as usize);
+                    for (s, (&a, &b)) in scratch.h1.iter().zip(&scratch.h2).enumerate() {
+                        let mut h = a;
+                        let mut r = a % m;
+                        let bm = if self.k > 1 { b % m } else { 0 };
+                        for _ in 0..self.k {
+                            scratch.probes.push((r / 64) << 32 | (s as u64) << 6 | (r % 64));
+                            mc.advance(&mut h, &mut r, b, bm);
+                        }
+                    }
+                    scratch.probes.sort_unstable();
+                    for &p in &scratch.probes {
+                        if self.bits.word((p >> 32) as usize) >> (p & 63) & 1 == 0 {
+                            out.unset((p >> 6 & (MAX_BATCH as u64 - 1)) as usize);
+                        }
+                    }
+                } else {
+                    // Cache-resident filter: probe directly with the scalar
+                    // early exit. Batched hashing plus the divide-free index
+                    // chain is the win here — the second divide (`h2 % m`)
+                    // is deferred until the first probe actually hits.
+                    for (s, (&a, &b)) in scratch.h1.iter().zip(&scratch.h2).enumerate() {
+                        let mut h = a;
+                        let mut r = a % m;
+                        if !self.bits.get(r as usize) {
+                            out.unset(s);
+                            continue;
+                        }
+                        let bm = if self.k > 1 { b % m } else { 0 };
+                        for _ in 1..self.k {
+                            mc.advance(&mut h, &mut r, b, bm);
+                            if !self.bits.get(r as usize) {
+                                out.unset(s);
+                                break;
+                            }
+                        }
+                    }
+                }
+            }
+            HashStrategy::KPiece => {
+                // No hashing to amortize (§6.3 slices the txid directly), so
+                // the batch win is issuing the word loads back-to-back via
+                // the gather helper before any test logic runs.
+                let k = self.k as usize;
+                scratch.idxs.clear();
+                scratch.idxs.reserve(ids.len() * k);
+                for id in ids {
+                    for i in 0..self.k {
+                        scratch.idxs.push(kpiece_index(self.salt, id, i, m));
+                    }
+                }
+                scratch.words.clear();
+                self.bits.gather_words(&scratch.idxs, &mut scratch.words);
+                for s in 0..ids.len() {
+                    for j in s * k..(s + 1) * k {
+                        if scratch.words[j] >> (scratch.idxs[j] % 64) & 1 == 0 {
+                            out.unset(s);
+                            break;
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Upper bound on one batch's length (the sorted-probe packing keeps the
+/// slot in 26 bits). 67M keys per call is far above any mempool pass; split
+/// larger workloads into chunks.
+pub const MAX_BATCH: usize = 1 << 26;
+
+/// Filter size (in 64-bit words) above which the batch probe sorts its
+/// offsets for address-order access: 64 KiB words = 512 KiB of filter, the
+/// point where random probes start missing mid-level cache. Below it the
+/// sort costs more than the locality buys. Either path yields identical
+/// result bits — probes are pure reads.
+const BATCH_SORT_WORDS: usize = 1 << 16;
+
+/// Reusable scratch for [`BloomFilter::contains_batch_with`], so steady-state
+/// batch probing allocates nothing (the PR 5 `PeelScratch` pattern).
+#[derive(Clone, Debug, Default)]
+pub struct ProbeScratch {
+    /// Per-slot Kirsch–Mitzenmacher `h1`.
+    h1: Vec<u64>,
+    /// Per-slot Kirsch–Mitzenmacher `h2` (already forced odd).
+    h2: Vec<u64>,
+    /// Packed sorted probes (`word << 32 | slot << 6 | bit`).
+    probes: Vec<u64>,
+    /// K-piece bit indexes, `k` consecutive entries per slot.
+    idxs: Vec<usize>,
+    /// Words gathered for [`ProbeScratch::idxs`].
+    words: Vec<u64>,
+}
+
+/// A divide-free Kirsch–Mitzenmacher index chain.
+///
+/// The scalar probe computes `(h1 + i·h2 mod 2^64) mod m` with one 64-bit
+/// divide per probe. The batch kernels instead carry the remainder along:
+/// stepping `h → h + h2` steps `r → r + (h2 mod m)` with a conditional
+/// subtract — except when the 64-bit chain wraps, which silently subtracts
+/// `2^64` from the true value, so the remainder must also absorb
+/// `-2^64 ≡ m - (2^64 mod m) (mod m)`. Tracking `h` alongside `r` makes the
+/// wrap observable (`h_next < h`), keeping the chain *exactly* equal to the
+/// scalar derivation for every step — the equivalence proptests exercise
+/// the wrap path heavily since random `h2` wraps about every other step.
+#[derive(Clone, Copy)]
+struct ModChain {
+    m: u64,
+    /// `(m - 2^64 mod m) mod m`, the remainder correction for a wrap.
+    wrap_adj: u64,
+}
+
+impl ModChain {
+    #[inline]
+    fn new(m: u64) -> Self {
+        let two64 = ((1u128 << 64) % m as u128) as u64;
+        ModChain { m, wrap_adj: (m - two64) % m }
+    }
+
+    /// Advance the pair `(h, r)` — invariant `r == h % m` — by `step`,
+    /// where `step_mod == step % m`. Branchless: both the `≥ m` folds and
+    /// the wrap correction are data-dependent about half the time each for
+    /// random hashes, so predicated arithmetic beats branches here.
+    #[inline]
+    fn advance(self, h: &mut u64, r: &mut u64, step: u64, step_mod: u64) {
+        let next = h.wrapping_add(step);
+        let mut nr = *r + step_mod;
+        nr -= self.m * u64::from(nr >= self.m);
+        nr += self.wrap_adj * u64::from(next < *h);
+        nr -= self.m * u64::from(nr >= self.m);
+        *h = next;
+        *r = nr;
+    }
+}
+
+/// Compute [`double_hashes`] for a slice of txids with the SipHash states
+/// lane-interleaved: [`SIP_LANES`] digests are hashed per loop iteration
+/// (twice — once per Kirsch–Mitzenmacher key), giving the out-of-order core
+/// independent dependency chains to overlap. Spare lanes of a ragged final
+/// chunk repeat lane 0 and are discarded.
+fn double_hashes_batch(salt: u64, ids: &[Digest], h1: &mut Vec<u64>, h2: &mut Vec<u64>) {
+    h1.clear();
+    h2.clear();
+    h1.reserve(ids.len());
+    h2.reserve(ids.len());
+    let k1 = [SipKey::new(salt, 0x5350_4c49_5431); SIP_LANES];
+    let k2 = [SipKey::new(salt, 0x5350_4c49_5432); SIP_LANES];
+    let mut msgs = [[0u64; 4]; SIP_LANES];
+    for chunk in ids.chunks(SIP_LANES) {
+        for (l, id) in chunk.iter().enumerate() {
+            msgs[l] = digest_words(id);
+        }
+        for l in chunk.len()..SIP_LANES {
+            msgs[l] = msgs[0];
+        }
+        let a = siphash24_x4::<4>(&k1, &msgs);
+        let b = siphash24_x4::<4>(&k2, &msgs);
+        h1.extend_from_slice(&a[..chunk.len()]);
+        h2.extend(b[..chunk.len()].iter().map(|&x| x | 1));
+    }
+}
+
+/// A 32-byte digest as the four little-endian words SipHash consumes.
+#[inline]
+fn digest_words(id: &Digest) -> [u64; 4] {
+    core::array::from_fn(|w| {
+        u64::from_le_bytes(id.0[w * 8..w * 8 + 8].try_into().expect("8-byte word"))
+    })
 }
 
 /// The Kirsch–Mitzenmacher pair `(h1, h2)` for a txid (`h2` forced odd).
@@ -307,6 +560,47 @@ mod tests {
         let expect = crate::params::bloom_size_bytes(1000, 0.01);
         // Payload plus the 14-byte wire header.
         assert!(f.serialized_size() >= expect && f.serialized_size() <= expect + 14);
+    }
+
+    /// Batch insert + batch probe produce the exact bits and answers of the
+    /// element-at-a-time path, for both strategies, including duplicates in
+    /// the batch and the empty batch.
+    #[test]
+    fn batch_matches_scalar() {
+        for strategy in [HashStrategy::DoubleHashing, HashStrategy::KPiece] {
+            let mut set = ids(300, 6);
+            set.push(set[0]); // duplicate key in the insert batch
+            let mut probes = ids(500, 7);
+            probes.extend_from_slice(&set[..50]);
+            probes.push(probes[0]); // duplicate key in the probe batch
+
+            let mut scalar = BloomFilter::with_strategy(set.len(), 0.02, 11, strategy);
+            for id in &set {
+                scalar.insert(id);
+            }
+            let mut batch = BloomFilter::with_strategy(set.len(), 0.02, 11, strategy);
+            batch.insert_batch(&set);
+            assert_eq!(scalar.bit_vec(), batch.bit_vec(), "{strategy:?} bits");
+            assert_eq!(scalar.inserted(), batch.inserted(), "{strategy:?} inserted");
+
+            let mask = batch.contains_batch(&probes);
+            for (j, id) in probes.iter().enumerate() {
+                assert_eq!(mask.get(j), scalar.contains(id), "{strategy:?} probe {j}");
+            }
+            assert_eq!(batch.contains_batch(&[]).len(), 0);
+        }
+    }
+
+    /// The degenerate match-everything filter answers all-ones in batch
+    /// form too.
+    #[test]
+    fn batch_degenerate_match_all() {
+        let mut f = BloomFilter::new(100, 1.0, 0);
+        let probes = ids(10, 8);
+        f.insert_batch(&probes);
+        assert_eq!(f.inserted(), 10);
+        let mask = f.contains_batch(&probes);
+        assert_eq!(mask.count_ones(), probes.len());
     }
 
     #[test]

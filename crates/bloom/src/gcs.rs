@@ -7,8 +7,9 @@
 //! as a Bloom alternative; the tradeoff bench in `crates/bench` compares
 //! them.
 
+use crate::bitvec::BitVec;
 use crate::Membership;
-use graphene_hashes::{siphash24, Digest, SipKey};
+use graphene_hashes::{siphash24, siphash24_x4, Digest, SipKey, SIP_LANES};
 use std::sync::OnceLock;
 
 /// Bit-level writer for Golomb–Rice codes.
@@ -102,6 +103,18 @@ impl GcsBuilder {
         self.hashed.push(hash_to_range(self.salt, id, range(self.n, self.fpr)));
     }
 
+    /// Add a slice of txids, hashing [`SIP_LANES`] of them lane-interleaved
+    /// per loop iteration.
+    ///
+    /// [`GcsBuilder::build`] sorts and deduplicates, so insertion order —
+    /// and therefore batching — cannot change the encoded bytes: the result
+    /// is byte-identical to element-at-a-time [`GcsBuilder::insert`] calls.
+    pub fn insert_batch(&mut self, ids: &[Digest]) {
+        let r = range(self.n, self.fpr);
+        self.hashed.reserve(ids.len());
+        hash_to_range_batch(self.salt, ids, r, &mut self.hashed);
+    }
+
     /// Encode into an immutable, queryable [`Gcs`].
     pub fn build(mut self) -> Gcs {
         self.hashed.sort_unstable();
@@ -155,6 +168,26 @@ fn hash_to_range(salt: u64, id: &Digest, range: u64) -> u64 {
     ((h as u128 * range as u128) >> 64) as u64
 }
 
+/// [`hash_to_range`] for a slice of txids, [`SIP_LANES`] SipHash states in
+/// flight per iteration; appends one value per id to `out` in input order.
+/// Spare lanes of a ragged final chunk repeat lane 0 and are discarded.
+fn hash_to_range_batch(salt: u64, ids: &[Digest], range: u64, out: &mut Vec<u64>) {
+    let keys = [SipKey::new(salt, 0x4743_5348); SIP_LANES];
+    let mut msgs = [[0u64; 4]; SIP_LANES];
+    for chunk in ids.chunks(SIP_LANES) {
+        for (l, id) in chunk.iter().enumerate() {
+            msgs[l] = core::array::from_fn(|w| {
+                u64::from_le_bytes(id.0[w * 8..w * 8 + 8].try_into().expect("8-byte word"))
+            });
+        }
+        for l in chunk.len()..SIP_LANES {
+            msgs[l] = msgs[0];
+        }
+        let h = siphash24_x4::<4>(&keys, &msgs);
+        out.extend(h[..chunk.len()].iter().map(|&h| ((h as u128 * range as u128) >> 64) as u64));
+    }
+}
+
 impl Gcs {
     /// Number of encoded (distinct) members.
     pub fn len(&self) -> usize {
@@ -175,6 +208,32 @@ impl Gcs {
     /// The sorted hashed values, decoded at most once and then shared.
     fn decoded(&self) -> &[u64] {
         self.decoded.get_or_init(|| self.decode())
+    }
+
+    /// Batch membership: set `out[j]` iff `self.contains(&ids[j])`.
+    ///
+    /// The targets are hashed [`SIP_LANES`] at a time, then looked up in the
+    /// decoded-value cache; answers are bitwise identical to per-element
+    /// [`Membership::contains`] calls (duplicates in `ids` are fine — reads
+    /// only).
+    pub fn contains_batch_with(&self, ids: &[Digest], out: &mut BitVec) {
+        assert_eq!(out.len(), ids.len(), "result mask length must equal batch length");
+        out.clear();
+        let mut targets = Vec::with_capacity(ids.len());
+        hash_to_range_batch(self.salt, ids, range(self.n, self.fpr), &mut targets);
+        let decoded = self.decoded();
+        for (j, t) in targets.iter().enumerate() {
+            if decoded.binary_search(t).is_ok() {
+                out.set(j);
+            }
+        }
+    }
+
+    /// Allocating convenience over [`Gcs::contains_batch_with`].
+    pub fn contains_batch(&self, ids: &[Digest]) -> BitVec {
+        let mut out = BitVec::new(ids.len());
+        self.contains_batch_with(ids, &mut out);
+        out
     }
 
     /// Decode the sorted hashed values (linear scan).
@@ -263,6 +322,29 @@ mod tests {
         let g = GcsBuilder::new(10, 0.01, 0).build();
         assert!(g.is_empty());
         assert!(!g.contains(&sha256(b"x")));
+    }
+
+    /// Batch insert yields byte-identical encodings and batch queries give
+    /// the exact per-element answers, including duplicate keys and the
+    /// empty batch.
+    #[test]
+    fn batch_matches_scalar() {
+        let mut set = ids(800, 6);
+        set.push(set[3]); // duplicate insert
+        let scalar = build(&set, 0.01);
+        let mut b = GcsBuilder::new(set.len(), 0.01, 11);
+        b.insert_batch(&set);
+        let batched = b.build();
+        assert_eq!(scalar.data(), batched.data(), "encodings diverged");
+
+        let mut probes = ids(500, 7);
+        probes.extend_from_slice(&set[..50]);
+        probes.push(probes[0]);
+        let mask = batched.contains_batch(&probes);
+        for (j, id) in probes.iter().enumerate() {
+            assert_eq!(mask.get(j), scalar.contains(id), "probe {j}");
+        }
+        assert_eq!(batched.contains_batch(&[]).len(), 0);
     }
 
     #[test]

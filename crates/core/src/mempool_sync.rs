@@ -165,11 +165,13 @@ pub fn sync_mempools(
             let set: std::collections::HashSet<TxId> = set.iter().copied().collect();
             receiver.iter().filter(|tx| !set.contains(tx.id())).map(|tx| *tx.id()).collect()
         }
-        None => receiver
-            .iter()
-            .filter(|tx| !p1_msg.bloom_s.contains(tx.id()))
-            .map(|tx| *tx.id())
-            .collect(),
+        None => {
+            // Batch-probe S over the receiver pool (interleaved hashing);
+            // same answers and order as per-element `contains` calls.
+            let pool_ids: Vec<TxId> = receiver.iter().map(|tx| *tx.id()).collect();
+            let hits = p1_msg.bloom_s.contains_batch(&pool_ids);
+            pool_ids.iter().enumerate().filter(|(j, _)| !hits.get(*j)).map(|(_, id)| *id).collect()
+        }
     };
     let h_txns: Vec<_> = h_ids.iter().filter_map(|id| receiver.get(id)).cloned().collect();
     let h_transfer = if h_txns.is_empty() {

@@ -9,7 +9,7 @@ use crate::ordering::decode_order;
 use crate::params::{optimal_b, x_star, y_star, BChoice};
 use crate::protocol1::{CandidateSet, SALT_F, SALT_J, SALT_R};
 use graphene_blockchain::{Block, OrderingScheme, Transaction, TxId};
-use graphene_bloom::{params::theoretical_fpr, BloomFilter, Membership};
+use graphene_bloom::{params::theoretical_fpr, BloomFilter};
 use graphene_hashes::short_id_8;
 use graphene_iblt::{ping_pong_decode, Iblt};
 use graphene_iblt_params::params_for;
@@ -58,9 +58,8 @@ pub fn receiver_request(
     let salt = block_id.low_u64();
     let mut bloom_r =
         BloomFilter::with_strategy(z.max(1), fpr_r, salt ^ SALT_R, cfg.bloom_strategy);
-    for id in state.by_short.values() {
-        bloom_r.insert(id);
-    }
+    let candidates: Vec<TxId> = state.by_short.values().copied().collect();
+    bloom_r.insert_batch(&candidates);
 
     let msg =
         GrapheneRequestMsg { block_id, bloom_r, y_star: ys as u64, b: choice.b as u64, special_mn };
@@ -80,9 +79,18 @@ pub fn sender_respond(
     let n = block.len();
     let salt = block.id().low_u64();
 
-    // Transactions failing R are definitely missing at the receiver.
-    let missing: Vec<Transaction> =
-        block.txns().iter().filter(|tx| !req.bloom_r.contains(tx.id())).cloned().collect();
+    // Transactions failing R are definitely missing at the receiver. One
+    // batch probe of R over the block serves both this split and the
+    // special-case F build below (the scalar path probed R twice per tx).
+    let block_ids: Vec<TxId> = block.txns().iter().map(|tx| *tx.id()).collect();
+    let r_hits = req.bloom_r.contains_batch(&block_ids);
+    let missing: Vec<Transaction> = block
+        .txns()
+        .iter()
+        .enumerate()
+        .filter(|(j, _)| !r_hits.get(*j))
+        .map(|(_, tx)| tx.clone())
+        .collect();
 
     let (j_capacity, bloom_f) = if req.special_mn {
         // Reversed roles (§3.3.1): the *sender* bounds the false positives
@@ -103,11 +111,13 @@ pub fn sender_respond(
         let choice2 = optimal_b(z2, m, xs2, ys2, cfg.iblt_rate_denom);
         let mut f =
             BloomFilter::with_strategy(z2.max(1), choice2.fpr, salt ^ SALT_F, cfg.bloom_strategy);
-        for tx in block.txns() {
-            if req.bloom_r.contains(tx.id()) {
-                f.insert(tx.id());
-            }
-        }
+        let passed: Vec<TxId> = block_ids
+            .iter()
+            .enumerate()
+            .filter(|(j, _)| r_hits.get(*j))
+            .map(|(_, id)| *id)
+            .collect();
+        f.insert_batch(&passed);
         (choice2.b + ys2, Some(f))
     } else {
         (req.b as usize + req.y_star as usize, None)
@@ -189,8 +199,12 @@ pub fn receiver_complete(
         };
         match &msg.bloom_f {
             Some(f) => {
-                for id in p1_state.by_short.values() {
-                    if f.contains(id) {
+                // Batch-probe F over the candidates; the pass visits them
+                // in the same (by_short iteration) order as the scalar loop.
+                let cand: Vec<TxId> = p1_state.by_short.values().copied().collect();
+                let hits = f.contains_batch(&cand);
+                for (j, id) in cand.iter().enumerate() {
+                    if hits.get(j) {
                         add(id);
                     }
                 }

@@ -54,13 +54,18 @@ impl Cell {
     }
 }
 
+/// Key-derivation tag of the checksum hash (paired with the IBLT salt). The
+/// batched peel builds [`SipKey`]s from it directly so its interleaved
+/// hashes agree with [`check_hash`] bit for bit.
+pub(crate) const CHECK_TAG: u64 = 0x4942_4c54_4348;
+
 /// The per-value checksum mixed into [`Cell::check_sum`].
 ///
 /// Keyed by the IBLT salt so that checksum collisions cannot be manufactured
 /// offline for all peers at once.
 #[inline]
 pub fn check_hash(salt: u64, value: u64) -> u32 {
-    siphash24(SipKey::new(salt, 0x4942_4c54_4348), &value.to_le_bytes()) as u32
+    siphash24(SipKey::new(salt, CHECK_TAG), &value.to_le_bytes()) as u32
 }
 
 #[cfg(test)]

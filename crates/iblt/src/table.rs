@@ -1,9 +1,9 @@
 //! The IBLT proper: construction, subtraction and peel decoding.
 
-use crate::cell::{check_hash, Cell};
+use crate::cell::{check_hash, Cell, CHECK_TAG};
 use crate::{CELL_BYTES, HEADER_BYTES};
 use core::fmt;
-use graphene_hashes::{siphash24, SipKey};
+use graphene_hashes::{siphash24, siphash24_x4_u64, SipKey, SIP_LANES};
 
 /// Errors surfaced by decoding.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -56,6 +56,12 @@ pub struct PeelScratch {
     seen: std::collections::HashMap<u64, u32>,
     /// Current generation; entries with older stamps are logically absent.
     gen: u32,
+    /// Cells awaiting batched checksum verification (`count == ±1`).
+    cand: Vec<usize>,
+    /// Per-peel key schedule: checksum key, then the `k` partition keys.
+    keys: Vec<SipKey>,
+    /// Hash outputs for one value under [`PeelScratch::keys`].
+    hashes: Vec<u64>,
 }
 
 impl PeelScratch {
@@ -265,7 +271,35 @@ impl Iblt {
     /// [`Iblt::peel`] with caller-provided working memory, so loops that
     /// decode many tables (ping-pong, the parameter search, netsim) pay for
     /// the worklist and seen-set allocations once instead of per attempt.
+    /// Forwards to [`Iblt::peel_partitioned`]; the element-at-a-time
+    /// reference survives as `ref_peel_cells` in `graphene-bench`.
     pub fn peel_in_place(
+        &mut self,
+        scratch: &mut PeelScratch,
+    ) -> Result<DecodeResult, DecodeError> {
+        self.peel_partitioned(scratch)
+    }
+
+    /// The batched peel: partition-sequential seeding plus interleaved
+    /// hashing, bit-identical to the scalar peel.
+    ///
+    /// The paper's IBLT is already partitioned — hash `i` only ever lands in
+    /// the disjoint index range `[i·(c/k), (i+1)·(c/k))` — so the seed scan
+    /// walks the partitions in sequence, collecting `count == ±1` candidates
+    /// and verifying their checksums [`SIP_LANES`] at a time. Concatenating
+    /// the partitions' verified candidates in partition order *is* the
+    /// scalar reference's ascending-index seed order, which is what makes
+    /// the merge deterministic and the output order unchanged.
+    ///
+    /// In the peel loop proper, each popped value needs `k + 1` independent
+    /// hashes (its checksum plus one index hash per partition) and the
+    /// post-removal purity re-checks need up to `k` more; both sets are
+    /// computed with interleaved lanes. The k touched cells lie in distinct
+    /// partitions, so deferring their purity checks until after all `k`
+    /// removals cannot change any outcome — the re-queue order (ascending
+    /// `i`) matches the scalar loop exactly, as the equivalence proptests
+    /// assert element for element.
+    pub fn peel_partitioned(
         &mut self,
         scratch: &mut PeelScratch,
     ) -> Result<DecodeResult, DecodeError> {
@@ -273,14 +307,33 @@ impl Iblt {
         scratch.reset();
         let gen = scratch.gen;
         let part = self.cells.len() / self.k as usize;
-        // Worklist of candidate pure cells.
-        scratch.queue.extend((0..self.cells.len()).filter(|&i| self.cells[i].is_pure(self.salt)));
+        // Key schedule, fixed for the whole peel: checksum key first, then
+        // the partition keys in partition order (so `hashes[1 + i]` below is
+        // partition i's raw index hash).
+        scratch.keys.clear();
+        scratch.keys.push(SipKey::new(self.salt, CHECK_TAG));
+        scratch.keys.extend((0..self.k).map(|i| SipKey::new(self.salt, INDEX_TAG + i as u64)));
+        // Seed worklist: partition-sequential candidate scan, checksums
+        // verified in batches.
+        scratch.cand.clear();
+        scratch
+            .cand
+            .extend((0..self.cells.len()).filter(|&i| matches!(self.cells[i].count, 1 | -1)));
+        push_pure_batch(&self.cells, self.salt, &scratch.cand, &mut scratch.queue);
         while let Some(idx) = scratch.queue.pop() {
             let cell = self.cells[idx];
-            if !cell.is_pure(self.salt) {
+            if !matches!(cell.count, 1 | -1) {
                 continue; // stale queue entry
             }
             let value = cell.key_sum;
+            // One interleaved batch yields the checksum and every partition
+            // hash this value needs; the scalar loop recomputes them one
+            // dependency chain at a time.
+            hash_value_batch(&scratch.keys, value, &mut scratch.hashes);
+            let check = scratch.hashes[0] as u32;
+            if cell.check_sum != check {
+                continue; // stale queue entry (no longer pure)
+            }
             let sign = cell.count; // ±1
                                    // Track decoded values to detect the malformed-IBLT attack
                                    // (§6.1); stamps older than `gen` are leftovers from earlier
@@ -293,16 +346,18 @@ impl Iblt {
             } else {
                 result.only_right.push(value);
             }
-            // Remove the value from all k cells (including this one) and
-            // requeue any cells that became pure.
-            let check = check_hash(self.salt, value);
-            for i in 0..self.k {
-                let idx = cell_index(self.salt, part, i, value);
+            // Remove the value from all k cells (including this one); the
+            // cells are in distinct partitions, so their purity re-checks
+            // can run as one batch after the removals.
+            scratch.cand.clear();
+            for i in 0..self.k as usize {
+                let idx = i * part + (scratch.hashes[1 + i] % part as u64) as usize;
                 self.cells[idx].apply(value, check, -sign);
-                if self.cells[idx].is_pure(self.salt) {
-                    scratch.queue.push(idx);
+                if matches!(self.cells[idx].count, 1 | -1) {
+                    scratch.cand.push(idx);
                 }
             }
+            push_pure_batch(&self.cells, self.salt, &scratch.cand, &mut scratch.queue);
         }
         result.complete = self.cells.iter().all(Cell::is_empty_cell);
         Ok(result)
@@ -377,14 +432,58 @@ impl Iblt {
     }
 }
 
+/// Key-derivation tag of partition hash `i` (tag + `i`, paired with the
+/// salt). The batched peel builds its key schedule from it so interleaved
+/// index hashes agree with [`cell_index`] bit for bit.
+const INDEX_TAG: u64 = 0x4942_4c54_0000;
+
 /// The i-th cell index for `value` under the paper's partition scheme: cell
 /// `i·(c/k) + h_i(value) mod (c/k)`. Free function (not a method) so callers
 /// holding `&mut self.cells` can compute indexes without a borrow conflict —
 /// this is what lets insert/peel run without collecting indexes into a `Vec`.
 #[inline]
 fn cell_index(salt: u64, part: usize, i: u32, value: u64) -> usize {
-    let h = siphash24(SipKey::new(salt, 0x4942_4c54_0000 + i as u64), &value.to_le_bytes());
+    let h = siphash24(SipKey::new(salt, INDEX_TAG + i as u64), &value.to_le_bytes());
     i as usize * part + (h % part as u64) as usize
+}
+
+/// Batched purity verification: append to `queue` — in candidate order —
+/// every cell of `cand` whose checksum confirms it pure, computing
+/// [`SIP_LANES`] checksums in interleaved flight per iteration. Candidates
+/// must already satisfy `count == ±1`; spare lanes of a ragged final chunk
+/// repeat lane 0 and are discarded.
+fn push_pure_batch(cells: &[Cell], salt: u64, cand: &[usize], queue: &mut Vec<usize>) {
+    let keys = [SipKey::new(salt, CHECK_TAG); SIP_LANES];
+    for chunk in cand.chunks(SIP_LANES) {
+        let mut vals = [0u64; SIP_LANES];
+        for (l, &ci) in chunk.iter().enumerate() {
+            vals[l] = cells[ci].key_sum;
+        }
+        for l in chunk.len()..SIP_LANES {
+            vals[l] = vals[0];
+        }
+        let h = siphash24_x4_u64(&keys, &vals);
+        for (l, &ci) in chunk.iter().enumerate() {
+            if cells[ci].check_sum == h[l] as u32 {
+                queue.push(ci);
+            }
+        }
+    }
+}
+
+/// All `keys.len()` hashes of one value in interleaved batches: `out[j]` is
+/// SipHash-2-4 of `value`'s little-endian bytes under `keys[j]`. With the
+/// peel's key schedule that means `out[0]` is the checksum and `out[1 + i]`
+/// partition `i`'s raw index hash. Spare lanes repeat lane 0.
+fn hash_value_batch(keys: &[SipKey], value: u64, out: &mut Vec<u64>) {
+    out.clear();
+    let vals = [value; SIP_LANES];
+    for chunk in keys.chunks(SIP_LANES) {
+        let mut ks = [chunk[0]; SIP_LANES];
+        ks[..chunk.len()].copy_from_slice(chunk);
+        let h = siphash24_x4_u64(&ks, &vals);
+        out.extend_from_slice(&h[..chunk.len()]);
+    }
 }
 
 #[cfg(test)]

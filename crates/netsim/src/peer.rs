@@ -70,7 +70,7 @@ use graphene::protocol2::{self};
 use graphene::recovery::rateless_salt;
 use graphene::NodeSnapshot;
 use graphene_blockchain::{Block, Header, Mempool, OrderingScheme, Transaction, TxId};
-use graphene_bloom::{BloomFilter, Membership};
+use graphene_bloom::BloomFilter;
 use graphene_hashes::{sha256, short_id_6, short_id_8, Digest, SipKey};
 use graphene_iblt::rateless::{
     CellStream, DecodeProgress, RatelessDecoder, RatelessError, MAX_CELLS_PER_BATCH,
@@ -1621,9 +1621,8 @@ impl Peer {
     fn shortid_request(&self, block_id: Digest, fpr: f64) -> Message {
         let mut filter =
             BloomFilter::new(self.mempool.len().max(1), fpr, block_id.low_u64() ^ 0x7874);
-        for tx in self.mempool.iter() {
-            filter.insert(tx.id());
-        }
+        let pool_ids: Vec<Digest> = self.mempool.iter().map(|tx| *tx.id()).collect();
+        filter.insert_batch(&pool_ids);
         Message::XthinGetData(XthinGetDataMsg { block_id, mempool_filter: filter })
     }
 
@@ -2263,8 +2262,15 @@ impl Peer {
         let Some(block) = self.blocks.get(&m.block_id) else {
             return Output::none();
         };
-        let missing: Vec<Transaction> =
-            block.txns().iter().filter(|tx| !m.mempool_filter.contains(tx.id())).cloned().collect();
+        let block_ids: Vec<Digest> = block.txns().iter().map(|tx| *tx.id()).collect();
+        let hits = m.mempool_filter.contains_batch(&block_ids);
+        let missing: Vec<Transaction> = block
+            .txns()
+            .iter()
+            .enumerate()
+            .filter(|(j, _)| !hits.get(*j))
+            .map(|(_, tx)| tx.clone())
+            .collect();
         let short_ids: Vec<u64> = block.txns().iter().map(|tx| short_id_8(tx.id())).collect();
         let mut out = Output::none();
         out.send.push((
